@@ -1,0 +1,13 @@
+//! Bench target regenerating Fig. 6a (recycle overhead over time) and
+//! Fig. 6b (IOPS & memory vs log-unit quota) at quick scale.
+
+use tsue_bench::{fig6a, fig6b, render_fig6a, render_fig6b, Scale};
+
+fn main() {
+    println!("== Fig. 6a (quick): TSUE IOPS timeline ==");
+    let r = fig6a(Scale::Quick);
+    println!("{}", render_fig6a(&r));
+    println!("== Fig. 6b (quick): quota sweep ==");
+    let rows = fig6b(Scale::Quick);
+    println!("{}", render_fig6b(&rows));
+}

@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig. 7 (contribution breakdown,
+//! Baseline + O1..O5) at quick scale.
+
+use tsue_bench::{fig7, render_fig7, Scale};
+
+fn main() {
+    println!("== Fig. 7 (quick): breakdown ==");
+    let rows = fig7(Scale::Quick);
+    println!("{}", render_fig7(&rows));
+}

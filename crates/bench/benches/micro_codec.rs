@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks for the hot algebraic kernels: RS encode,
+//! incremental parity deltas, delta folding, and the two-level index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tsue_ec::{data_delta, RsCode};
+use tsue_ecfs::rangemap::Discipline;
+use tsue_ecfs::Chunk;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_encode");
+    for (k, m) in [(6, 2), (6, 4), (12, 4)] {
+        let rs = RsCode::new(k, m).unwrap();
+        let len = 64 << 10;
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..len).map(|j| (i * 31 + j) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        g.throughput(Throughput::Bytes((k * len) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("rs({k},{m})x64KiB")),
+            &refs,
+            |b, refs| b.iter(|| rs.encode(refs).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_parity_delta(c: &mut Criterion) {
+    let rs = RsCode::new(6, 4).unwrap();
+    let old = vec![7u8; 4096];
+    let new = vec![9u8; 4096];
+    c.bench_function("incremental_parity_delta_4k_m4", |b| {
+        b.iter(|| {
+            let d = data_delta(&old, &new);
+            (0..4).map(|j| rs.parity_delta(j, 2, &d)).collect::<Vec<_>>()
+        })
+    });
+}
+
+fn bench_two_level_index(c: &mut Criterion) {
+    c.bench_function("logunit_append_hot_4k", |b| {
+        b.iter_with_setup(
+            || tsue_core::LogUnit::<u64>::new(0),
+            |mut unit| {
+                // 256 appends over 16 hot slots: heavy folding.
+                for i in 0..256u64 {
+                    unit.append(
+                        i % 4,
+                        (i % 16) * 4096,
+                        Chunk::ghost(4096),
+                        Discipline::Overwrite,
+                        true,
+                        0,
+                    );
+                }
+                unit
+            },
+        )
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_parity_delta, bench_two_level_index);
+criterion_main!(benches);

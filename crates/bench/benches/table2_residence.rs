@@ -1,0 +1,10 @@
+//! Bench target regenerating Table 2 (per-layer residence times) at quick
+//! scale.
+
+use tsue_bench::{render_table2, table2, Scale};
+
+fn main() {
+    println!("== Table 2 (quick): residence times ==");
+    let rows = table2(Scale::Quick);
+    println!("{}", render_table2(&rows));
+}

@@ -1,0 +1,141 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments [all|fig5|fig6a|fig6b|fig7|table1|table2|fig8a|fig8b] [--quick]
+//! ```
+//!
+//! Results are printed as text tables and persisted as JSON under
+//! `results/`. `--quick` runs shape-check scale (seconds); the default
+//! full scale reproduces the paper's sweeps (minutes).
+
+use std::path::PathBuf;
+use tsue_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let outdir = PathBuf::from("results");
+
+    let wall = std::time::Instant::now();
+    match what.as_str() {
+        "fig5" => fig5_cmd(scale, &outdir),
+        "fig6a" => fig6a_cmd(scale, &outdir),
+        "fig6b" => fig6b_cmd(scale, &outdir),
+        "fig7" => fig7_cmd(scale, &outdir),
+        "table1" => table1_cmd(scale, &outdir),
+        "table2" => table2_cmd(scale, &outdir),
+        "fig8a" => fig8a_cmd(scale, &outdir),
+        "fig8b" => fig8b_cmd(scale, &outdir),
+        "extras" => extras_cmd(scale, &outdir),
+        "all" => {
+            fig5_cmd(scale, &outdir);
+            fig6a_cmd(scale, &outdir);
+            fig6b_cmd(scale, &outdir);
+            fig7_cmd(scale, &outdir);
+            table1_cmd(scale, &outdir);
+            table2_cmd(scale, &outdir);
+            fig8a_cmd(scale, &outdir);
+            fig8b_cmd(scale, &outdir);
+            extras_cmd(scale, &outdir);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!(
+                "usage: experiments [all|fig5|fig6a|fig6b|fig7|table1|table2|fig8a|fig8b] [--quick]"
+            );
+            std::process::exit(2);
+        }
+    }
+    eprintln!(
+        "\n[experiments] total wall time: {:.1}s",
+        wall.elapsed().as_secs_f64()
+    );
+}
+
+fn extras_cmd(scale: Scale, outdir: &std::path::Path) {
+    banner("Extensions — §7 delta compression & §5.3.5 unit-size ablation");
+    let (without, with) = ext_compression(scale);
+    println!(
+        "delta compression: net {:.3} GiB -> {:.3} GiB ({:.0}% saved), IOPS {:.0} -> {:.0}",
+        without.net_payload_gib,
+        with.net_payload_gib,
+        100.0 * (1.0 - with.net_payload_gib / without.net_payload_gib.max(1e-9)),
+        without.iops,
+        with.iops
+    );
+    save_json(outdir, "ext_compression", &vec![without, with]).expect("write results");
+    let rows = ext_unit_size(scale);
+    println!("\nUNIT(MiB)  DATA_BUFFER(ms)      IOPS");
+    for r in &rows {
+        println!("{:>8} {:>16.1} {:>9.0}", r.unit_mib, r.data_buffer_ms, r.iops);
+    }
+    save_json(outdir, "ext_unit_size", &rows).expect("write results");
+}
+
+fn banner(s: &str) {
+    println!("\n================ {s} ================");
+}
+
+fn fig5_cmd(scale: Scale, outdir: &std::path::Path) {
+    banner("Fig. 5 — SSD update throughput (Ali/Ten × RS codes × clients)");
+    let rows = fig5(scale);
+    println!("{}", render_throughput(&rows));
+    save_json(outdir, "fig5", &rows).expect("write results");
+}
+
+fn fig6a_cmd(scale: Scale, outdir: &std::path::Path) {
+    banner("Fig. 6a — TSUE IOPS over time (recycle overhead)");
+    let r = fig6a(scale);
+    println!("{}", render_fig6a(&r));
+    save_json(outdir, "fig6a", &r).expect("write results");
+}
+
+fn fig6b_cmd(scale: Scale, outdir: &std::path::Path) {
+    banner("Fig. 6b — IOPS & memory vs log-unit quota");
+    let rows = fig6b(scale);
+    println!("{}", render_fig6b(&rows));
+    save_json(outdir, "fig6b", &rows).expect("write results");
+}
+
+fn fig7_cmd(scale: Scale, outdir: &std::path::Path) {
+    banner("Fig. 7 — contribution breakdown (Baseline, +O1..+O5)");
+    let rows = fig7(scale);
+    println!("{}", render_fig7(&rows));
+    save_json(outdir, "fig7", &rows).expect("write results");
+}
+
+fn table1_cmd(scale: Scale, outdir: &std::path::Path) {
+    banner("Table 1 — storage workload & network traffic (Ten, RS(6,4))");
+    let rows = table1(scale);
+    let life = lifespan(&rows);
+    println!("{}", render_table1(&rows, &life));
+    save_json(outdir, "table1", &rows).expect("write results");
+    save_json(outdir, "lifespan", &life).expect("write results");
+}
+
+fn table2_cmd(scale: Scale, outdir: &std::path::Path) {
+    banner("Table 2 — data residence time per log layer (RS(12,4))");
+    let rows = table2(scale);
+    println!("{}", render_table2(&rows));
+    save_json(outdir, "table2", &rows).expect("write results");
+}
+
+fn fig8a_cmd(scale: Scale, outdir: &std::path::Path) {
+    banner("Fig. 8a — HDD update throughput over MSR volumes (RS(6,4))");
+    let rows = fig8a(scale);
+    println!("{}", render_throughput(&rows));
+    save_json(outdir, "fig8a", &rows).expect("write results");
+}
+
+fn fig8b_cmd(scale: Scale, outdir: &std::path::Path) {
+    banner("Fig. 8b — recovery bandwidth after updates (HDD)");
+    let rows = fig8b(scale);
+    println!("{}", render_fig8b(&rows));
+    save_json(outdir, "fig8b", &rows).expect("write results");
+}

@@ -1,0 +1,175 @@
+//! `tsuectl` — run one configurable cluster simulation from the command
+//! line and print its summary. The single-run counterpart to the
+//! `experiments` sweep binary.
+//!
+//! ```text
+//! tsuectl [--scheme fo|fl|pl|plr|parix|cord|tsue] [--k 6] [--m 4]
+//!         [--clients 16] [--trace ali|ten|src10|src22|proj2|prn1|hm0|usr0|mds0]
+//!         [--trace-csv FILE] [--device ssd|hdd] [--duration-ms 2000]
+//!         [--file-mb 12] [--seed 42] [--flush]
+//! ```
+
+use tsue_bench::{run_one, MsrSel, RunConfig, SchemeSel, TraceKind};
+use tsue_ecfs::{run_workload, Cluster, DeviceKind};
+use tsue_schemes::SchemeKind;
+use tsue_sim::{Sim, MILLISECOND};
+
+fn parse_args() -> Result<(RunConfig, Option<String>), String> {
+    let mut cfg = RunConfig::ssd(TraceKind::Ten, 6, 4, 16, SchemeSel::Tsue);
+    let mut csv: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scheme" => {
+                cfg.scheme = match next(&mut i)?.to_ascii_lowercase().as_str() {
+                    "fo" => SchemeSel::Baseline(SchemeKind::Fo),
+                    "fl" => SchemeSel::Baseline(SchemeKind::Fl),
+                    "pl" => SchemeSel::Baseline(SchemeKind::Pl),
+                    "plr" => SchemeSel::Baseline(SchemeKind::Plr),
+                    "parix" => SchemeSel::Baseline(SchemeKind::Parix),
+                    "cord" => SchemeSel::Baseline(SchemeKind::Cord),
+                    "tsue" => SchemeSel::Tsue,
+                    s => return Err(format!("unknown scheme '{s}'")),
+                }
+            }
+            "--k" => cfg.k = next(&mut i)?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--m" => cfg.m = next(&mut i)?.parse().map_err(|e| format!("--m: {e}"))?,
+            "--clients" => {
+                cfg.clients = next(&mut i)?.parse().map_err(|e| format!("--clients: {e}"))?
+            }
+            "--duration-ms" => {
+                cfg.duration_ms = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--duration-ms: {e}"))?
+            }
+            "--file-mb" => {
+                cfg.file_mb = next(&mut i)?.parse().map_err(|e| format!("--file-mb: {e}"))?
+            }
+            "--seed" => cfg.seed = next(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--device" => {
+                cfg.device = match next(&mut i)?.to_ascii_lowercase().as_str() {
+                    "ssd" => DeviceKind::Ssd,
+                    "hdd" => DeviceKind::Hdd,
+                    s => return Err(format!("unknown device '{s}'")),
+                }
+            }
+            "--trace" => {
+                cfg.trace = match next(&mut i)?.to_ascii_lowercase().as_str() {
+                    "ali" => TraceKind::Ali,
+                    "ten" => TraceKind::Ten,
+                    "src10" => TraceKind::Msr(MsrSel::Src10),
+                    "src22" => TraceKind::Msr(MsrSel::Src22),
+                    "proj2" => TraceKind::Msr(MsrSel::Proj2),
+                    "prn1" => TraceKind::Msr(MsrSel::Prn1),
+                    "hm0" => TraceKind::Msr(MsrSel::Hm0),
+                    "usr0" => TraceKind::Msr(MsrSel::Usr0),
+                    "mds0" => TraceKind::Msr(MsrSel::Mds0),
+                    s => return Err(format!("unknown trace '{s}'")),
+                }
+            }
+            "--trace-csv" => csv = Some(next(&mut i)?),
+            "--flush" => cfg.flush_after = true,
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    Ok((cfg, csv))
+}
+
+const HELP: &str = "tsuectl — run one TSUE cluster simulation\n\
+  --scheme fo|fl|pl|plr|parix|cord|tsue   update scheme (default tsue)\n\
+  --k N --m N                             RS shape (default 6,4)\n\
+  --clients N                             closed-loop clients (default 16)\n\
+  --trace ali|ten|src10|...|mds0          workload preset (default ten)\n\
+  --trace-csv FILE                        replay a real CSV trace instead\n\
+  --device ssd|hdd                        device class (default ssd)\n\
+  --duration-ms N                         measured window (default 2000)\n\
+  --file-mb N                             per-client file size (default 12)\n\
+  --seed N                                workload seed (default 42)\n\
+  --flush                                 drain logs and include recycle I/O";
+
+fn main() {
+    let (cfg, csv) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+
+    let result = if let Some(path) = csv {
+        // Replay path: build the cluster, install the recorded trace.
+        let ops = tsue_trace::load_csv(std::path::Path::new(&path), cfg.file_mb << 20)
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot load trace '{path}': {e}");
+                std::process::exit(2);
+            });
+        let mut world = tsue_bench::build_cluster(&cfg);
+        world.set_replay(&ops);
+        let mut sim: Sim<Cluster> = Sim::new();
+        let end = run_workload(&mut world, &mut sim, cfg.duration_ms * MILLISECOND);
+        if cfg.flush_after {
+            world.flush_all(&mut sim);
+        }
+        println!(
+            "replayed {} recorded ops cyclically across {} clients",
+            ops.len(),
+            cfg.clients
+        );
+        let m = &world.core.metrics;
+        println!(
+            "ops={} iops={:.0} mean_latency_us={:.1}",
+            m.ops_completed,
+            m.iops(end),
+            m.mean_latency() / 1000.0
+        );
+        let d = world.device_stats();
+        println!(
+            "device: rw_ops={} overwrites={} erases={} wa={:.2}",
+            d.total_ops(),
+            d.overwrite_ops,
+            d.erase_ops,
+            d.write_amplification()
+        );
+        return;
+    } else {
+        run_one(&cfg)
+    };
+
+    println!(
+        "{} on {} RS({},{}) clients={} window={}ms",
+        result.scheme, result.trace, result.k, result.m, result.clients, cfg.duration_ms
+    );
+    println!(
+        "iops={:.0} mean_latency_us={:.1} cache_hits={}",
+        result.iops, result.mean_latency_us, result.cache_hits
+    );
+    println!(
+        "device: rw_ops={} ({:.2} GiB) overwrites={} ({:.2} GiB) erases={} wa={:.2} seq={:.0}%",
+        result.dev.rw_ops,
+        result.dev.rw_gib,
+        result.dev.overwrite_ops,
+        result.dev.overwrite_gib,
+        result.dev.erases,
+        result.dev.wa,
+        result.dev.seq_fraction * 100.0
+    );
+    println!(
+        "network: payload={:.3} GiB wire={:.3} GiB | peak scheme memory={:.1} MiB | flush={:.2}s",
+        result.net_payload_gib,
+        result.net_wire_gib,
+        result.mem_peak as f64 / (1 << 20) as f64,
+        result.flush_s
+    );
+}

@@ -1,0 +1,406 @@
+//! Experiment harness: one function per table/figure of the paper.
+//!
+//! Every experiment is expressed as a set of [`RunConfig`]s executed by
+//! [`run_one`] (deterministic per seed) and fanned out over OS threads by
+//! [`run_many`]. The `experiments` binary regenerates all figures/tables
+//! and writes machine-readable results; the Criterion benches wrap the
+//! same functions at `Scale::Quick`.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::*;
+
+use serde::{Deserialize, Serialize};
+use tsue_core::{Tsue, TsueConfig};
+use tsue_device::DeviceStats;
+use tsue_ecfs::{run_workload, Cluster, ClusterConfig, DeviceKind, UpdateScheme};
+use tsue_schemes::SchemeKind;
+use tsue_sim::{Sim, Time, MILLISECOND, SECOND};
+use tsue_trace::{ali_cloud, msr_volume, ten_cloud, MsrVolume, WorkloadProfile};
+
+/// Which trace drives the workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Ali-Cloud stand-in.
+    Ali,
+    /// Ten-Cloud stand-in.
+    Ten,
+    /// One MSR-Cambridge volume.
+    Msr(MsrSel),
+}
+
+/// Serializable mirror of [`MsrVolume`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum MsrSel {
+    Src10,
+    Src22,
+    Proj2,
+    Prn1,
+    Hm0,
+    Usr0,
+    Mds0,
+}
+
+impl MsrSel {
+    /// All Fig. 8 volumes in paper order.
+    pub fn all() -> [MsrSel; 7] {
+        [
+            MsrSel::Src10,
+            MsrSel::Src22,
+            MsrSel::Proj2,
+            MsrSel::Prn1,
+            MsrSel::Hm0,
+            MsrSel::Usr0,
+            MsrSel::Mds0,
+        ]
+    }
+}
+
+impl From<MsrSel> for MsrVolume {
+    fn from(v: MsrSel) -> Self {
+        match v {
+            MsrSel::Src10 => MsrVolume::Src10,
+            MsrSel::Src22 => MsrVolume::Src22,
+            MsrSel::Proj2 => MsrVolume::Proj2,
+            MsrSel::Prn1 => MsrVolume::Prn1,
+            MsrSel::Hm0 => MsrVolume::Hm0,
+            MsrSel::Usr0 => MsrVolume::Usr0,
+            MsrSel::Mds0 => MsrVolume::Mds0,
+        }
+    }
+}
+
+impl TraceKind {
+    /// The calibrated workload profile.
+    pub fn profile(&self) -> WorkloadProfile {
+        match self {
+            TraceKind::Ali => ali_cloud(),
+            TraceKind::Ten => ten_cloud(),
+            TraceKind::Msr(v) => msr_volume((*v).into()),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            TraceKind::Ali => "Ali-Cloud".into(),
+            TraceKind::Ten => "Ten-Cloud".into(),
+            TraceKind::Msr(v) => {
+                let vol: MsrVolume = (*v).into();
+                vol.name().to_string()
+            }
+        }
+    }
+}
+
+/// Scheme selection for a run.
+#[derive(Clone, Debug)]
+pub enum SchemeSel {
+    /// One of the baselines.
+    Baseline(SchemeKind),
+    /// TSUE with defaults for the device class.
+    Tsue,
+    /// TSUE with an explicit configuration (ablation/sweep runs).
+    TsueWith(TsueConfig),
+}
+
+impl SchemeSel {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            SchemeSel::Baseline(k) => k.name().to_string(),
+            SchemeSel::Tsue | SchemeSel::TsueWith(_) => "TSUE".to_string(),
+        }
+    }
+
+    /// Instantiates the scheme for one OSD.
+    pub fn build(&self, device: DeviceKind) -> Box<dyn UpdateScheme> {
+        match self {
+            SchemeSel::Baseline(k) => k.build(),
+            SchemeSel::Tsue => Box::new(match device {
+                DeviceKind::Ssd => Tsue::ssd(),
+                DeviceKind::Hdd => Tsue::hdd(),
+            }),
+            SchemeSel::TsueWith(cfg) => Box::new(Tsue::new(cfg.clone())),
+        }
+    }
+
+    /// All SSD contenders in the paper's Fig. 5 order (TSUE last).
+    pub fn fig5_lineup() -> Vec<SchemeSel> {
+        let mut v: Vec<SchemeSel> = SchemeKind::ssd_baselines()
+            .into_iter()
+            .map(SchemeSel::Baseline)
+            .collect();
+        v.push(SchemeSel::Tsue);
+        v
+    }
+}
+
+/// One experiment run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Workload.
+    pub trace: TraceKind,
+    /// RS data blocks.
+    pub k: usize,
+    /// RS parity blocks.
+    pub m: usize,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// Scheme under test.
+    pub scheme: SchemeSel,
+    /// Measured window in virtual milliseconds.
+    pub duration_ms: u64,
+    /// Device class.
+    pub device: DeviceKind,
+    /// File size per client, MiB.
+    pub file_mb: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Drain logs afterwards and include recycle I/O in the totals
+    /// (Table 1 runs); throughput runs leave it off.
+    pub flush_after: bool,
+    /// Fixed work mode: each client issues exactly this many ops and the
+    /// run ends when all complete (Table 1 comparability). `None` = run
+    /// for `duration_ms` of virtual time.
+    pub ops_per_client: Option<u64>,
+}
+
+impl RunConfig {
+    /// A default SSD run of the given shape.
+    pub fn ssd(trace: TraceKind, k: usize, m: usize, clients: usize, scheme: SchemeSel) -> Self {
+        RunConfig {
+            trace,
+            k,
+            m,
+            clients,
+            scheme,
+            duration_ms: 2_000,
+            device: DeviceKind::Ssd,
+            file_mb: 12,
+            seed: 42,
+            flush_after: false,
+            ops_per_client: None,
+        }
+    }
+
+    /// A default HDD run.
+    pub fn hdd(trace: TraceKind, k: usize, m: usize, clients: usize, scheme: SchemeSel) -> Self {
+        RunConfig {
+            device: DeviceKind::Hdd,
+            ..Self::ssd(trace, k, m, clients, scheme)
+        }
+    }
+}
+
+/// Metrics harvested from one run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Scheme name.
+    pub scheme: String,
+    /// Trace name.
+    pub trace: String,
+    /// RS shape.
+    pub k: usize,
+    /// RS parity count.
+    pub m: usize,
+    /// Client count.
+    pub clients: usize,
+    /// Aggregate completed ops per second over the window.
+    pub iops: f64,
+    /// Mean op latency, µs.
+    pub mean_latency_us: f64,
+    /// Completions per virtual second (Fig. 6a series).
+    pub per_second: Vec<u64>,
+    /// Aggregate device statistics (all OSDs).
+    pub dev: DevSummary,
+    /// Network payload moved, GiB.
+    pub net_payload_gib: f64,
+    /// Network wire traffic, GiB.
+    pub net_wire_gib: f64,
+    /// Peak per-OSD scheme memory observed, bytes.
+    pub mem_peak: u64,
+    /// Virtual seconds the post-run flush took (0 when not flushed).
+    pub flush_s: f64,
+    /// Read-cache hits.
+    pub cache_hits: u64,
+}
+
+/// Serializable device-stats summary.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct DevSummary {
+    /// Read+write operation count.
+    pub rw_ops: u64,
+    /// Read+write volume, GiB.
+    pub rw_gib: f64,
+    /// Overwrite (write-penalty) operations.
+    pub overwrite_ops: u64,
+    /// Overwrite volume, GiB.
+    pub overwrite_gib: f64,
+    /// Flash blocks erased.
+    pub erases: u64,
+    /// Flash write amplification.
+    pub wa: f64,
+    /// Sequential-op fraction.
+    pub seq_fraction: f64,
+}
+
+impl From<DeviceStats> for DevSummary {
+    fn from(s: DeviceStats) -> Self {
+        const GIB: f64 = (1u64 << 30) as f64;
+        DevSummary {
+            rw_ops: s.total_ops(),
+            rw_gib: s.total_bytes() as f64 / GIB,
+            overwrite_ops: s.overwrite_ops,
+            overwrite_gib: s.overwrite_bytes as f64 / GIB,
+            erases: s.erase_ops,
+            wa: s.write_amplification(),
+            seq_fraction: if s.seq_ops + s.rand_ops == 0 {
+                0.0
+            } else {
+                s.seq_ops as f64 / (s.seq_ops + s.rand_ops) as f64
+            },
+        }
+    }
+}
+
+/// Builds the cluster for a run.
+pub fn build_cluster(cfg: &RunConfig) -> Cluster {
+    let mut ccfg = match cfg.device {
+        DeviceKind::Ssd => ClusterConfig::ssd_testbed(cfg.k, cfg.m, cfg.clients),
+        DeviceKind::Hdd => ClusterConfig::hdd_testbed(cfg.k, cfg.m, cfg.clients),
+    };
+    ccfg.file_size_per_client = cfg.file_mb << 20;
+    ccfg.seed = cfg.seed;
+    let device = cfg.device;
+    let scheme = cfg.scheme.clone();
+    let mut world = Cluster::new(ccfg, move |_| scheme.build(device));
+    world.set_workload(&cfg.trace.profile());
+    world
+}
+
+/// Memory-probe cadence during a run.
+const MEM_PROBE_EVERY: Time = 250 * MILLISECOND;
+
+fn mem_probe(w: &mut Cluster, sim: &mut Sim<Cluster>) {
+    let (peak, _) = w.scheme_memory();
+    w.core.metrics.mem_peak = w.core.metrics.mem_peak.max(peak);
+    if w.core.accepting(sim.now()) {
+        sim.schedule(MEM_PROBE_EVERY, mem_probe);
+    }
+}
+
+/// Executes one run deterministically and harvests its metrics.
+pub fn run_one(cfg: &RunConfig) -> RunResult {
+    let mut world = build_cluster(cfg);
+    let mut sim: Sim<Cluster> = Sim::new();
+    sim.schedule(MEM_PROBE_EVERY, mem_probe);
+    let duration = match cfg.ops_per_client {
+        Some(n) => {
+            for c in &mut world.core.clients {
+                c.max_ops = Some(n);
+            }
+            // Effectively unbounded window; clients stop on their budget.
+            3_600_000 * MILLISECOND
+        }
+        None => cfg.duration_ms * MILLISECOND,
+    };
+    run_workload(&mut world, &mut sim, duration);
+    let window_end = if cfg.ops_per_client.is_some() {
+        sim.now()
+    } else {
+        world.core.stop_at.expect("window set").max(sim.now())
+    };
+    let iops = world.core.metrics.iops(window_end);
+    let mean_latency_us = world.core.metrics.mean_latency() / 1000.0;
+    let per_second = world.core.metrics.per_second.clone();
+    let cache_hits = world.core.metrics.read_cache_hits;
+
+    let mut flush_s = 0.0;
+    if cfg.flush_after {
+        let t0 = sim.now();
+        world.flush_all(&mut sim);
+        flush_s = (sim.now() - t0) as f64 / SECOND as f64;
+    }
+
+    let (mem_now, _) = world.scheme_memory();
+    let mem_peak = world.core.metrics.mem_peak.max(mem_now);
+    const GIB: f64 = (1u64 << 30) as f64;
+    RunResult {
+        scheme: cfg.scheme.name(),
+        trace: cfg.trace.name(),
+        k: cfg.k,
+        m: cfg.m,
+        clients: cfg.clients,
+        iops,
+        mean_latency_us,
+        per_second,
+        dev: world.device_stats().into(),
+        net_payload_gib: world.core.net.total_payload() as f64 / GIB,
+        net_wire_gib: world.core.net.total_wire() as f64 / GIB,
+        mem_peak,
+        flush_s,
+        cache_hits,
+    }
+}
+
+/// Runs a batch across OS threads (each run stays deterministic).
+pub fn run_many(cfgs: Vec<RunConfig>) -> Vec<RunResult> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(cfgs.len().max(1));
+    if workers <= 1 || cfgs.len() == 1 {
+        return cfgs.iter().map(run_one).collect();
+    }
+    let jobs = std::sync::Mutex::new(
+        cfgs.into_iter()
+            .enumerate()
+            .collect::<std::collections::VecDeque<_>>(),
+    );
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let job = jobs.lock().unwrap().pop_front();
+                let Some((idx, cfg)) = job else { break };
+                let r = run_one(&cfg);
+                results.lock().unwrap().push((idx, r));
+            });
+        }
+    });
+    let mut out = results.into_inner().unwrap();
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Experiment scale: `Quick` for benches/tests, `Full` for the paper-shaped
+/// reproduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Short windows, few clients — smoke-scale shape checks.
+    Quick,
+    /// Paper-shaped sweeps.
+    Full,
+}
+
+impl Scale {
+    /// Measured window per run, ms.
+    pub fn duration_ms(&self) -> u64 {
+        match self {
+            Scale::Quick => 600,
+            Scale::Full => 2_500,
+        }
+    }
+
+    /// Client counts for throughput sweeps.
+    pub fn client_counts(&self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![16],
+            Scale::Full => vec![4, 16, 64],
+        }
+    }
+}

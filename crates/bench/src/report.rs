@@ -1,0 +1,214 @@
+//! Table rendering and JSON persistence for experiment results.
+
+use crate::{Fig6bRow, Fig7Row, Fig8bRow, LifespanRow, RunResult, Table2Result};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders Fig. 5-style rows as a text table grouped by (trace, code,
+/// clients), with TSUE's advantage over each baseline appended.
+pub fn render_throughput(rows: &[RunResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>8} {:>9} {:>12} {:>12}",
+        "SCHEME", "RS(k,m)", "CLIENTS", "TRACE", "IOPS", "LAT(us)"
+    );
+    let mut group: Option<(String, usize, usize, usize)> = None;
+    let mut tsue_iops = 0.0;
+    for r in rows {
+        let key = (r.trace.clone(), r.k, r.m, r.clients);
+        if group.as_ref() != Some(&key) {
+            if group.is_some() {
+                let _ = writeln!(out);
+            }
+            group = Some(key);
+            tsue_iops = rows
+                .iter()
+                .filter(|x| {
+                    x.trace == r.trace
+                        && x.k == r.k
+                        && x.m == r.m
+                        && x.clients == r.clients
+                        && x.scheme == "TSUE"
+                })
+                .map(|x| x.iops)
+                .next()
+                .unwrap_or(0.0);
+        }
+        let ratio = if r.scheme != "TSUE" && r.iops > 0.0 {
+            format!("  (TSUE {:.1}x)", tsue_iops / r.iops)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>8} {:>9} {:>12.0} {:>12.1}{}",
+            r.scheme,
+            format!("({},{})", r.k, r.m),
+            r.clients,
+            r.trace,
+            r.iops,
+            r.mean_latency_us,
+            ratio
+        );
+    }
+    out
+}
+
+/// Renders the Fig. 6a time series.
+pub fn render_fig6a(r: &RunResult) -> String {
+    let mut out = String::from("sec  completions (TSUE, Ten-Cloud RS(6,4))\n");
+    for (i, c) in r.per_second.iter().enumerate() {
+        let _ = writeln!(out, "{:>3}  {}", i, c);
+    }
+    let _ = writeln!(out, "mean IOPS: {:.0}", r.iops);
+    out
+}
+
+/// Renders the Fig. 6b sweep.
+pub fn render_fig6b(rows: &[Fig6bRow]) -> String {
+    let mut out = String::from("MAX_UNITS      IOPS   PEAK_MEM(MiB)  OF_QUOTA\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>9} {:>9.0} {:>14.1} {:>9.2}",
+            r.max_units, r.iops, r.mem_mib, r.mem_fraction_of_quota
+        );
+    }
+    out
+}
+
+/// Renders the Fig. 7 breakdown with gains relative to Baseline.
+pub fn render_fig7(rows: &[Fig7Row]) -> String {
+    let mut out = String::from("TRACE      RS(k,m)  LEVEL      IOPS    vs BASELINE\n");
+    let mut base = 0.0;
+    for r in rows {
+        if r.level == "Baseline" {
+            base = r.iops;
+        }
+        let _ = writeln!(
+            out,
+            "{:<10} ({},{})   {:<9} {:>9.0} {:>10.2}x",
+            r.trace,
+            r.k,
+            r.m,
+            r.level,
+            r.iops,
+            if base > 0.0 { r.iops / base } else { 0.0 }
+        );
+    }
+    out
+}
+
+/// Renders Table 1 (storage workload + network traffic + lifespan).
+pub fn render_table1(rows: &[RunResult], lifespan: &[LifespanRow]) -> String {
+    let mut out = String::from(
+        "METHOD   RW_OPS      RW_GiB  OVERWRITE_OPS  OW_GiB  NET_GiB  ERASES   WA   FLUSH(s)\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>8.2} {:>14} {:>7.2} {:>8.2} {:>7} {:>5.2} {:>9.2}",
+            r.scheme,
+            r.dev.rw_ops,
+            r.dev.rw_gib,
+            r.dev.overwrite_ops,
+            r.dev.overwrite_gib,
+            r.net_payload_gib,
+            r.dev.erases,
+            r.dev.wa,
+            r.flush_s
+        );
+    }
+    let _ = writeln!(out, "\nLIFESPAN (TSUE lifetime multiple):");
+    for l in lifespan {
+        let _ = writeln!(
+            out,
+            "  {:<8} overwrites={:>9} erases={:>7}  TSUE lasts {:.1}x longer",
+            l.scheme, l.overwrites, l.erases, l.tsue_lifetime_multiple
+        );
+    }
+    out
+}
+
+/// Renders Table 2 (residence times).
+pub fn render_table2(results: &[Table2Result]) -> String {
+    let mut out = String::new();
+    for t in results {
+        let _ = writeln!(out, "TRACE {} (RS(12,4)):", t.trace);
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>12} {:>14} {:>12}",
+            "LAYER", "APPEND(us)", "BUFFER(us)", "RECYCLE(us)"
+        );
+        for (layer, a, b, r) in &t.rows {
+            let _ = writeln!(out, "  {:<12} {:>12.0} {:>14.0} {:>12.0}", layer, a, b, r);
+        }
+        let _ = writeln!(out, "  TOTAL TIME: {:.0} us\n", t.total_us);
+    }
+    out
+}
+
+/// Renders Fig. 8b recovery rows.
+pub fn render_fig8b(rows: &[Fig8bRow]) -> String {
+    let mut out = String::from("TRACE    SCHEME   RECOVERY(MB/s)  FLUSH_SHARE\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<8} {:>14.1} {:>12.2}",
+            r.trace, r.scheme, r.recovery_mb_s, r.flush_share
+        );
+    }
+    out
+}
+
+/// Persists any serializable result set as JSON under `results/`.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_json<T: serde::Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(scheme: &str, iops: f64) -> RunResult {
+        RunResult {
+            scheme: scheme.into(),
+            trace: "Ten-Cloud".into(),
+            k: 6,
+            m: 4,
+            clients: 16,
+            iops,
+            mean_latency_us: 100.0,
+            per_second: vec![10, 20],
+            dev: crate::DevSummary::default(),
+            net_payload_gib: 0.5,
+            net_wire_gib: 0.6,
+            mem_peak: 1 << 20,
+            flush_s: 0.1,
+            cache_hits: 3,
+        }
+    }
+
+    #[test]
+    fn throughput_table_contains_ratio() {
+        let rows = vec![row("FO", 1000.0), row("TSUE", 5000.0)];
+        let s = render_throughput(&rows);
+        assert!(s.contains("TSUE 5.0x"), "{s}");
+        assert!(s.contains("FO"));
+    }
+
+    #[test]
+    fn fig6a_lists_buckets() {
+        let s = render_fig6a(&row("TSUE", 123.0));
+        assert!(s.contains("  0  10"));
+        assert!(s.contains("mean IOPS: 123"));
+    }
+}

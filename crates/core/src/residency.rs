@@ -1,0 +1,167 @@
+//! Residence-time accounting per log layer — the source of Table 2
+//! ("Time of Data Resided in Memory"): append latency, buffer dwell time,
+//! and recycle duration for the DataLog, DeltaLog, and ParityLog.
+
+use tsue_sim::Time;
+
+/// Streaming mean accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StatAcc {
+    sum: u128,
+    count: u64,
+    max: Time,
+}
+
+impl StatAcc {
+    /// Adds one sample (nanoseconds).
+    pub fn add(&mut self, v: Time) {
+        self.sum += v as u128;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Mean in microseconds — Table 2's unit.
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ns() / 1000.0
+    }
+
+    /// Maximum sample in nanoseconds.
+    pub fn max_ns(&self) -> Time {
+        self.max
+    }
+}
+
+/// Per-layer residence statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LayerResidency {
+    /// Append persist latency per record.
+    pub append: StatAcc,
+    /// Dwell between first append and recycle start, per unit.
+    pub buffer: StatAcc,
+    /// Recycle duration per unit.
+    pub recycle: StatAcc,
+}
+
+impl LayerResidency {
+    /// Mean end-to-end residence for this layer, ns.
+    pub fn total_mean_ns(&self) -> f64 {
+        self.append.mean_ns() + self.buffer.mean_ns() + self.recycle.mean_ns()
+    }
+}
+
+/// The three layers of Table 2.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResidencyStats {
+    /// DataLog row.
+    pub data: LayerResidency,
+    /// DeltaLog row.
+    pub delta: LayerResidency,
+    /// ParityLog row.
+    pub parity: LayerResidency,
+}
+
+impl ResidencyStats {
+    /// Table 2's TOTAL TIME: mean residence summed across layers, ns.
+    pub fn total_ns(&self) -> f64 {
+        self.data.total_mean_ns() + self.delta.total_mean_ns() + self.parity.total_mean_ns()
+    }
+
+    /// Formats the three rows like Table 2 (µs).
+    pub fn rows(&self) -> [(&'static str, f64, f64, f64); 3] {
+        [
+            (
+                "DATA_LOG",
+                self.data.append.mean_us(),
+                self.data.buffer.mean_us(),
+                self.data.recycle.mean_us(),
+            ),
+            (
+                "DELTA_LOG",
+                self.delta.append.mean_us(),
+                self.delta.buffer.mean_us(),
+                self.delta.recycle.mean_us(),
+            ),
+            (
+                "PARITY_LOG",
+                self.parity.append.mean_us(),
+                self.parity.buffer.mean_us(),
+                self.parity.recycle.mean_us(),
+            ),
+        ]
+    }
+
+    /// Merges another instance (cluster-wide aggregation).
+    pub fn merge(&mut self, other: &ResidencyStats) {
+        for (a, b) in [
+            (&mut self.data, &other.data),
+            (&mut self.delta, &other.delta),
+            (&mut self.parity, &other.parity),
+        ] {
+            a.append.sum += b.append.sum;
+            a.append.count += b.append.count;
+            a.append.max = a.append.max.max(b.append.max);
+            a.buffer.sum += b.buffer.sum;
+            a.buffer.count += b.buffer.count;
+            a.buffer.max = a.buffer.max.max(b.buffer.max);
+            a.recycle.sum += b.recycle.sum;
+            a.recycle.count += b.recycle.count;
+            a.recycle.max = a.recycle.max.max(b.recycle.max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_acc_mean_and_max() {
+        let mut s = StatAcc::default();
+        assert_eq!(s.mean_ns(), 0.0);
+        s.add(1000);
+        s.add(3000);
+        assert_eq!(s.mean_ns(), 2000.0);
+        assert_eq!(s.mean_us(), 2.0);
+        assert_eq!(s.max_ns(), 3000);
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn rows_report_all_layers() {
+        let mut r = ResidencyStats::default();
+        r.data.append.add(1000);
+        r.delta.buffer.add(2000);
+        r.parity.recycle.add(3000);
+        let rows = r.rows();
+        assert_eq!(rows[0].0, "DATA_LOG");
+        assert_eq!(rows[0].1, 1.0);
+        assert_eq!(rows[1].2, 2.0);
+        assert_eq!(rows[2].3, 3.0);
+        assert_eq!(r.total_ns(), 6000.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = ResidencyStats::default();
+        a.data.append.add(100);
+        let mut b = ResidencyStats::default();
+        b.data.append.add(300);
+        a.merge(&b);
+        assert_eq!(a.data.append.count(), 2);
+        assert_eq!(a.data.append.mean_ns(), 200.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! TSUE end-state correctness: with the full three-layer pipeline — and at
+//! every Fig. 7 ablation level — the cluster must converge to exactly the
+//! state the arrival-ordered update stream dictates, with parity equal to
+//! a fresh encode, once the logs drain.
+
+use tsue_core::{Tsue, TsueConfig};
+use tsue_ecfs::{check_consistency, run_workload, Cluster, ClusterConfig, DeviceKind};
+use tsue_sim::{Sim, SECOND};
+use tsue_trace::WorkloadProfile;
+
+fn small_config(k: usize, m: usize, seed: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::ssd_testbed(k, m, 4);
+    cfg.osds = (k + m + 2).max(8);
+    cfg.stripe = tsue_ec::StripeConfig::new(k, m, 64 << 10);
+    cfg.file_size_per_client = 1 << 20;
+    cfg.materialize = true;
+    cfg.record_arrivals = true;
+    cfg.seed = seed;
+    cfg
+}
+
+fn test_profile() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "tsue-correctness".into(),
+        update_fraction: 0.8,
+        size_dist: vec![(512, 0.3), (4096, 0.4), (16384, 0.2), (40960, 0.1)],
+        hot_fraction: 0.2,
+        hot_access_prob: 0.7,
+        skew_depth: 2,
+        repeat_prob: 0.3,
+        seq_run_prob: 0.15,
+        align: 512,
+    }
+}
+
+fn run_tsue(cfg_fn: impl Fn() -> TsueConfig, k: usize, m: usize, seed: u64, ops: u64) {
+    let cluster_cfg = small_config(k, m, seed);
+    // Shrink units so seals/recycles actually happen within a short test.
+    let mut world = Cluster::new(cluster_cfg, |_| {
+        let mut c = cfg_fn();
+        c.unit_size = 256 << 10;
+        c.seal_interval = SECOND / 2;
+        Box::new(Tsue::new(c))
+    });
+    world.set_workload(&test_profile());
+    for c in &mut world.core.clients {
+        c.max_ops = Some(ops);
+    }
+    let mut sim: Sim<Cluster> = Sim::new();
+    run_workload(&mut world, &mut sim, 3600 * SECOND);
+    assert!(world.core.pending.is_empty(), "ops still in flight");
+    world.flush_all(&mut sim);
+    assert_eq!(world.total_scheme_backlog(), 0, "TSUE backlog after flush");
+    let (blocks, stripes) =
+        check_consistency(&world).unwrap_or_else(|e| panic!("TSUE inconsistent: {e}"));
+    assert!(blocks > 0 && stripes > 0);
+}
+
+#[test]
+fn tsue_converges_rs42() {
+    run_tsue(TsueConfig::ssd_default, 4, 2, 21, 80);
+}
+
+#[test]
+fn tsue_converges_rs63() {
+    run_tsue(TsueConfig::ssd_default, 6, 3, 22, 60);
+}
+
+#[test]
+fn tsue_converges_rs22_minimum_m() {
+    run_tsue(TsueConfig::ssd_default, 2, 2, 23, 60);
+}
+
+#[test]
+fn tsue_hdd_mode_converges() {
+    // 3-copy data log, no delta log.
+    let mut cfg = small_config(4, 2, 24);
+    cfg.device = DeviceKind::Hdd;
+    let mut world = Cluster::new(cfg, |_| {
+        let mut c = TsueConfig::hdd_default();
+        c.unit_size = 256 << 10;
+        c.seal_interval = SECOND / 2;
+        Box::new(Tsue::new(c))
+    });
+    world.set_workload(&test_profile());
+    for c in &mut world.core.clients {
+        c.max_ops = Some(40);
+    }
+    let mut sim: Sim<Cluster> = Sim::new();
+    run_workload(&mut world, &mut sim, 3600 * SECOND);
+    world.flush_all(&mut sim);
+    check_consistency(&world).unwrap();
+}
+
+#[test]
+fn every_breakdown_level_converges() {
+    // Fig. 7's Baseline and O1–O5 must all be *correct*; they differ only
+    // in performance.
+    for level in 0..=5 {
+        run_tsue(move || TsueConfig::breakdown(level), 4, 2, 30 + level as u64, 50);
+    }
+}
+
+#[test]
+fn residency_stats_populate() {
+    let cluster_cfg = small_config(4, 2, 40);
+    let mut world = Cluster::new(cluster_cfg, |_| {
+        let mut c = TsueConfig::ssd_default();
+        c.unit_size = 128 << 10;
+        c.seal_interval = SECOND / 4;
+        Box::new(Tsue::new(c))
+    });
+    world.set_workload(&test_profile());
+    for c in &mut world.core.clients {
+        c.max_ops = Some(60);
+    }
+    let mut sim: Sim<Cluster> = Sim::new();
+    run_workload(&mut world, &mut sim, 3600 * SECOND);
+    world.flush_all(&mut sim);
+    let stats = tsue_core::tsue::harvest_residency(&world);
+    assert!(stats.data.append.count() > 0, "data appends recorded");
+    assert!(stats.data.buffer.count() > 0, "data units recycled");
+    assert!(
+        stats.parity.recycle.count() > 0,
+        "parity units recycled: {:?}",
+        stats
+    );
+}

@@ -1,0 +1,151 @@
+//! HDD model: seek + rotational latency + transfer, single actuator.
+//!
+//! Used for the paper's §5.4 HDD-cluster experiments. The decisive property
+//! is the brutal gap between sequential streaming and scattered small
+//! accesses: a random 4 KiB op pays a distance-dependent seek plus half a
+//! rotation, while a sequential continuation pays only transfer time.
+
+use crate::{IoKind, Locality};
+use tsue_sim::{FifoResource, Time, MICROSECOND, MILLISECOND};
+
+/// Latency parameters for a spinning disk.
+#[derive(Clone, Copy, Debug)]
+pub struct HddSpec {
+    /// Capacity used for seek-distance normalization, bytes.
+    pub capacity: u64,
+    /// Minimum (track-to-track) seek, ns.
+    pub min_seek: Time,
+    /// Full-stroke seek, ns.
+    pub max_seek: Time,
+    /// Average rotational delay (half a revolution), ns.
+    pub rotational_delay: Time,
+    /// Media transfer rate, bytes/second.
+    pub transfer_bw: u64,
+    /// Fixed controller overhead per op, ns.
+    pub base: Time,
+}
+
+impl Default for HddSpec {
+    fn default() -> Self {
+        // 7200 rpm 2 TB nearline drive.
+        HddSpec {
+            capacity: 2 << 40,
+            min_seek: 500 * MICROSECOND,
+            max_seek: 12 * MILLISECOND,
+            rotational_delay: 4_170 * MICROSECOND / 1000 * 1000, // ~4.17 ms
+            transfer_bw: 160_000_000,
+            base: 150 * MICROSECOND,
+        }
+    }
+}
+
+/// The HDD: one actuator modeled as a single FIFO server plus a head
+/// position for distance-dependent seeks.
+#[derive(Debug)]
+pub struct HddModel {
+    spec: HddSpec,
+    actuator: FifoResource,
+    head: u64,
+}
+
+impl HddModel {
+    /// Creates a drive with the default nearline spec but explicit capacity.
+    pub fn nearline(capacity: u64) -> Self {
+        let spec = HddSpec {
+            capacity,
+            ..HddSpec::default()
+        };
+        Self::new(spec)
+    }
+
+    /// Creates a drive from an explicit spec.
+    pub fn new(spec: HddSpec) -> Self {
+        HddModel {
+            spec,
+            actuator: FifoResource::new(),
+            head: 0,
+        }
+    }
+
+    /// Spec accessor.
+    pub fn spec(&self) -> &HddSpec {
+        &self.spec
+    }
+
+    /// Submits one op; returns its completion time.
+    pub fn submit(
+        &mut self,
+        now: Time,
+        _kind: IoKind,
+        offset: u64,
+        len: u64,
+        locality: Locality,
+    ) -> Time {
+        let service = match locality {
+            Locality::Sequential => self.spec.base / 4 + self.transfer(len),
+            Locality::Random => {
+                let seek = self.seek_time(offset);
+                self.spec.base + seek + self.spec.rotational_delay + self.transfer(len)
+            }
+        };
+        self.head = offset + len;
+        self.actuator.submit(now, service)
+    }
+
+    fn seek_time(&self, target: u64) -> Time {
+        let dist = self.head.abs_diff(target);
+        let frac = (dist as f64 / self.spec.capacity as f64).min(1.0);
+        // Square-root profile: short seeks dominated by settle time.
+        let span = (self.spec.max_seek - self.spec.min_seek) as f64;
+        self.spec.min_seek + (span * frac.sqrt()) as Time
+    }
+
+    fn transfer(&self, len: u64) -> Time {
+        ((len as u128 * 1_000_000_000) / self.spec.transfer_bw as u128) as Time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_orders_of_magnitude_faster_for_small_ops() {
+        let mut d = HddModel::nearline(1 << 40);
+        let t_seq = d.submit(0, IoKind::Read, 0, 4096, Locality::Sequential);
+        let start = 1_000_000_000_000;
+        let t_rand =
+            d.submit(start, IoKind::Read, 512 << 30, 4096, Locality::Random) - start;
+        assert!(
+            t_rand > t_seq * 20,
+            "random {t_rand} ns vs sequential {t_seq} ns"
+        );
+    }
+
+    #[test]
+    fn seek_grows_with_distance() {
+        let d = HddModel::nearline(1 << 40);
+        let near = d.seek_time(1 << 20);
+        let far = d.seek_time(1 << 39);
+        assert!(far > near);
+        assert!(far <= d.spec.max_seek + d.spec.min_seek);
+    }
+
+    #[test]
+    fn actuator_serializes_requests() {
+        let mut d = HddModel::nearline(1 << 40);
+        let f1 = d.submit(0, IoKind::Write, 0, 1 << 20, Locality::Sequential);
+        let f2 = d.submit(0, IoKind::Write, 1 << 20, 1 << 20, Locality::Sequential);
+        assert!(f2 > f1, "second op must queue behind the first");
+    }
+
+    #[test]
+    fn streaming_bandwidth_approaches_spec() {
+        let mut d = HddModel::nearline(1 << 40);
+        let len: u64 = 64 << 20;
+        let t = d.submit(0, IoKind::Read, 0, len, Locality::Sequential);
+        let measured_bw = len as f64 / (t as f64 / 1e9);
+        let spec_bw = d.spec.transfer_bw as f64;
+        assert!((measured_bw - spec_bw).abs() / spec_bw < 0.05);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the storage device models: FTL conservation, wear
+//! monotonicity, and latency-model sanity under random workloads.
+
+use proptest::prelude::*;
+use tsue_device::{Device, HddModel, IoKind, SsdModel, PAGE_SIZE};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under any mix of writes, the SSD's accounting stays conserved:
+    /// write amplification ≥ 1, programs ≥ logical pages written, and
+    /// erase count only grows.
+    #[test]
+    fn ftl_accounting_is_conserved(
+        ops in proptest::collection::vec((0u64..2048, 1u64..16), 1..300),
+    ) {
+        let cap: u64 = 8 << 20; // 2048 pages
+        let mut dev = Device::new_ssd(SsdModel::datacenter(cap));
+        let mut now = 0;
+        let mut last_erases = 0;
+        let mut logical_pages = 0u64;
+        for (page, len_pages) in ops {
+            let off = (page % 1500) * PAGE_SIZE; // stay under capacity
+            let len = (len_pages.min(8)) * PAGE_SIZE;
+            now = dev.submit(now, IoKind::Write, off, len, 1);
+            logical_pages += len / PAGE_SIZE;
+            let s = dev.stats();
+            prop_assert!(s.erase_ops >= last_erases, "erases must be monotone");
+            last_erases = s.erase_ops;
+            prop_assert!(s.pages_programmed >= logical_pages,
+                "programs {} < logical {}", s.pages_programmed, logical_pages);
+            prop_assert!(s.write_amplification() >= 1.0 - 1e-9);
+        }
+        // Reads never program pages.
+        let before = dev.stats().pages_programmed;
+        dev.submit(now, IoKind::Read, 0, 64 << 10, 2);
+        prop_assert_eq!(dev.stats().pages_programmed, before);
+    }
+
+    /// Completion times are monotone per stream and never precede
+    /// submission.
+    #[test]
+    fn completions_never_precede_submission(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..5000, 1u64..64), 1..200),
+    ) {
+        let mut ssd = Device::new_ssd(SsdModel::datacenter(32 << 20));
+        let mut hdd = Device::new_hdd(HddModel::nearline(1 << 30));
+        let mut now = 0u64;
+        for (is_read, page, len_kb) in ops {
+            let kind = if is_read { IoKind::Read } else { IoKind::Write };
+            let off = (page % 4000) * 4096;
+            let len = len_kb * 1024;
+            let t1 = ssd.submit(now, kind, off, len, 3);
+            let t2 = hdd.submit(now, kind, off, len, 3);
+            prop_assert!(t1 > now, "SSD completion must advance time");
+            prop_assert!(t2 > now, "HDD completion must advance time");
+            now += 10_000; // 10 µs between submissions
+        }
+    }
+
+    /// Byte accounting matches exactly what was submitted.
+    #[test]
+    fn byte_accounting_is_exact(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..1000, 1u64..32), 1..100),
+    ) {
+        let mut dev = Device::new_ssd(SsdModel::datacenter(16 << 20));
+        let (mut rb, mut wb, mut ro, mut wo) = (0u64, 0u64, 0u64, 0u64);
+        for (is_read, page, len_kb) in ops {
+            let len = len_kb * 1024;
+            let off = (page % 3000) * 4096;
+            if is_read {
+                dev.submit(0, IoKind::Read, off, len, 1);
+                rb += len;
+                ro += 1;
+            } else {
+                dev.submit(0, IoKind::Write, off, len, 1);
+                wb += len;
+                wo += 1;
+            }
+        }
+        let s = dev.stats();
+        prop_assert_eq!(s.read_bytes, rb);
+        prop_assert_eq!(s.write_bytes, wb);
+        prop_assert_eq!(s.read_ops, ro);
+        prop_assert_eq!(s.write_ops, wo);
+        prop_assert!(s.overwrite_bytes <= s.write_bytes);
+        prop_assert!(s.seq_ops + s.rand_ops == ro + wo);
+    }
+
+    /// A purely sequential stream is never slower than the same volume
+    /// issued as scattered small ops (both devices).
+    #[test]
+    fn sequential_beats_random_in_aggregate(seed in 0u64..1000) {
+        let total: u64 = 4 << 20;
+        let chunk: u64 = 16 << 10;
+        let n = total / chunk;
+
+        let mut seq = Device::new_ssd(SsdModel::datacenter(64 << 20));
+        let mut t_seq = 0;
+        for i in 0..n {
+            t_seq = seq.submit(t_seq, IoKind::Write, i * chunk, chunk, 1);
+        }
+
+        let mut rnd = Device::new_ssd(SsdModel::datacenter(64 << 20));
+        let mut t_rnd = 0;
+        let mut x = seed | 1;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let off = (x % (total / chunk)) * chunk * 3 % (48 << 20);
+            t_rnd = rnd.submit(t_rnd, IoKind::Write, off, chunk, 1);
+        }
+        prop_assert!(t_seq <= t_rnd, "sequential {t_seq} > random {t_rnd}");
+    }
+}

@@ -1,0 +1,485 @@
+//! Systematic Reed–Solomon erasure coding with incremental-update algebra.
+//!
+//! The codec implements the stripe model of the paper: `k` data blocks
+//! generate `m` parity blocks via a generator matrix over GF(2^8)
+//! (paper Eq. (1)); any `k` of the `k + m` blocks reconstruct the rest.
+//!
+//! On top of plain encode/reconstruct, the crate exposes the *incremental
+//! update* algebra every parity-logging scheme builds on:
+//!
+//! * [`RsCode::parity_delta`] — Eq. (2): `ΔP_j = ∂_{j,i} · ΔD_i`,
+//! * [`merge_deltas`] — Eq. (3)/(4): same-offset deltas fold by XOR, so only
+//!   the accumulated difference against the *original* data matters,
+//! * [`RsCode::combined_parity_delta`] — Eq. (5): data deltas from several
+//!   blocks of the same stripe at the same offset combine into a single
+//!   parity delta per parity block.
+
+pub mod stripe;
+
+pub use stripe::{StripeConfig, StripeLayout};
+
+use tsue_gf::{xor_slice, Matrix};
+
+/// Errors reported by the codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcError {
+    /// Fewer than `k` shards survive; reconstruction is impossible.
+    TooFewShards { present: usize, needed: usize },
+    /// Shard buffers have inconsistent lengths.
+    ShardSizeMismatch,
+    /// Invalid parameters (e.g. k = 0, k + m > 255).
+    InvalidParameters(String),
+    /// Shard index out of range.
+    BadIndex(usize),
+}
+
+impl std::fmt::Display for EcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EcError::TooFewShards { present, needed } => {
+                write!(f, "too few shards: {present} present, {needed} needed")
+            }
+            EcError::ShardSizeMismatch => write!(f, "shard size mismatch"),
+            EcError::InvalidParameters(s) => write!(f, "invalid parameters: {s}"),
+            EcError::BadIndex(i) => write!(f, "shard index {i} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for EcError {}
+
+/// A systematic Reed–Solomon code RS(k, m).
+///
+/// The generator matrix is `[ I_k ; C ]` where `C` is a `m × k` Cauchy
+/// matrix, so every combination of `k` surviving rows is invertible (the MDS
+/// property) and data blocks are stored verbatim.
+#[derive(Clone, Debug)]
+pub struct RsCode {
+    k: usize,
+    m: usize,
+    /// Full (k + m) × k generator matrix; top k rows are the identity.
+    generator: Matrix,
+}
+
+impl RsCode {
+    /// Creates an RS(k, m) code.
+    ///
+    /// # Errors
+    /// Fails if `k == 0`, `m == 0`, or `k + m > 255`.
+    pub fn new(k: usize, m: usize) -> Result<Self, EcError> {
+        if k == 0 || m == 0 {
+            return Err(EcError::InvalidParameters(
+                "k and m must be positive".into(),
+            ));
+        }
+        if k + m > 255 {
+            return Err(EcError::InvalidParameters(format!(
+                "k + m = {} exceeds field limit 255",
+                k + m
+            )));
+        }
+        let parity = Matrix::cauchy(m, k);
+        let generator = Matrix::identity(k).stack(&parity);
+        Ok(RsCode { k, m, generator })
+    }
+
+    /// Number of data blocks per stripe.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity blocks per stripe.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Total number of blocks per stripe.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// The encoding coefficient `∂_{j,i}` that multiplies data block `i`
+    /// into parity block `j` (paper Eq. (1)).
+    #[inline]
+    pub fn coefficient(&self, parity_index: usize, data_index: usize) -> u8 {
+        debug_assert!(parity_index < self.m && data_index < self.k);
+        self.generator.get(self.k + parity_index, data_index)
+    }
+
+    /// Encodes `k` data blocks into `m` parity blocks (paper Eq. (1)).
+    ///
+    /// # Errors
+    /// Fails if the input count is not `k` or the buffers differ in length.
+    pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, EcError> {
+        if data.len() != self.k {
+            return Err(EcError::InvalidParameters(format!(
+                "expected {} data blocks, got {}",
+                self.k,
+                data.len()
+            )));
+        }
+        let len = data[0].len();
+        if data.iter().any(|d| d.len() != len) {
+            return Err(EcError::ShardSizeMismatch);
+        }
+        let mut parity = vec![Vec::new(); self.m];
+        let parity_rows = self.generator.select_rows(&(self.k..self.n()).collect::<Vec<_>>());
+        parity_rows.apply(data, &mut parity);
+        Ok(parity)
+    }
+
+    /// Reconstructs all missing shards in place. `shards` must have length
+    /// `k + m`; indices `0..k` are data, `k..k+m` parity. Present shards are
+    /// `Some`, missing ones `None`.
+    ///
+    /// # Errors
+    /// Fails if fewer than `k` shards are present or sizes mismatch.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), EcError> {
+        if shards.len() != self.n() {
+            return Err(EcError::InvalidParameters(format!(
+                "expected {} shard slots, got {}",
+                self.n(),
+                shards.len()
+            )));
+        }
+        let present: Vec<usize> = (0..self.n()).filter(|&i| shards[i].is_some()).collect();
+        if present.len() < self.k {
+            return Err(EcError::TooFewShards {
+                present: present.len(),
+                needed: self.k,
+            });
+        }
+        let missing: Vec<usize> = (0..self.n()).filter(|&i| shards[i].is_none()).collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let len = shards[present[0]].as_ref().unwrap().len();
+        if present
+            .iter()
+            .any(|&i| shards[i].as_ref().unwrap().len() != len)
+        {
+            return Err(EcError::ShardSizeMismatch);
+        }
+
+        // Decode matrix: rows of the generator for the first k present
+        // shards; its inverse maps those shards back to the data blocks.
+        let use_rows: Vec<usize> = present.iter().copied().take(self.k).collect();
+        let sub = self.generator.select_rows(&use_rows);
+        let decode = sub
+            .inverse()
+            .expect("MDS generator: any k rows are invertible");
+
+        let missing_data: Vec<usize> = missing.iter().copied().filter(|&i| i < self.k).collect();
+        let missing_parity: Vec<usize> =
+            missing.iter().copied().filter(|&i| i >= self.k).collect();
+
+        // Compute everything from the surviving shards before mutating.
+        let (out_data, out_parity) = {
+            let inputs: Vec<&[u8]> = use_rows
+                .iter()
+                .map(|&i| shards[i].as_ref().unwrap().as_slice())
+                .collect();
+            let out_data = if missing_data.is_empty() {
+                Vec::new()
+            } else {
+                let rows = decode.select_rows(&missing_data);
+                let mut out = vec![Vec::new(); missing_data.len()];
+                rows.apply(&inputs, &mut out);
+                out
+            };
+            let out_parity = if missing_parity.is_empty() {
+                Vec::new()
+            } else {
+                // Generator rows for the missing parity composed with the
+                // decode matrix give coefficients over the present shards.
+                let gen_rows = self.generator.select_rows(&missing_parity);
+                let eff = gen_rows.mul(&decode);
+                let mut out = vec![Vec::new(); missing_parity.len()];
+                eff.apply(&inputs, &mut out);
+                out
+            };
+            (out_data, out_parity)
+        };
+        for (slot, buf) in missing_data.iter().zip(out_data) {
+            shards[*slot] = Some(buf);
+        }
+        for (slot, buf) in missing_parity.iter().zip(out_parity) {
+            shards[*slot] = Some(buf);
+        }
+        Ok(())
+    }
+
+    /// Verifies that the parity shards are consistent with the data shards.
+    ///
+    /// # Errors
+    /// Fails on size mismatch or wrong shard count.
+    pub fn verify(&self, shards: &[Vec<u8>]) -> Result<bool, EcError> {
+        if shards.len() != self.n() {
+            return Err(EcError::InvalidParameters(format!(
+                "expected {} shards, got {}",
+                self.n(),
+                shards.len()
+            )));
+        }
+        let data: Vec<&[u8]> = shards[..self.k].iter().map(|v| v.as_slice()).collect();
+        let parity = self.encode(&data)?;
+        Ok(parity
+            .iter()
+            .zip(&shards[self.k..])
+            .all(|(a, b)| a == b))
+    }
+
+    /// Eq. (2): computes the parity delta for parity block `parity_index`
+    /// given the data delta `ΔD = D_new ⊕ D_old` of data block `data_index`:
+    /// `ΔP_j = ∂_{j,i} · ΔD_i`. XORing the result into the old parity yields
+    /// the new parity.
+    pub fn parity_delta(&self, parity_index: usize, data_index: usize, data_delta: &[u8]) -> Vec<u8> {
+        let c = self.coefficient(parity_index, data_index);
+        let mut out = vec![0u8; data_delta.len()];
+        tsue_gf::mul_slice(c, data_delta, &mut out);
+        out
+    }
+
+    /// In-place variant of [`Self::parity_delta`]: `acc ^= ∂_{j,i} · ΔD`.
+    ///
+    /// # Panics
+    /// Panics if buffer lengths differ.
+    pub fn parity_delta_into(
+        &self,
+        parity_index: usize,
+        data_index: usize,
+        data_delta: &[u8],
+        acc: &mut [u8],
+    ) {
+        let c = self.coefficient(parity_index, data_index);
+        tsue_gf::mul_add_slice(c, data_delta, acc);
+    }
+
+    /// Eq. (5): combines same-offset data deltas from several data blocks of
+    /// one stripe into a single parity delta for parity `parity_index`.
+    ///
+    /// `deltas` pairs each contributing data-block index with its delta
+    /// bytes; all deltas must have equal length.
+    ///
+    /// # Panics
+    /// Panics if deltas have inconsistent lengths.
+    pub fn combined_parity_delta(
+        &self,
+        parity_index: usize,
+        deltas: &[(usize, &[u8])],
+    ) -> Vec<u8> {
+        assert!(!deltas.is_empty(), "need at least one delta");
+        let len = deltas[0].1.len();
+        let mut acc = vec![0u8; len];
+        for &(data_index, delta) in deltas {
+            assert_eq!(delta.len(), len, "delta length mismatch");
+            self.parity_delta_into(parity_index, data_index, delta, &mut acc);
+        }
+        acc
+    }
+
+    /// Applies a parity delta to a parity buffer: `parity ^= delta`
+    /// (the final step of every log-recycle path).
+    ///
+    /// # Panics
+    /// Panics if buffer lengths differ.
+    pub fn apply_parity_delta(parity: &mut [u8], delta: &[u8]) {
+        xor_slice(delta, parity);
+    }
+}
+
+/// Eq. (3)/(4): folds a newer delta into an accumulated delta at the same
+/// offset. Because deltas are differences against the original data,
+/// accumulation is plain XOR and the *latest write wins* emerges from
+/// `new ⊕ old ⊕ old = new`.
+///
+/// # Panics
+/// Panics if the buffers have different lengths.
+pub fn merge_deltas(acc: &mut [u8], newer: &[u8]) {
+    xor_slice(newer, acc);
+}
+
+/// Computes a data delta `new ⊕ old` into a fresh buffer.
+///
+/// # Panics
+/// Panics if the buffers have different lengths.
+pub fn data_delta(old: &[u8], new: &[u8]) -> Vec<u8> {
+    assert_eq!(old.len(), new.len(), "data_delta length mismatch");
+    let mut d = new.to_vec();
+    xor_slice(old, &mut d);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks(k: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| {
+                (0..len)
+                    .map(|j| (seed as usize + i * 31 + j * 7) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn new_rejects_bad_parameters() {
+        assert!(RsCode::new(0, 2).is_err());
+        assert!(RsCode::new(4, 0).is_err());
+        assert!(RsCode::new(200, 56).is_err());
+        assert!(RsCode::new(6, 4).is_ok());
+    }
+
+    #[test]
+    fn encode_then_verify() {
+        let rs = RsCode::new(6, 3).unwrap();
+        let data = blocks(6, 64, 3);
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        assert_eq!(parity.len(), 3);
+        let mut shards = data.clone();
+        shards.extend(parity);
+        assert!(rs.verify(&shards).unwrap());
+        // Corrupt one byte: verify fails.
+        shards[2][5] ^= 0xff;
+        assert!(!rs.verify(&shards).unwrap());
+    }
+
+    #[test]
+    fn reconstruct_all_loss_patterns_up_to_m() {
+        let rs = RsCode::new(4, 2).unwrap();
+        let data = blocks(4, 32, 9);
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let mut full: Vec<Vec<u8>> = data.clone();
+        full.extend(parity);
+
+        // All single and double losses.
+        for a in 0..6 {
+            for b in a..6 {
+                let mut shards: Vec<Option<Vec<u8>>> =
+                    full.iter().cloned().map(Some).collect();
+                shards[a] = None;
+                shards[b] = None;
+                rs.reconstruct(&mut shards).unwrap();
+                for (i, s) in shards.iter().enumerate() {
+                    assert_eq!(s.as_ref().unwrap(), &full[i], "loss ({a},{b}) slot {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_fails_beyond_m() {
+        let rs = RsCode::new(4, 2).unwrap();
+        let data = blocks(4, 16, 1);
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .into_iter()
+            .chain(parity)
+            .map(Some)
+            .collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[4] = None;
+        assert!(matches!(
+            rs.reconstruct(&mut shards),
+            Err(EcError::TooFewShards { present: 3, needed: 4 })
+        ));
+    }
+
+    #[test]
+    fn incremental_update_matches_full_reencode() {
+        let rs = RsCode::new(6, 4).unwrap();
+        let mut data = blocks(6, 128, 7);
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let mut parity = rs.encode(&refs).unwrap();
+
+        // Update bytes 10..20 of data block 2.
+        let old = data[2][10..20].to_vec();
+        let new: Vec<u8> = (0..10u8).map(|x| x.wrapping_mul(37).wrapping_add(5)).collect();
+        let delta = data_delta(&old, &new);
+        data[2][10..20].copy_from_slice(&new);
+
+        for j in 0..4 {
+            let pd = rs.parity_delta(j, 2, &delta);
+            RsCode::apply_parity_delta(&mut parity[j][10..20], &pd);
+        }
+
+        let refs2: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let expect = rs.encode(&refs2).unwrap();
+        assert_eq!(parity, expect);
+    }
+
+    #[test]
+    fn repeated_updates_fold_to_latest() {
+        // Eq. (4): N updates at the same offset collapse into one delta
+        // against the original data.
+        let rs = RsCode::new(3, 2).unwrap();
+        let original = vec![0u8; 8];
+        let v1 = vec![1u8; 8];
+        let v2 = vec![2u8; 8];
+        let v3 = vec![9u8; 8];
+
+        // Per-update deltas chained: d1 = v1^orig, d2 = v2^v1, d3 = v3^v2.
+        let d1 = data_delta(&original, &v1);
+        let d2 = data_delta(&v1, &v2);
+        let d3 = data_delta(&v2, &v3);
+        let mut acc = d1;
+        merge_deltas(&mut acc, &d2);
+        merge_deltas(&mut acc, &d3);
+        assert_eq!(acc, data_delta(&original, &v3));
+        let _ = rs; // rs unused beyond construction sanity
+    }
+
+    #[test]
+    fn combined_delta_equals_sum_of_individual_deltas() {
+        // Eq. (5): combining deltas from blocks {0, 2, 3} at one offset.
+        let rs = RsCode::new(4, 3).unwrap();
+        let d0 = vec![0x11u8; 16];
+        let d2 = vec![0x25u8; 16];
+        let d3 = vec![0xa7u8; 16];
+        for j in 0..3 {
+            let combined =
+                rs.combined_parity_delta(j, &[(0, &d0), (2, &d2), (3, &d3)]);
+            let mut expect = rs.parity_delta(j, 0, &d0);
+            merge_deltas(&mut expect, &rs.parity_delta(j, 2, &d2));
+            merge_deltas(&mut expect, &rs.parity_delta(j, 3, &d3));
+            assert_eq!(combined, expect, "parity {j}");
+        }
+    }
+
+    #[test]
+    fn verify_rejects_wrong_shard_count() {
+        let rs = RsCode::new(3, 2).unwrap();
+        assert!(rs.verify(&vec![vec![0u8; 4]; 4]).is_err());
+    }
+
+    #[test]
+    fn encode_rejects_ragged_input() {
+        let rs = RsCode::new(2, 1).unwrap();
+        let a = vec![0u8; 8];
+        let b = vec![0u8; 9];
+        assert_eq!(
+            rs.encode(&[&a, &b]).unwrap_err(),
+            EcError::ShardSizeMismatch
+        );
+    }
+
+    #[test]
+    fn generator_is_mds_for_small_codes() {
+        for (k, m) in [(2, 2), (3, 2), (4, 2), (3, 3)] {
+            let rs = RsCode::new(k, m).unwrap();
+            assert!(
+                rs.generator.all_submatrices_invertible(k),
+                "RS({k},{m}) generator is not MDS"
+            );
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! ECFS — the erasure-coded cluster file system substrate.
+//!
+//! Rebuilds the paper's self-developed ECFS (§4): a metadata server
+//! ([`Mds`]), object storage devices ([`Osd`], one per node, each with one
+//! simulated SSD or HDD), and closed-loop clients replaying block traces.
+//! Data is striped RS(k, m) across the cluster with per-stripe rotation.
+//!
+//! The *update scheme* — the thing the paper compares — is pluggable via
+//! the [`UpdateScheme`] trait. Baselines (FO/FL/PL/PLR/PARIX/CoRD) live in
+//! `tsue-schemes`; TSUE itself lives in `tsue-core`. ECFS guarantees every
+//! scheme sees identical request streams, device models, and network
+//! accounting, so comparisons measure the scheme and nothing else.
+//!
+//! # Simulation world
+//!
+//! [`Cluster`] is the DES world type. It splits into [`ClusterCore`]
+//! (devices, network, MDS, clients, metrics) and the per-OSD scheme slots,
+//! so a scheme borrowed for a callback can still reach everything else.
+//! Schemes on different OSDs interact only through scheduled messages,
+//! mirroring the real system's RPCs and keeping borrows disjoint.
+
+pub mod client;
+pub mod logregion;
+pub mod mds;
+pub mod metrics;
+pub mod osd;
+pub mod rangemap;
+pub mod recovery;
+pub mod scheme;
+pub mod verify;
+
+pub use client::{client_issue, start_clients, ClientState};
+pub use mds::{FileId, FileMeta, Mds};
+pub use metrics::{ArrivalRecord, ClusterMetrics};
+pub use osd::{BlockId, Osd, StoredBlock};
+pub use rangemap::{Discipline, RangeMap};
+pub use recovery::{fail_node, run_recovery, RecoveryReport};
+pub use scheme::{
+    deliver_read, deliver_update, Chunk, InstantScheme, SchemeMsg, UpdateReq, UpdateScheme,
+};
+pub use verify::{check_consistency, check_data_blocks, check_parity, reference_data};
+
+use tsue_device::{Device, HddModel, SsdModel};
+use tsue_ec::{RsCode, StripeConfig, StripeLayout};
+use tsue_net::{NetModel, NetSpec, NodeId};
+use tsue_sim::{Sim, Time, MICROSECOND, MILLISECOND};
+
+/// Which device model backs each OSD.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// SSD with FTL wear accounting (the paper's §5.1–5.3 testbed).
+    Ssd,
+    /// Spinning disk (the paper's §5.4 testbed).
+    Hdd,
+}
+
+/// CPU cost model for delta/parity math.
+#[derive(Clone, Copy, Debug)]
+pub struct ComputeSpec {
+    /// XOR throughput cost, ns per KiB.
+    pub xor_ns_per_kib: Time,
+    /// GF(2^8) multiply-accumulate cost, ns per KiB.
+    pub gf_ns_per_kib: Time,
+}
+
+impl Default for ComputeSpec {
+    fn default() -> Self {
+        ComputeSpec {
+            xor_ns_per_kib: 60,
+            gf_ns_per_kib: 280,
+        }
+    }
+}
+
+/// Static configuration of a cluster experiment.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of OSD nodes (the paper uses 16).
+    pub osds: usize,
+    /// Number of closed-loop clients.
+    pub clients: usize,
+    /// Stripe geometry (k, m, block size).
+    pub stripe: StripeConfig,
+    /// SSD or HDD backing.
+    pub device: DeviceKind,
+    /// Per-OSD device capacity in bytes; 0 = derive from the footprint.
+    pub device_capacity: u64,
+    /// Network fabric parameters.
+    pub net: NetSpec,
+    /// CPU cost model.
+    pub compute: ComputeSpec,
+    /// Bytes of file data owned by each client.
+    pub file_size_per_client: u64,
+    /// Maintain real block/log bytes (correctness runs) or timing only
+    /// (performance runs).
+    pub materialize: bool,
+    /// Record per-extent arrival order (needed by correctness tests).
+    pub record_arrivals: bool,
+    /// Master seed for workload generation.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's SSD testbed shape: 16 OSDs, 25 Gb/s Ethernet, RS(k, m),
+    /// 1 MiB blocks. Capacity and client count are experiment-specific.
+    pub fn ssd_testbed(k: usize, m: usize, clients: usize) -> Self {
+        ClusterConfig {
+            osds: 16,
+            clients,
+            stripe: StripeConfig::new(k, m, 1 << 20),
+            device: DeviceKind::Ssd,
+            device_capacity: 0,
+            net: NetSpec::ethernet_25g(),
+            compute: ComputeSpec::default(),
+            file_size_per_client: 16 << 20,
+            materialize: false,
+            record_arrivals: false,
+            seed: 42,
+        }
+    }
+
+    /// The paper's HDD testbed shape: 16 OSDs, 40 Gb/s InfiniBand.
+    pub fn hdd_testbed(k: usize, m: usize, clients: usize) -> Self {
+        ClusterConfig {
+            device: DeviceKind::Hdd,
+            net: NetSpec::infiniband_40g(),
+            ..Self::ssd_testbed(k, m, clients)
+        }
+    }
+
+    /// Total user-data bytes across all clients.
+    pub fn total_data(&self) -> u64 {
+        self.file_size_per_client * self.clients as u64
+    }
+}
+
+/// Everything in the cluster except the scheme slots.
+pub struct ClusterCore {
+    /// Static configuration.
+    pub cfg: ClusterConfig,
+    /// The Reed–Solomon code shared by all nodes.
+    pub rs: RsCode,
+    /// Block placement.
+    pub layout: StripeLayout,
+    /// The network fabric.
+    pub net: NetModel,
+    /// One OSD per storage node.
+    pub osds: Vec<Osd>,
+    /// The metadata server.
+    pub mds: Mds,
+    /// Closed-loop clients.
+    pub clients: Vec<ClientState>,
+    /// Experiment counters.
+    pub metrics: ClusterMetrics,
+    /// In-flight client operations.
+    pub pending: PendingTable,
+    /// Clients stop issuing at this virtual time.
+    pub stop_at: Option<Time>,
+    /// Outstanding block-rebuild jobs (recovery engine).
+    pub recovery_pending: u64,
+}
+
+/// The DES world: core + pluggable per-OSD schemes.
+pub struct Cluster {
+    /// Shared substrate.
+    pub core: ClusterCore,
+    /// One scheme instance per OSD; `None` only while a callback borrows it.
+    pub schemes: Vec<Option<Box<dyn UpdateScheme>>>,
+}
+
+impl Cluster {
+    /// Builds a cluster, creates one file per client, and pre-populates all
+    /// stripes (so every trace write is an *update*, matching the paper's
+    /// replay methodology). Device/network stats are reset afterwards.
+    ///
+    /// `make_scheme` constructs the update scheme for each OSD index.
+    pub fn new<F>(mut cfg: ClusterConfig, mut make_scheme: F) -> Self
+    where
+        F: FnMut(usize) -> Box<dyn UpdateScheme>,
+    {
+        let rs = RsCode::new(cfg.stripe.k, cfg.stripe.m).expect("valid RS parameters");
+        let layout = StripeLayout::new(cfg.osds);
+        assert!(
+            cfg.osds >= cfg.stripe.k + cfg.stripe.m,
+            "cluster smaller than stripe width"
+        );
+        if cfg.device_capacity == 0 {
+            // Block footprint (data + parity) plus a generous allowance for
+            // scheme log regions, spread over the OSDs. The FTL maps pages
+            // sparsely, so oversizing costs no memory for untouched space.
+            let raw = cfg.total_data() as f64
+                * ((cfg.stripe.k + cfg.stripe.m) as f64 / cfg.stripe.k as f64)
+                / cfg.osds as f64;
+            cfg.device_capacity = (raw * 2.0) as u64 + (768 << 20);
+        }
+        let total_nodes = cfg.osds + cfg.clients;
+        let net = NetModel::new(cfg.net, total_nodes);
+        let osds = (0..cfg.osds)
+            .map(|n| {
+                let device = match cfg.device {
+                    DeviceKind::Ssd => Device::new_ssd(SsdModel::datacenter(cfg.device_capacity)),
+                    DeviceKind::Hdd => Device::new_hdd(HddModel::nearline(cfg.device_capacity)),
+                };
+                Osd::new(n, device)
+            })
+            .collect();
+        let schemes = (0..cfg.osds).map(|i| Some(make_scheme(i))).collect();
+        let core = ClusterCore {
+            rs,
+            layout,
+            net,
+            osds,
+            mds: Mds::new(cfg.osds),
+            clients: Vec::new(),
+            metrics: ClusterMetrics::new(cfg.record_arrivals),
+            pending: PendingTable::default(),
+            stop_at: None,
+            recovery_pending: 0,
+            cfg,
+        };
+        let mut world = Cluster { schemes, core };
+        world.provision_files();
+        world
+    }
+
+    /// Creates and pre-populates one file per client.
+    fn provision_files(&mut self) {
+        let core = &mut self.core;
+        for c in 0..core.cfg.clients {
+            let file = core.create_file(core.cfg.file_size_per_client);
+            let gen_seed = core.cfg.seed.wrapping_mul(0x9e3779b97f4a7c15) ^ c as u64;
+            core.clients
+                .push(ClientState::new(c, core.cfg.osds + c, file, gen_seed));
+        }
+        // Setup I/O must not pollute experiment stats.
+        for osd in &mut core.osds {
+            osd.reset_stats();
+        }
+        core.net.reset_counters();
+    }
+
+    /// Split borrow used by event plumbing: the scheme slots next to the
+    /// shared core.
+    pub fn split(&mut self) -> (&mut ClusterCore, &mut Vec<Option<Box<dyn UpdateScheme>>>) {
+        (&mut self.core, &mut self.schemes)
+    }
+
+    /// Total pending scheme work across OSDs (0 = all logs drained).
+    pub fn total_scheme_backlog(&self) -> u64 {
+        self.schemes
+            .iter()
+            .map(|s| s.as_ref().map_or(0, |s| s.backlog()))
+            .sum()
+    }
+
+    /// Asks every scheme to drain its logs, then runs the simulation until
+    /// all backlogs hit zero. Returns the drain-completion time.
+    ///
+    /// The drain proceeds in short strides, re-issuing `flush` after each
+    /// one so multi-stage pipelines (data → delta → parity) cascade at
+    /// device speed instead of waiting for background seal timers.
+    pub fn flush_all(&mut self, sim: &mut Sim<Cluster>) -> Time {
+        const STRIDE: Time = 20 * MILLISECOND;
+        let mut idle_strides = 0u32;
+        loop {
+            for osd in 0..self.core.cfg.osds {
+                if self.core.osds[osd].dead {
+                    continue;
+                }
+                let mut s = self.schemes[osd].take().expect("scheme missing");
+                s.flush(&mut self.core, sim, osd);
+                self.schemes[osd] = Some(s);
+            }
+            if self.total_scheme_backlog() == 0 {
+                break;
+            }
+            let before = self.total_scheme_backlog();
+            let had_events = sim.pending() > 0;
+            sim.run_until(self, sim.now() + STRIDE);
+            if self.total_scheme_backlog() >= before && !had_events {
+                idle_strides += 1;
+                assert!(
+                    idle_strides < 3,
+                    "flush stalled with backlog {}",
+                    self.total_scheme_backlog()
+                );
+            } else {
+                idle_strides = 0;
+            }
+        }
+        sim.now()
+    }
+
+    /// Sums device stats over all OSDs.
+    pub fn device_stats(&self) -> tsue_device::DeviceStats {
+        let mut total = tsue_device::DeviceStats::default();
+        for osd in &self.core.osds {
+            total.merge(osd.device.stats());
+        }
+        total
+    }
+
+    /// Peak and mean scheme memory across OSDs, in bytes.
+    pub fn scheme_memory(&self) -> (u64, u64) {
+        let per: Vec<u64> = self
+            .schemes
+            .iter()
+            .map(|s| s.as_ref().map_or(0, |s| s.memory_usage()))
+            .collect();
+        let max = per.iter().copied().max().unwrap_or(0);
+        let mean = if per.is_empty() {
+            0
+        } else {
+            per.iter().sum::<u64>() / per.len() as u64
+        };
+        (max, mean)
+    }
+}
+
+impl ClusterCore {
+    /// Network node id of a client.
+    #[inline]
+    pub fn client_node(&self, client: usize) -> NodeId {
+        self.cfg.osds + client
+    }
+
+    /// OSD hosting `role` of global stripe `stripe`.
+    #[inline]
+    pub fn owner_of(&self, stripe: u64, role: usize) -> usize {
+        self.layout
+            .node_for(stripe, role, self.cfg.stripe.blocks_per_stripe())
+    }
+
+    /// OSDs hosting the parity blocks of `stripe`, in parity order.
+    pub fn parity_owners(&self, stripe: u64) -> Vec<usize> {
+        (0..self.cfg.stripe.m)
+            .map(|j| self.owner_of(stripe, self.cfg.stripe.k + j))
+            .collect()
+    }
+
+    /// CPU time to XOR `bytes`.
+    #[inline]
+    pub fn xor_time(&self, bytes: u64) -> Time {
+        (bytes * self.cfg.compute.xor_ns_per_kib).div_ceil(1024).max(200)
+    }
+
+    /// CPU time for a GF multiply-accumulate over `bytes`.
+    #[inline]
+    pub fn gf_time(&self, bytes: u64) -> Time {
+        (bytes * self.cfg.compute.gf_ns_per_kib).div_ceil(1024).max(300)
+    }
+
+    /// Creates a file of `size` bytes: registers stripes with the MDS,
+    /// allocates blocks on the OSDs, and pre-populates content (zeroes) so
+    /// subsequent writes are updates.
+    pub fn create_file(&mut self, size: u64) -> FileId {
+        let stripes = size.div_ceil(self.cfg.stripe.stripe_data_bytes());
+        let file = self.mds.register_file(size, stripes);
+        let meta = self.mds.file(file).clone();
+        let bs = self.cfg.stripe.block_size;
+        for s in 0..stripes {
+            let gstripe = meta.base_stripe + s;
+            for role in 0..self.cfg.stripe.blocks_per_stripe() {
+                let owner = self.owner_of(gstripe, role);
+                let block = BlockId {
+                    file,
+                    stripe: s,
+                    role,
+                };
+                self.osds[owner].provision_block(block, bs, self.cfg.materialize);
+            }
+        }
+        self.mds.mark_prepopulated(file);
+        file
+    }
+
+    /// Global stripe index for `(file, stripe-within-file)`.
+    #[inline]
+    pub fn global_stripe(&self, file: FileId, stripe: u64) -> u64 {
+        self.mds.file(file).base_stripe + stripe
+    }
+
+    /// Sends a scheme message from one OSD to another, arriving after the
+    /// modeled network transfer of `payload_bytes`.
+    pub fn send_to_scheme(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        from_osd: usize,
+        to_osd: usize,
+        payload_bytes: u64,
+        msg: SchemeMsg,
+    ) {
+        let arrival = self.net.transfer(
+            sim.now(),
+            self.osds[from_osd].node,
+            self.osds[to_osd].node,
+            payload_bytes,
+        );
+        sim.schedule_at(arrival, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+            scheme::deliver_msg(w, sim, to_osd, msg);
+        });
+    }
+
+    /// Schedules a scheme timer callback on `osd` after `delay`.
+    pub fn scheme_timer(&mut self, sim: &mut Sim<Cluster>, osd: usize, delay: Time, tag: u64) {
+        sim.schedule(delay, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+            scheme::deliver_timer(w, sim, osd, tag);
+        });
+    }
+
+    /// Completes the synchronous part of one update extent: acks the client
+    /// over the network; the client issues its next op when all extents of
+    /// the op have acked.
+    pub fn extent_done(&mut self, sim: &mut Sim<Cluster>, osd: usize, op_id: u64) {
+        let Some(client) = self.pending.client_of(op_id) else {
+            return;
+        };
+        let arrival = self.net.transfer(
+            sim.now(),
+            self.osds[osd].node,
+            self.client_node(client),
+            ACK_BYTES,
+        );
+        sim.schedule_at(arrival, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+            client::client_ack(w, sim, op_id);
+        });
+    }
+
+    /// Whether the experiment window is still open.
+    pub fn accepting(&self, now: Time) -> bool {
+        self.stop_at.map_or(true, |t| now < t)
+    }
+}
+
+/// Ack message size on the wire.
+pub const ACK_BYTES: u64 = 64;
+
+/// Tracks in-flight client operations.
+#[derive(Default)]
+pub struct PendingTable {
+    next_id: u64,
+    ops: std::collections::HashMap<u64, PendingOp>,
+}
+
+/// One in-flight client op (possibly spanning several extents).
+pub struct PendingOp {
+    /// Issuing client.
+    pub client: usize,
+    /// Extents still outstanding.
+    pub remaining: usize,
+    /// Virtual time the op was issued.
+    pub issued_at: Time,
+    /// True for updates, false for reads.
+    pub is_write: bool,
+}
+
+impl PendingTable {
+    /// Registers a new op; returns its id.
+    pub fn insert(
+        &mut self,
+        client: usize,
+        extents: usize,
+        issued_at: Time,
+        is_write: bool,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.ops.insert(
+            id,
+            PendingOp {
+                client,
+                remaining: extents,
+                issued_at,
+                is_write,
+            },
+        );
+        id
+    }
+
+    /// Client that issued `op`, if still pending.
+    pub fn client_of(&self, op: u64) -> Option<usize> {
+        self.ops.get(&op).map(|p| p.client)
+    }
+
+    /// Decrements the remaining-extent count; returns the finished op when
+    /// it reaches zero.
+    pub fn complete_extent(&mut self, op: u64) -> Option<PendingOp> {
+        let entry = self.ops.get_mut(&op)?;
+        entry.remaining -= 1;
+        if entry.remaining == 0 {
+            self.ops.remove(&op)
+        } else {
+            None
+        }
+    }
+
+    /// Number of in-flight ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Deterministic payload bytes for extent `ext` of op `op_id` — pure
+/// function so correctness tests can regenerate the exact stream.
+pub fn payload_for(op_id: u64, ext: usize, len: usize) -> Vec<u8> {
+    let mut x = op_id
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(ext as u64)
+        | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 24) as u8
+        })
+        .collect()
+}
+
+/// Convenience: run a fully-configured cluster for `duration` of virtual
+/// time with all clients active, then drain in-flight ops. Returns the
+/// virtual time at which the last op completed.
+pub fn run_workload(world: &mut Cluster, sim: &mut Sim<Cluster>, duration: Time) -> Time {
+    world.core.stop_at = Some(sim.now() + duration);
+    world.core.metrics.window_start = sim.now();
+    start_clients(world, sim);
+    sim.run_while(world, |w| !w.core.pending.is_empty());
+    sim.now().max(world.core.stop_at.unwrap_or(0))
+}
+
+/// A tiny latency floor for in-memory operations (index updates, buffer
+/// copies) on the OSD CPU.
+pub const MEM_OP: Time = MICROSECOND;

@@ -1,0 +1,158 @@
+//! Experiment counters: completions, latency, time-series buckets, and the
+//! arrival log used by correctness tests.
+
+use crate::osd::BlockId;
+use tsue_sim::{Time, SECOND};
+
+/// One update-extent arrival at an OSD, in OSD-serialized order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrivalRecord {
+    /// The client op.
+    pub op_id: u64,
+    /// Extent index within the op.
+    pub ext: usize,
+    /// Target block.
+    pub block: BlockId,
+    /// Offset within the block.
+    pub off: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// Cluster-wide experiment metrics.
+pub struct ClusterMetrics {
+    /// Completed client operations (reads + updates).
+    pub ops_completed: u64,
+    /// Completed update operations.
+    pub updates_completed: u64,
+    /// Completed read operations.
+    pub reads_completed: u64,
+    /// Update extents received by OSDs.
+    pub extents_received: u64,
+    /// Reads fully served from scheme logs/caches.
+    pub read_cache_hits: u64,
+    /// Sum of completed-op latencies.
+    pub total_latency: Time,
+    /// Maximum completed-op latency.
+    pub max_latency: Time,
+    /// Completion counts bucketed per virtual second (Fig. 6a series).
+    pub per_second: Vec<u64>,
+    /// Time origin of the measurement window.
+    pub window_start: Time,
+    /// Update-extent arrival order (only when `record_arrivals`).
+    pub arrivals: Option<Vec<ArrivalRecord>>,
+    /// Peak per-OSD scheme memory observed by the harness probe, bytes.
+    pub mem_peak: u64,
+    /// Reads served via stripe reconstruction because the owner was dead.
+    pub degraded_reads: u64,
+}
+
+impl ClusterMetrics {
+    /// Creates zeroed metrics; `record_arrivals` enables the arrival log.
+    pub fn new(record_arrivals: bool) -> Self {
+        ClusterMetrics {
+            ops_completed: 0,
+            updates_completed: 0,
+            reads_completed: 0,
+            extents_received: 0,
+            read_cache_hits: 0,
+            total_latency: 0,
+            max_latency: 0,
+            per_second: Vec::new(),
+            window_start: 0,
+            arrivals: record_arrivals.then(Vec::new),
+            mem_peak: 0,
+            degraded_reads: 0,
+        }
+    }
+
+    /// Records one completed client op.
+    pub fn record_completion(&mut self, now: Time, issued_at: Time, is_write: bool) {
+        self.ops_completed += 1;
+        if is_write {
+            self.updates_completed += 1;
+        } else {
+            self.reads_completed += 1;
+        }
+        let lat = now.saturating_sub(issued_at);
+        self.total_latency += lat;
+        self.max_latency = self.max_latency.max(lat);
+        let bucket = (now.saturating_sub(self.window_start) / SECOND) as usize;
+        if self.per_second.len() <= bucket {
+            self.per_second.resize(bucket + 1, 0);
+        }
+        self.per_second[bucket] += 1;
+    }
+
+    /// Logs an update-extent arrival (correctness mode).
+    pub fn record_arrival(&mut self, op_id: u64, ext: usize, block: BlockId, off: u64, len: u64) {
+        if let Some(log) = self.arrivals.as_mut() {
+            log.push(ArrivalRecord {
+                op_id,
+                ext,
+                block,
+                off,
+                len,
+            });
+        }
+    }
+
+    /// Mean completed-op latency in nanoseconds.
+    pub fn mean_latency(&self) -> f64 {
+        if self.ops_completed == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.ops_completed as f64
+        }
+    }
+
+    /// Aggregate operations per second over `[window_start, end]`.
+    pub fn iops(&self, end: Time) -> f64 {
+        let span = end.saturating_sub(self.window_start);
+        if span == 0 {
+            0.0
+        } else {
+            self.ops_completed as f64 * 1e9 / span as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_updates_all_counters() {
+        let mut m = ClusterMetrics::new(false);
+        m.window_start = 0;
+        m.record_completion(SECOND / 2, 0, true);
+        m.record_completion(3 * SECOND / 2, SECOND, false);
+        assert_eq!(m.ops_completed, 2);
+        assert_eq!(m.updates_completed, 1);
+        assert_eq!(m.reads_completed, 1);
+        assert_eq!(m.per_second, vec![1, 1]);
+        assert_eq!(m.max_latency, SECOND / 2);
+        assert!((m.mean_latency() - (SECOND / 2) as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn iops_over_window() {
+        let mut m = ClusterMetrics::new(false);
+        m.window_start = SECOND;
+        for i in 0..100 {
+            m.record_completion(SECOND + i * 10_000_000, SECOND, true);
+        }
+        let iops = m.iops(2 * SECOND);
+        assert!((iops - 100.0).abs() < 1e-6, "iops {iops}");
+    }
+
+    #[test]
+    fn arrival_log_respects_flag() {
+        let mut off = ClusterMetrics::new(false);
+        off.record_arrival(1, 0, BlockId { file: 0, stripe: 0, role: 0 }, 0, 10);
+        assert!(off.arrivals.is_none());
+        let mut on = ClusterMetrics::new(true);
+        on.record_arrival(1, 0, BlockId { file: 0, stripe: 0, role: 0 }, 0, 10);
+        assert_eq!(on.arrivals.as_ref().unwrap().len(), 1);
+    }
+}

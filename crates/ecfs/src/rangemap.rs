@@ -1,0 +1,515 @@
+//! An interval map over byte offsets with three insertion disciplines.
+//!
+//! Every log-structured update scheme needs to answer "what is the newest
+//! content for `[off, off+len)`?" under arbitrary overlap. [`RangeMap`]
+//! keeps non-overlapping, offset-sorted entries of [`Chunk`]s and supports:
+//!
+//! * [`RangeMap::insert`] — newest wins (data logs, read caches; paper
+//!   Eq. (4): the latest update for the same location is the valid one),
+//! * [`RangeMap::insert_absent`] — first wins (PARIX's original-data
+//!   capture: only the value before the *first* update matters),
+//! * [`RangeMap::insert_xor`] — accumulate by XOR (delta logs; paper
+//!   Eq. (3): same-offset deltas fold),
+//!
+//! plus adjacency coalescing, which is precisely the paper's
+//! "adjacent records merged into fewer, larger entries" optimization. The
+//! map works on ghost (timing-only) chunks as well as real bytes.
+
+use crate::scheme::Chunk;
+use std::collections::BTreeMap;
+
+/// Insertion discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Discipline {
+    /// Later inserts overwrite overlapping older content.
+    Overwrite,
+    /// Later inserts fill only gaps; existing content is preserved.
+    Absent,
+    /// Overlaps combine by XOR; gaps are filled.
+    Xor,
+}
+
+/// Non-overlapping, offset-sorted interval map of chunks.
+#[derive(Debug, Default, Clone)]
+pub struct RangeMap {
+    /// start offset -> chunk (entries never overlap).
+    entries: BTreeMap<u64, Chunk>,
+    /// Total bytes covered (maintained incrementally).
+    covered: u64,
+}
+
+impl RangeMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no ranges are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes covered by all entries.
+    pub fn covered_bytes(&self) -> u64 {
+        self.covered
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.covered = 0;
+    }
+
+    /// Iterates `(offset, chunk)` in offset order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Chunk)> {
+        self.entries.iter().map(|(&o, c)| (o, c))
+    }
+
+    /// Drains all entries in offset order.
+    pub fn drain(&mut self) -> Vec<(u64, Chunk)> {
+        self.covered = 0;
+        std::mem::take(&mut self.entries).into_iter().collect()
+    }
+
+    /// Newest-wins insertion with adjacency coalescing.
+    pub fn insert(&mut self, off: u64, chunk: Chunk) {
+        self.insert_with(off, chunk, Discipline::Overwrite);
+    }
+
+    /// First-wins insertion (only gaps are filled).
+    pub fn insert_absent(&mut self, off: u64, chunk: Chunk) {
+        self.insert_with(off, chunk, Discipline::Absent);
+    }
+
+    /// XOR-accumulating insertion.
+    pub fn insert_xor(&mut self, off: u64, chunk: Chunk) {
+        self.insert_with(off, chunk, Discipline::Xor);
+    }
+
+    /// General insertion under a discipline.
+    ///
+    /// # Panics
+    /// Panics on zero-length chunks.
+    pub fn insert_with(&mut self, off: u64, chunk: Chunk, disc: Discipline) {
+        assert!(chunk.len > 0, "zero-length range");
+        let end = off + chunk.len;
+
+        // Collect the keys of entries overlapping [off, end).
+        let overlapping: Vec<u64> = {
+            // Any entry starting before `end` could overlap; walk back from
+            // there. Entries are non-overlapping, so only the last one
+            // starting at or before `off` can cross `off` from the left.
+            let mut keys: Vec<u64> = self
+                .entries
+                .range(off..end)
+                .map(|(&k, _)| k)
+                .collect();
+            if let Some((&k, c)) = self.entries.range(..off).next_back() {
+                if k + c.len > off {
+                    keys.insert(0, k);
+                }
+            }
+            keys
+        };
+
+        match disc {
+            Discipline::Overwrite => {
+                // Carve out the overlapped parts of existing entries, then
+                // insert the new chunk whole.
+                for k in overlapping {
+                    let existing = self.entries.remove(&k).unwrap();
+                    self.covered -= existing.len;
+                    let (left, _mid, right) = split3(k, existing, off, end);
+                    if let Some((lo, lc)) = left {
+                        self.covered += lc.len;
+                        self.entries.insert(lo, lc);
+                    }
+                    if let Some((ro, rc)) = right {
+                        self.covered += rc.len;
+                        self.entries.insert(ro, rc);
+                    }
+                }
+                self.covered += chunk.len;
+                self.entries.insert(off, chunk);
+            }
+            Discipline::Absent => {
+                // Keep existing entries; fill only the gaps with slices of
+                // the new chunk.
+                let mut cursor = off;
+                let mut gaps: Vec<(u64, u64)> = Vec::new(); // (start, len)
+                for &k in &overlapping {
+                    let c = &self.entries[&k];
+                    let e_start = k.max(off);
+                    if e_start > cursor {
+                        gaps.push((cursor, e_start - cursor));
+                    }
+                    cursor = cursor.max(k + c.len);
+                }
+                if cursor < end {
+                    gaps.push((cursor, end - cursor));
+                }
+                for (gs, gl) in gaps {
+                    let piece = slice_chunk(&chunk, gs - off, gl);
+                    self.covered += piece.len;
+                    self.entries.insert(gs, piece);
+                }
+            }
+            Discipline::Xor => {
+                // XOR into overlapped parts; insert slices into gaps.
+                let mut cursor = off;
+                let mut to_insert: Vec<(u64, Chunk)> = Vec::new();
+                for &k in &overlapping {
+                    let existing = self.entries.remove(&k).unwrap();
+                    self.covered -= existing.len;
+                    let e_end = k + existing.len;
+                    // Gap before this entry.
+                    let e_start = k.max(off);
+                    if e_start > cursor {
+                        to_insert.push((cursor, slice_chunk(&chunk, cursor - off, e_start - cursor)));
+                    }
+                    // Overlapped middle: xor the intersecting span.
+                    let i_start = e_start;
+                    let i_end = e_end.min(end);
+                    if i_end > i_start {
+                        // Split the existing entry into pre / mid / post.
+                        let (left, mid, right) = split3(k, existing, i_start, i_end);
+                        if let Some((lo, lc)) = left {
+                            to_insert.push((lo, lc));
+                        }
+                        if let Some((ro, rc)) = right {
+                            to_insert.push((ro, rc));
+                        }
+                        let (mo, mut mc) = mid.expect("mid overlap exists");
+                        let patch = slice_chunk(&chunk, mo - off, mc.len);
+                        mc.xor_in(&patch);
+                        to_insert.push((mo, mc));
+                    } else {
+                        // Unreachable by construction (collected entries
+                        // always intersect), but harmless: restore as-is.
+                        to_insert.push((k, existing));
+                    }
+                    cursor = cursor.max(i_end);
+                }
+                if cursor < end {
+                    to_insert.push((cursor, slice_chunk(&chunk, cursor - off, end - cursor)));
+                }
+                for (o, c) in to_insert {
+                    self.covered += c.len;
+                    self.entries.insert(o, c);
+                }
+            }
+        }
+        self.coalesce_around(off, end);
+    }
+
+    /// Overlays stored content onto `buf` (which represents
+    /// `[off, off+len)`); returns `true` if the map fully covers the range.
+    pub fn overlay(&self, off: u64, len: u64, mut buf: Option<&mut [u8]>) -> bool {
+        let end = off + len;
+        let mut cursor = off;
+        // Left-crossing entry.
+        let start_key = self
+            .entries
+            .range(..off)
+            .next_back()
+            .filter(|(&k, c)| k + c.len > off)
+            .map(|(&k, _)| k);
+        let iter = start_key
+            .into_iter()
+            .chain(self.entries.range(off..end).map(|(&k, _)| k));
+        for k in iter {
+            let c = &self.entries[&k];
+            let e_end = k + c.len;
+            let i_start = k.max(off);
+            let i_end = e_end.min(end);
+            if i_start > cursor {
+                return false_with_patch(self, cursor, end, buf);
+            }
+            if let (Some(b), Some(bytes)) = (buf.as_deref_mut(), c.bytes.as_ref()) {
+                let dst = &mut b[(i_start - off) as usize..(i_end - off) as usize];
+                dst.copy_from_slice(&bytes[(i_start - k) as usize..(i_end - k) as usize]);
+            }
+            cursor = i_end;
+            if cursor >= end {
+                return true;
+            }
+        }
+        cursor >= end
+    }
+
+    /// Merges entries that are exactly adjacent (both real or both ghost) —
+    /// the paper's request-coalescing step.
+    fn coalesce_around(&mut self, off: u64, end: u64) {
+        // Look at the entry before `off` and entries within [off, end], and
+        // merge adjacent runs pairwise.
+        let mut keys: Vec<u64> = self
+            .entries
+            .range(..off)
+            .next_back()
+            .map(|(&k, _)| k)
+            .into_iter()
+            .chain(self.entries.range(off..=end).map(|(&k, _)| k))
+            .collect();
+        keys.sort_unstable();
+        for w in keys.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let (Some(ca), Some(cb)) = (self.entries.get(&a), self.entries.get(&b)) else {
+                continue;
+            };
+            if a + ca.len != b {
+                continue;
+            }
+            let mergeable = matches!(
+                (&ca.bytes, &cb.bytes),
+                (Some(_), Some(_)) | (None, None)
+            );
+            if !mergeable {
+                continue;
+            }
+            let cb = self.entries.remove(&b).unwrap();
+            let ca = self.entries.get_mut(&a).unwrap();
+            if let (Some(av), Some(bv)) = (ca.bytes.as_mut(), cb.bytes) {
+                av.extend_from_slice(&bv);
+            }
+            ca.len += cb.len;
+        }
+    }
+}
+
+/// Patches whatever partial coverage exists, then reports non-coverage.
+fn false_with_patch(map: &RangeMap, cursor: u64, end: u64, buf: Option<&mut [u8]>) -> bool {
+    // Still overlay the remaining covered pieces for content correctness.
+    if let Some(b) = buf {
+        let off0 = end - b.len() as u64;
+        for (k, c) in map.entries.range(cursor..end) {
+            if let Some(bytes) = c.bytes.as_ref() {
+                let i_end = (k + c.len).min(end);
+                let dst = &mut b[(*k - off0) as usize..(i_end - off0) as usize];
+                dst.copy_from_slice(&bytes[..(i_end - k) as usize]);
+            }
+        }
+    }
+    false
+}
+
+/// Splits `chunk` (starting at `start`) into (before `lo`, [`lo`,`hi`),
+/// after `hi`) pieces, any of which may be absent.
+fn split3(
+    start: u64,
+    chunk: Chunk,
+    lo: u64,
+    hi: u64,
+) -> (Option<(u64, Chunk)>, Option<(u64, Chunk)>, Option<(u64, Chunk)>) {
+    let end = start + chunk.len;
+    let left = if start < lo {
+        Some((start, slice_chunk(&chunk, 0, lo.min(end) - start)))
+    } else {
+        None
+    };
+    let mid_lo = lo.max(start);
+    let mid_hi = hi.min(end);
+    let mid = if mid_hi > mid_lo {
+        Some((mid_lo, slice_chunk(&chunk, mid_lo - start, mid_hi - mid_lo)))
+    } else {
+        None
+    };
+    let right = if end > hi {
+        Some((hi.max(start), slice_chunk(&chunk, hi.max(start) - start, end - hi.max(start))))
+    } else {
+        None
+    };
+    (left, mid, right)
+}
+
+/// Slices `len` bytes at relative offset `rel` out of a chunk.
+fn slice_chunk(chunk: &Chunk, rel: u64, len: u64) -> Chunk {
+    debug_assert!(rel + len <= chunk.len);
+    match &chunk.bytes {
+        Some(b) => Chunk::real(b[rel as usize..(rel + len) as usize].to_vec()),
+        None => Chunk::ghost(len),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn real(byte: u8, len: usize) -> Chunk {
+        Chunk::real(vec![byte; len])
+    }
+
+    /// Reference model: plain byte map.
+    fn check_against_model(map: &RangeMap, model: &std::collections::HashMap<u64, u8>, span: u64) {
+        for off in 0..span {
+            let mut buf = [0xEEu8; 1];
+            let covered = map.overlay(off, 1, Some(&mut buf));
+            match model.get(&off) {
+                Some(&b) => {
+                    assert!(covered, "offset {off} should be covered");
+                    assert_eq!(buf[0], b, "offset {off}");
+                }
+                None => assert!(!covered, "offset {off} should be uncovered"),
+            }
+        }
+    }
+
+    #[test]
+    fn overwrite_newest_wins() {
+        let mut m = RangeMap::new();
+        m.insert(10, real(1, 10)); // [10,20) = 1
+        m.insert(15, real(2, 10)); // [15,25) = 2
+        let mut model = std::collections::HashMap::new();
+        for o in 10..15 {
+            model.insert(o, 1);
+        }
+        for o in 15..25 {
+            model.insert(o, 2);
+        }
+        check_against_model(&m, &model, 30);
+        assert_eq!(m.covered_bytes(), 15);
+    }
+
+    #[test]
+    fn overwrite_interior_split() {
+        let mut m = RangeMap::new();
+        m.insert(0, real(7, 30));
+        m.insert(10, real(9, 5)); // hole punched in the middle
+        let mut buf = vec![0u8; 30];
+        assert!(m.overlay(0, 30, Some(&mut buf)));
+        for (i, &b) in buf.iter().enumerate() {
+            let expect = if (10..15).contains(&i) { 9 } else { 7 };
+            assert_eq!(b, expect, "i={i}");
+        }
+        assert_eq!(m.covered_bytes(), 30);
+    }
+
+    #[test]
+    fn absent_preserves_existing() {
+        let mut m = RangeMap::new();
+        m.insert_absent(10, real(1, 10));
+        m.insert_absent(5, real(2, 10)); // only [5,10) takes
+        let mut model = std::collections::HashMap::new();
+        for o in 5..10 {
+            model.insert(o, 2);
+        }
+        for o in 10..20 {
+            model.insert(o, 1);
+        }
+        check_against_model(&m, &model, 25);
+    }
+
+    #[test]
+    fn xor_accumulates() {
+        let mut m = RangeMap::new();
+        m.insert_xor(0, real(0b0011, 8));
+        m.insert_xor(4, real(0b0101, 8)); // overlap [4,8)
+        let mut buf = vec![0u8; 12];
+        assert!(m.overlay(0, 12, Some(&mut buf)));
+        for (i, &b) in buf.iter().enumerate() {
+            let expect = match i {
+                0..=3 => 0b0011,
+                4..=7 => 0b0011 ^ 0b0101,
+                _ => 0b0101,
+            };
+            assert_eq!(b, expect, "i={i}");
+        }
+    }
+
+    #[test]
+    fn adjacency_coalesces() {
+        let mut m = RangeMap::new();
+        m.insert(0, real(1, 4));
+        m.insert(4, real(1, 4));
+        m.insert(8, real(1, 4));
+        assert_eq!(m.len(), 1, "adjacent equal-type entries merge");
+        assert_eq!(m.covered_bytes(), 12);
+    }
+
+    #[test]
+    fn ghost_chunks_track_coverage_only() {
+        let mut m = RangeMap::new();
+        m.insert(100, Chunk::ghost(50));
+        m.insert(120, Chunk::ghost(100));
+        assert_eq!(m.covered_bytes(), 120);
+        assert!(m.overlay(100, 120, None));
+        assert!(!m.overlay(90, 20, None));
+    }
+
+    #[test]
+    fn overlay_partial_returns_false_but_patches() {
+        let mut m = RangeMap::new();
+        m.insert(10, real(5, 10));
+        let mut buf = vec![0u8; 30];
+        assert!(!m.overlay(0, 30, Some(&mut buf)));
+        assert_eq!(buf[10], 5);
+        assert_eq!(buf[19], 5);
+        assert_eq!(buf[0], 0);
+        assert_eq!(buf[25], 0);
+    }
+
+    #[test]
+    fn drain_empties_in_order() {
+        let mut m = RangeMap::new();
+        m.insert(30, real(3, 4));
+        m.insert(10, real(1, 4));
+        m.insert(20, real(2, 4));
+        let drained = m.drain();
+        assert_eq!(drained.len(), 3);
+        assert!(drained.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(m.is_empty());
+        assert_eq!(m.covered_bytes(), 0);
+    }
+
+    #[test]
+    fn randomized_against_reference_model() {
+        // Deterministic pseudo-random fuzz of Overwrite mode vs a byte map.
+        let mut m = RangeMap::new();
+        let mut model = std::collections::HashMap::new();
+        let mut x: u64 = 0x12345;
+        for i in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let off = (x >> 16) % 200;
+            let len = 1 + ((x >> 40) % 40);
+            let val = (i % 251) as u8;
+            m.insert(off, Chunk::real(vec![val; len as usize]));
+            for o in off..off + len {
+                model.insert(o, val);
+            }
+        }
+        check_against_model(&m, &model, 256);
+        assert_eq!(m.covered_bytes(), model.len() as u64);
+    }
+
+    #[test]
+    fn xor_randomized_against_reference() {
+        let mut m = RangeMap::new();
+        let mut model = std::collections::HashMap::<u64, u8>::new();
+        let mut x: u64 = 99;
+        for _ in 0..300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let off = (x >> 16) % 150;
+            let len = 1 + ((x >> 40) % 30);
+            let val = (x >> 8) as u8;
+            m.insert_xor(off, Chunk::real(vec![val; len as usize]));
+            for o in off..off + len {
+                *model.entry(o).or_insert(0) ^= val;
+            }
+        }
+        for off in 0..200u64 {
+            let mut buf = [0u8; 1];
+            let covered = m.overlay(off, 1, Some(&mut buf));
+            match model.get(&off) {
+                Some(&b) => {
+                    assert!(covered);
+                    assert_eq!(buf[0], b, "offset {off}");
+                }
+                None => assert!(!covered),
+            }
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! The pluggable update-scheme interface and its event plumbing.
+//!
+//! A scheme instance lives on each OSD and implements the *update path* of
+//! the file system: what happens when an update extent lands on the data
+//! block's owner, how deltas reach parity owners, how logs are recycled,
+//! and how reads see not-yet-merged log content. All cross-OSD interaction
+//! goes through [`SchemeMsg`]s delivered by the DES after modeled network
+//! transfers; all device access goes through the owning OSD's device model.
+//! This is exactly the surface the paper says its six implementations share
+//! (§5: "implemented on the CLIENT side and the OSD side").
+
+use crate::osd::BlockId;
+use crate::{client, Cluster, ClusterCore};
+use tsue_sim::{Sim, Time};
+
+/// A byte payload that may be timing-only. In materialized (correctness)
+/// runs chunks carry real bytes; in performance runs only the length.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// Payload length in bytes.
+    pub len: u64,
+    /// The bytes, when the cluster materializes data.
+    pub bytes: Option<Vec<u8>>,
+}
+
+impl Chunk {
+    /// A timing-only chunk.
+    pub fn ghost(len: u64) -> Self {
+        Chunk { len, bytes: None }
+    }
+
+    /// A materialized chunk.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is empty (zero-length extents are a bug upstream).
+    pub fn real(bytes: Vec<u8>) -> Self {
+        assert!(!bytes.is_empty(), "empty chunk");
+        Chunk {
+            len: bytes.len() as u64,
+            bytes: Some(bytes),
+        }
+    }
+
+    /// XORs `other` into this chunk (delta folding); ghost chunks fold into
+    /// ghost chunks.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn xor_in(&mut self, other: &Chunk) {
+        assert_eq!(self.len, other.len, "chunk length mismatch");
+        if let (Some(a), Some(b)) = (self.bytes.as_mut(), other.bytes.as_ref()) {
+            tsue_gf::xor_slice(b, a);
+        } else {
+            self.bytes = None;
+        }
+    }
+
+    /// Returns a GF-scaled copy: `coeff * self` (parity-delta computation).
+    pub fn gf_scaled(&self, coeff: u8) -> Chunk {
+        match &self.bytes {
+            Some(b) => {
+                let mut out = vec![0u8; b.len()];
+                tsue_gf::mul_slice(coeff, b, &mut out);
+                Chunk::real_or_ghost(out, true)
+            }
+            None => Chunk::ghost(self.len),
+        }
+    }
+
+    fn real_or_ghost(bytes: Vec<u8>, real: bool) -> Chunk {
+        if real {
+            Chunk {
+                len: bytes.len() as u64,
+                bytes: Some(bytes),
+            }
+        } else {
+            Chunk::ghost(bytes.len() as u64)
+        }
+    }
+}
+
+/// An update extent as it arrives at the data block's OSD.
+#[derive(Clone, Debug)]
+pub struct UpdateReq {
+    /// The in-flight client op this extent belongs to.
+    pub op_id: u64,
+    /// Index of the extent within the op (payload derivation).
+    pub ext: usize,
+    /// Target data block (role < k).
+    pub block: BlockId,
+    /// Offset within the block.
+    pub off: u64,
+    /// New data.
+    pub data: Chunk,
+}
+
+/// What kind of delta a [`SchemeMsg::DeltaForward`] carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// `D_new ⊕ D_old` — multiply by the coefficient at the parity side.
+    DataDelta,
+    /// Already multiplied: XOR straight into the parity block/log.
+    ParityDelta,
+}
+
+/// Messages exchanged between scheme instances on different OSDs.
+#[derive(Clone, Debug)]
+pub enum SchemeMsg {
+    /// Raw new data forwarded to a peer (PARIX speculative writes, TSUE
+    /// data-log replication payloads).
+    DataForward {
+        /// Sending OSD (for replies).
+        from: usize,
+        /// Data block the payload belongs to.
+        block: BlockId,
+        /// Offset within the block.
+        off: u64,
+        /// The payload.
+        data: Chunk,
+        /// Scheme-specific discriminator.
+        tag: u64,
+    },
+    /// A delta destined for parity handling.
+    DeltaForward {
+        /// Sending OSD (for replies).
+        from: usize,
+        /// Data block the delta originated from.
+        block: BlockId,
+        /// Offset within the block.
+        off: u64,
+        /// Delta bytes.
+        data: Chunk,
+        /// Data-delta vs parity-delta.
+        kind: DeltaKind,
+        /// Which parity index (0..m) this is addressed to.
+        parity_index: usize,
+        /// Scheme-specific discriminator.
+        tag: u64,
+    },
+    /// Positive acknowledgement carrying an opaque tag.
+    Ack {
+        /// Correlates with the request that asked for the ack.
+        tag: u64,
+    },
+    /// Scheme-specific control signal.
+    Control {
+        /// Sending OSD (for replies).
+        from: usize,
+        /// Discriminator.
+        tag: u64,
+        /// Payload word A.
+        a: u64,
+        /// Payload word B.
+        b: u64,
+    },
+}
+
+/// Result of asking a scheme to overlay a read from its logs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadServe {
+    /// The log/cache fully covered the range: no device read needed.
+    CacheHit,
+    /// Device read required (overlay, if any, was partial).
+    Miss,
+}
+
+/// The update-scheme interface.
+///
+/// One instance per OSD. Methods receive the shared [`ClusterCore`] (all
+/// devices, network, MDS — everything except other schemes) and the DES
+/// handle for scheduling continuations.
+pub trait UpdateScheme {
+    /// Scheme name as used in the paper's figures ("FO", "PL", "TSUE", ...).
+    fn name(&self) -> &'static str;
+
+    /// An update extent arrived at this OSD (which owns `req.block`).
+    /// The scheme must eventually call `core.extent_done(sim, osd, req.op_id)`
+    /// exactly once — that is the client-visible completion.
+    fn on_update(
+        &mut self,
+        core: &mut ClusterCore,
+        sim: &mut Sim<Cluster>,
+        osd: usize,
+        req: UpdateReq,
+    );
+
+    /// A peer scheme's message arrived over the network.
+    fn on_message(
+        &mut self,
+        core: &mut ClusterCore,
+        sim: &mut Sim<Cluster>,
+        osd: usize,
+        msg: SchemeMsg,
+    );
+
+    /// A timer armed via `core.scheme_timer` fired.
+    fn on_timer(
+        &mut self,
+        _core: &mut ClusterCore,
+        _sim: &mut Sim<Cluster>,
+        _osd: usize,
+        _tag: u64,
+    ) {
+    }
+
+    /// Overlays any newer log content onto a read of
+    /// `[off, off+len)` of `block`. `buf`, when present, already holds the
+    /// store content and must be patched in place.
+    fn read_overlay(
+        &mut self,
+        _core: &mut ClusterCore,
+        _osd: usize,
+        _block: BlockId,
+        _off: u64,
+        _len: u64,
+        _buf: Option<&mut [u8]>,
+    ) -> ReadServe {
+        ReadServe::Miss
+    }
+
+    /// Kicks off draining of all pending log state toward data/parity
+    /// blocks. Called repeatedly until [`Self::backlog`] reaches zero.
+    fn flush(&mut self, core: &mut ClusterCore, sim: &mut Sim<Cluster>, osd: usize);
+
+    /// Outstanding units of work (log entries, unmerged deltas, in-flight
+    /// recycles). Zero means every block/parity is fully merged on disk.
+    fn backlog(&self) -> u64;
+
+    /// Bytes of memory the scheme currently pins (log buffers + indexes).
+    fn memory_usage(&self) -> u64 {
+        0
+    }
+
+    /// Downcast hook for harness-side introspection (e.g. harvesting
+    /// TSUE residency statistics).
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+/// Event shim: deliver an update extent to the owning OSD's scheme.
+pub fn deliver_update(world: &mut Cluster, sim: &mut Sim<Cluster>, osd: usize, req: UpdateReq) {
+    if world.core.osds[osd].dead {
+        return; // lost on the wire; failure tests stop traffic first
+    }
+    if world.core.cfg.record_arrivals {
+        world.core.metrics.record_arrival(req.op_id, req.ext, req.block, req.off, req.data.len);
+    }
+    world.core.metrics.extents_received += 1;
+    let mut s = world.schemes[osd].take().expect("scheme reentrancy");
+    s.on_update(&mut world.core, sim, osd, req);
+    world.schemes[osd] = Some(s);
+}
+
+/// Event shim: deliver a peer message to an OSD's scheme.
+pub fn deliver_msg(world: &mut Cluster, sim: &mut Sim<Cluster>, osd: usize, msg: SchemeMsg) {
+    if world.core.osds[osd].dead {
+        return;
+    }
+    let mut s = world.schemes[osd].take().expect("scheme reentrancy");
+    s.on_message(&mut world.core, sim, osd, msg);
+    world.schemes[osd] = Some(s);
+}
+
+/// Event shim: deliver a timer tick to an OSD's scheme.
+pub fn deliver_timer(world: &mut Cluster, sim: &mut Sim<Cluster>, osd: usize, tag: u64) {
+    if world.core.osds[osd].dead {
+        return;
+    }
+    let mut s = world.schemes[osd].take().expect("scheme reentrancy");
+    s.on_timer(&mut world.core, sim, osd, tag);
+    world.schemes[osd] = Some(s);
+}
+
+/// Event shim: serve a read extent at the owning OSD, consulting the
+/// scheme's log overlay, then reply to the client.
+pub fn deliver_read(
+    world: &mut Cluster,
+    sim: &mut Sim<Cluster>,
+    osd: usize,
+    op_id: u64,
+    block: BlockId,
+    off: u64,
+    len: u64,
+) {
+    if world.core.osds[osd].dead {
+        return;
+    }
+    // Ask the scheme whether its logs cover the range.
+    let mut s = world.schemes[osd].take().expect("scheme reentrancy");
+    let serve = s.read_overlay(&mut world.core, osd, block, off, len, None);
+    world.schemes[osd] = Some(s);
+
+    let done = match serve {
+        ReadServe::CacheHit => {
+            world.core.metrics.read_cache_hits += 1;
+            sim.now() + crate::MEM_OP
+        }
+        ReadServe::Miss => {
+            let (t, _) = world.core.osds[osd].read_block_range(sim.now(), block, off, len);
+            t
+        }
+    };
+    // Reply with the data payload.
+    let client = match world.core.pending.client_of(op_id) {
+        Some(c) => c,
+        None => return,
+    };
+    let arrival = world.core.net.transfer(
+        done,
+        world.core.osds[osd].node,
+        world.core.client_node(client),
+        len,
+    );
+    sim.schedule_at(arrival, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+        client::client_ack(w, sim, op_id);
+    });
+}
+
+/// Correlates multi-ack exchanges (e.g. "wait for M parity acks, then
+/// complete the extent") — shared by every scheme implementation.
+#[derive(Debug, Default)]
+pub struct AckTable {
+    next: u64,
+    pending: std::collections::HashMap<u64, (u64, u32)>,
+}
+
+impl AckTable {
+    /// Registers an exchange needing `need` acks; returns its tag.
+    ///
+    /// # Panics
+    /// Panics if `need == 0`.
+    pub fn register(&mut self, op_id: u64, need: u32) -> u64 {
+        assert!(need > 0, "ack exchange needs at least one ack");
+        let tag = self.next;
+        self.next += 1;
+        self.pending.insert(tag, (op_id, need));
+        tag
+    }
+
+    /// Records one ack; returns the op id when the exchange completes.
+    pub fn ack(&mut self, tag: u64) -> Option<u64> {
+        let (op, need) = self.pending.get_mut(&tag)?;
+        *need -= 1;
+        if *need == 0 {
+            let op = *op;
+            self.pending.remove(&tag);
+            Some(op)
+        } else {
+            None
+        }
+    }
+
+    /// Exchanges still waiting.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// A do-nothing scheme: completes updates instantly without touching parity.
+///
+/// Useful for testing the ECFS plumbing itself and as the lower bound no
+/// real scheme can beat (it is *not* crash consistent — data blocks are
+/// updated in place and parity is never maintained).
+#[derive(Default)]
+pub struct InstantScheme {
+    updates: u64,
+}
+
+impl UpdateScheme for InstantScheme {
+    fn name(&self) -> &'static str {
+        "instant"
+    }
+
+    fn on_update(
+        &mut self,
+        core: &mut ClusterCore,
+        sim: &mut Sim<Cluster>,
+        osd: usize,
+        req: UpdateReq,
+    ) {
+        self.updates += 1;
+        // In-place data write only; no delta, no parity.
+        let t = core.osds[osd].write_block_range(
+            sim.now(),
+            req.block,
+            req.off,
+            req.data.len,
+            req.data.bytes.as_deref(),
+        );
+        let op = req.op_id;
+        sim.schedule_at(t, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+            w.core.extent_done(sim, osd, op);
+        });
+    }
+
+    fn on_message(
+        &mut self,
+        _core: &mut ClusterCore,
+        _sim: &mut Sim<Cluster>,
+        _osd: usize,
+        _msg: SchemeMsg,
+    ) {
+    }
+
+    fn flush(&mut self, _core: &mut ClusterCore, _sim: &mut Sim<Cluster>, _osd: usize) {}
+
+    fn backlog(&self) -> u64 {
+        0
+    }
+}
+
+/// Helper shared by delta-based schemes: the read-modify-write that
+/// produces a data delta at the data block's OSD (paper Eq. 2 prologue).
+/// Returns `(completion_time, delta_chunk)`; the store is updated to the
+/// new content.
+pub fn rmw_data_delta(
+    core: &mut ClusterCore,
+    now: Time,
+    osd: usize,
+    block: BlockId,
+    off: u64,
+    data: &Chunk,
+) -> (Time, Chunk) {
+    let (t_read, old) = core.osds[osd].read_block_range(now, block, off, data.len);
+    let delta = match (&data.bytes, old) {
+        (Some(new), Some(old)) => Chunk::real(tsue_ec::data_delta(&old, new)),
+        _ => Chunk::ghost(data.len),
+    };
+    let t_compute = t_read + core.xor_time(data.len);
+    let t_write =
+        core.osds[osd].write_block_range(t_compute, block, off, data.len, data.bytes.as_deref());
+    (t_write, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ghost_and_real() {
+        let g = Chunk::ghost(16);
+        assert_eq!(g.len, 16);
+        assert!(g.bytes.is_none());
+        let r = Chunk::real(vec![1, 2, 3]);
+        assert_eq!(r.len, 3);
+    }
+
+    #[test]
+    fn chunk_xor_in_folds() {
+        let mut a = Chunk::real(vec![0xF0, 0x0F]);
+        let b = Chunk::real(vec![0x0F, 0x0F]);
+        a.xor_in(&b);
+        assert_eq!(a.bytes.unwrap(), vec![0xFF, 0x00]);
+    }
+
+    #[test]
+    fn chunk_xor_with_ghost_degrades_to_ghost() {
+        let mut a = Chunk::real(vec![1, 2]);
+        a.xor_in(&Chunk::ghost(2));
+        assert!(a.bytes.is_none());
+        assert_eq!(a.len, 2);
+    }
+
+    #[test]
+    fn chunk_gf_scaled_matches_field() {
+        let c = Chunk::real(vec![3, 5, 7]);
+        let s = c.gf_scaled(9);
+        let expect: Vec<u8> = vec![3, 5, 7].iter().map(|&x| tsue_gf::mul(9, x)).collect();
+        assert_eq!(s.bytes.unwrap(), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn chunk_xor_length_mismatch_panics() {
+        let mut a = Chunk::ghost(3);
+        a.xor_in(&Chunk::ghost(4));
+    }
+}

@@ -1,0 +1,107 @@
+//! Compile-time lookup tables for GF(2^8) with primitive polynomial 0x11d.
+//!
+//! All tables are built by `const fn`s, so they live in `.rodata` with zero
+//! startup cost and are usable from other `const` contexts.
+
+/// The primitive polynomial x^8 + x^4 + x^3 + x^2 + 1, with the x^8 term
+/// implicit in the reduction step (0x1d after the shift).
+pub const PRIMITIVE_POLY: u16 = 0x11d;
+
+const fn build_exp() -> [u8; 512] {
+    let mut exp = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        exp[i + 255] = x as u8; // doubled so mul() needs no modulo
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    // Indices 510 and 511 are never reached by mul/div (max log sum is 508),
+    // but keep them well-defined.
+    exp[510] = exp[0];
+    exp[511] = exp[1];
+    exp
+}
+
+const fn build_log(exp: &[u8; 512]) -> [u8; 256] {
+    let mut log = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        log[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    // log[0] is undefined in the field; leave as 0 — callers special-case 0.
+    log
+}
+
+const fn build_mul(exp: &[u8; 512], log: &[u8; 256]) -> [[u8; 256]; 256] {
+    let mut table = [[0u8; 256]; 256];
+    let mut a = 1;
+    while a < 256 {
+        let la = log[a] as usize;
+        let mut b = 1;
+        while b < 256 {
+            table[a][b] = exp[la + log[b] as usize];
+            b += 1;
+        }
+        a += 1;
+    }
+    table
+}
+
+/// `EXP_TABLE[i] = 2^i` for `i in 0..255`, doubled so that
+/// `EXP_TABLE[log a + log b]` needs no reduction modulo 255.
+pub static EXP_TABLE: [u8; 512] = build_exp();
+
+/// `LOG_TABLE[x] = log_2(x)` for non-zero `x`; `LOG_TABLE[0]` is unused.
+pub static LOG_TABLE: [u8; 256] = build_log(&EXP_TABLE);
+
+/// Full 256×256 multiplication table: `MUL_TABLE[a][b] = a * b`.
+/// 64 KiB of `.rodata`; row `a` serves as the per-coefficient lookup row
+/// used by the slice kernels.
+pub static MUL_TABLE: [[u8; 256]; 256] = build_mul(&EXP_TABLE, &LOG_TABLE);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_log_are_inverse_permutations() {
+        for i in 0..255usize {
+            assert_eq!(LOG_TABLE[EXP_TABLE[i] as usize] as usize, i);
+        }
+        for x in 1..=255usize {
+            assert_eq!(EXP_TABLE[LOG_TABLE[x] as usize] as usize, x);
+        }
+    }
+
+    #[test]
+    fn exp_table_is_doubled() {
+        for i in 0..255usize {
+            assert_eq!(EXP_TABLE[i], EXP_TABLE[i + 255]);
+        }
+    }
+
+    #[test]
+    fn mul_table_row_zero_and_one() {
+        for b in 0..256usize {
+            assert_eq!(MUL_TABLE[0][b], 0);
+            assert_eq!(MUL_TABLE[1][b], b as u8);
+            assert_eq!(MUL_TABLE[b][0], 0);
+            assert_eq!(MUL_TABLE[b][1], b as u8);
+        }
+    }
+
+    #[test]
+    fn mul_table_is_symmetric() {
+        for a in 0..256usize {
+            for b in a..256usize {
+                assert_eq!(MUL_TABLE[a][b], MUL_TABLE[b][a]);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the GF(2^8) field axioms and matrix algebra.
+
+use proptest::prelude::*;
+use tsue_gf::{add, div, inv, mul, mul_add_slice, mul_slice, pow, xor_slice, Matrix};
+
+proptest! {
+    #[test]
+    fn addition_is_commutative_associative(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(add(a, b), add(b, a));
+        prop_assert_eq!(add(add(a, b), c), add(a, add(b, c)));
+        prop_assert_eq!(add(a, 0), a);
+        prop_assert_eq!(add(a, a), 0); // every element is its own additive inverse
+    }
+
+    #[test]
+    fn multiplication_is_commutative_associative(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(mul(a, b), mul(b, a));
+        prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+    }
+
+    #[test]
+    fn distributive_law(a: u8, b: u8, c: u8) {
+        prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a: u8, b in 1u8..=255) {
+        prop_assert_eq!(div(mul(a, b), b), a);
+        prop_assert_eq!(mul(div(a, b), b), a);
+    }
+
+    #[test]
+    fn inverse_is_involutive(a in 1u8..=255) {
+        prop_assert_eq!(inv(inv(a)), a);
+    }
+
+    #[test]
+    fn pow_is_repeated_multiplication(a: u8, n in 0usize..16) {
+        let mut acc = 1u8;
+        for _ in 0..n {
+            acc = mul(acc, a);
+        }
+        prop_assert_eq!(pow(a, n), acc);
+    }
+
+    #[test]
+    fn slice_ops_agree_with_scalar(c: u8, data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut out = vec![0u8; data.len()];
+        mul_slice(c, &data, &mut out);
+        for (i, (&s, &d)) in data.iter().zip(out.iter()).enumerate() {
+            prop_assert_eq!(d, mul(c, s), "mul_slice mismatch at {}", i);
+        }
+        let mut acc = data.clone();
+        mul_add_slice(c, &data, &mut acc);
+        for (i, (&s, &d)) in data.iter().zip(acc.iter()).enumerate() {
+            prop_assert_eq!(d, s ^ mul(c, s), "mul_add_slice mismatch at {}", i);
+        }
+        let mut x = data.clone();
+        xor_slice(&data, &mut x);
+        prop_assert!(x.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn random_square_matrix_inverse_roundtrips(
+        n in 1usize..6,
+        seed in proptest::collection::vec(any::<u8>(), 36)
+    ) {
+        let mut m = Matrix::zero(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                m.set(r, c, seed[r * 6 + c]);
+            }
+        }
+        if let Some(mi) = m.inverse() {
+            prop_assert_eq!(m.mul(&mi), Matrix::identity(n));
+            prop_assert_eq!(mi.mul(&m), Matrix::identity(n));
+        }
+    }
+
+    #[test]
+    fn matrix_mul_is_associative(
+        seed in proptest::collection::vec(any::<u8>(), 27)
+    ) {
+        let build = |off: usize| {
+            let mut m = Matrix::zero(3, 3);
+            for r in 0..3 {
+                for c in 0..3 {
+                    m.set(r, c, seed[off + r * 3 + c]);
+                }
+            }
+            m
+        };
+        let a = build(0);
+        let b = build(9);
+        let c = build(18);
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+}

@@ -1,0 +1,242 @@
+//! Cluster network fabric model.
+//!
+//! Models the paper's testbed interconnects (25 Gb/s Ethernet for the SSD
+//! cluster, 40 Gb/s InfiniBand for the HDD cluster) as full-duplex per-node
+//! NIC resources joined by a non-blocking switch:
+//!
+//! * a transfer serializes on the sender's TX lane and the receiver's RX
+//!   lane (whichever frees later dominates),
+//! * every message additionally pays a fixed RPC/switch latency,
+//! * all bytes are counted globally and per node — the source of the
+//!   Table 1 "NETWORK TRAFFIC" column.
+
+use tsue_sim::{FifoResource, Time, MICROSECOND};
+
+/// Identifies a node (OSD, MDS, or client host) on the fabric.
+pub type NodeId = usize;
+
+/// Fabric parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NetSpec {
+    /// Per-NIC bandwidth in bytes/second (each direction).
+    pub bandwidth: u64,
+    /// Fixed per-message latency (propagation + switch + RPC stack), ns.
+    pub latency: Time,
+    /// Per-message protocol overhead added to the payload, bytes.
+    pub header_bytes: u64,
+}
+
+impl NetSpec {
+    /// 25 Gb/s Ethernet (the paper's SSD-cluster fabric).
+    pub fn ethernet_25g() -> Self {
+        NetSpec {
+            bandwidth: 25_000_000_000 / 8,
+            latency: 25 * MICROSECOND,
+            header_bytes: 128,
+        }
+    }
+
+    /// 40 Gb/s InfiniBand (the paper's HDD-cluster fabric).
+    pub fn infiniband_40g() -> Self {
+        NetSpec {
+            bandwidth: 40_000_000_000 / 8,
+            latency: 8 * MICROSECOND,
+            header_bytes: 96,
+        }
+    }
+}
+
+/// Per-node traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeTraffic {
+    /// Bytes sent (payload + headers).
+    pub tx_bytes: u64,
+    /// Bytes received (payload + headers).
+    pub rx_bytes: u64,
+    /// Messages sent.
+    pub tx_msgs: u64,
+    /// Messages received.
+    pub rx_msgs: u64,
+}
+
+/// The network: NIC lanes per node plus accounting.
+#[derive(Debug)]
+pub struct NetModel {
+    spec: NetSpec,
+    tx: Vec<FifoResource>,
+    rx: Vec<FifoResource>,
+    traffic: Vec<NodeTraffic>,
+    total_payload: u64,
+    total_wire: u64,
+}
+
+impl NetModel {
+    /// Creates a fabric joining `nodes` endpoints.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0`.
+    pub fn new(spec: NetSpec, nodes: usize) -> Self {
+        assert!(nodes > 0, "network needs at least one node");
+        NetModel {
+            spec,
+            tx: vec![FifoResource::new(); nodes],
+            rx: vec![FifoResource::new(); nodes],
+            traffic: vec![NodeTraffic::default(); nodes],
+            total_payload: 0,
+            total_wire: 0,
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn nodes(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Spec accessor.
+    pub fn spec(&self) -> &NetSpec {
+        &self.spec
+    }
+
+    /// Transfers `payload` bytes from `src` to `dst` starting at `now`.
+    /// Returns the arrival (fully-received) time. Loopback messages are
+    /// free apart from a nominal latency tick.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn transfer(&mut self, now: Time, src: NodeId, dst: NodeId, payload: u64) -> Time {
+        assert!(src < self.nodes() && dst < self.nodes(), "bad endpoint");
+        if src == dst {
+            // Local hand-off: no wire traffic, negligible latency.
+            return now + MICROSECOND;
+        }
+        let wire = payload + self.spec.header_bytes;
+        self.traffic[src].tx_bytes += wire;
+        self.traffic[src].tx_msgs += 1;
+        self.traffic[dst].rx_bytes += wire;
+        self.traffic[dst].rx_msgs += 1;
+        self.total_payload += payload;
+        self.total_wire += wire;
+
+        let service = self.serialization_time(wire);
+        // The message occupies the TX lane, then the RX lane; with a
+        // non-blocking switch the later of the two dominates.
+        let tx_done = self.tx[src].submit(now, service);
+        let rx_done = self.rx[dst].submit(tx_done.saturating_sub(service), service);
+        rx_done.max(tx_done) + self.spec.latency
+    }
+
+    /// Pure serialization time for `bytes` on one lane.
+    pub fn serialization_time(&self, bytes: u64) -> Time {
+        ((bytes as u128 * 1_000_000_000) / self.spec.bandwidth as u128) as Time
+    }
+
+    /// Total payload bytes moved (excludes headers).
+    pub fn total_payload(&self) -> u64 {
+        self.total_payload
+    }
+
+    /// Total wire bytes moved (includes headers).
+    pub fn total_wire(&self) -> u64 {
+        self.total_wire
+    }
+
+    /// Per-node counters.
+    pub fn node_traffic(&self, node: NodeId) -> &NodeTraffic {
+        &self.traffic[node]
+    }
+
+    /// Resets counters (between experiment phases) without resetting lanes.
+    pub fn reset_counters(&mut self) {
+        self.traffic.fill(NodeTraffic::default());
+        self.total_payload = 0;
+        self.total_wire = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_includes_latency_and_serialization() {
+        let mut net = NetModel::new(NetSpec::ethernet_25g(), 4);
+        let t = net.transfer(0, 0, 1, 1 << 20);
+        let min = net.serialization_time(1 << 20);
+        assert!(t >= min + net.spec().latency);
+    }
+
+    #[test]
+    fn loopback_is_free() {
+        let mut net = NetModel::new(NetSpec::ethernet_25g(), 2);
+        let t = net.transfer(100, 1, 1, 1 << 30);
+        assert_eq!(t, 100 + MICROSECOND);
+        assert_eq!(net.total_wire(), 0);
+    }
+
+    #[test]
+    fn concurrent_senders_to_one_receiver_serialize_on_rx() {
+        let mut net = NetModel::new(NetSpec::ethernet_25g(), 3);
+        let t1 = net.transfer(0, 0, 2, 10 << 20);
+        let t2 = net.transfer(0, 1, 2, 10 << 20);
+        // Two senders, one receiver: the second arrival is pushed out by
+        // roughly one serialization time.
+        assert!(t2 > t1, "rx lane must serialize: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn one_sender_two_receivers_serializes_on_tx() {
+        let mut net = NetModel::new(NetSpec::ethernet_25g(), 3);
+        let t1 = net.transfer(0, 0, 1, 10 << 20);
+        let t2 = net.transfer(0, 0, 2, 10 << 20);
+        assert!(t2 > t1, "tx lane must serialize");
+    }
+
+    #[test]
+    fn traffic_conservation() {
+        let mut net = NetModel::new(NetSpec::infiniband_40g(), 4);
+        net.transfer(0, 0, 1, 1000);
+        net.transfer(0, 2, 3, 500);
+        net.transfer(0, 1, 0, 250);
+        let tx: u64 = (0..4).map(|n| net.node_traffic(n).tx_bytes).sum();
+        let rx: u64 = (0..4).map(|n| net.node_traffic(n).rx_bytes).sum();
+        assert_eq!(tx, rx);
+        assert_eq!(tx, net.total_wire());
+        assert_eq!(net.total_payload(), 1750);
+        let hdr = net.spec().header_bytes;
+        assert_eq!(net.total_wire(), 1750 + 3 * hdr);
+    }
+
+    #[test]
+    fn bandwidth_ceiling_holds_under_load() {
+        let mut net = NetModel::new(NetSpec::ethernet_25g(), 2);
+        let msg: u64 = 1 << 20;
+        let n = 64;
+        let mut last = 0;
+        for _ in 0..n {
+            last = net.transfer(0, 0, 1, msg);
+        }
+        let total_bytes = (msg + net.spec().header_bytes) * n;
+        let measured_bw = total_bytes as f64 / (last as f64 / 1e9);
+        assert!(
+            measured_bw <= net.spec().bandwidth as f64 * 1.01,
+            "measured {measured_bw} exceeds spec {}",
+            net.spec().bandwidth
+        );
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut net = NetModel::new(NetSpec::ethernet_25g(), 2);
+        net.transfer(0, 0, 1, 100);
+        net.reset_counters();
+        assert_eq!(net.total_wire(), 0);
+        assert_eq!(net.node_traffic(0).tx_msgs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad endpoint")]
+    fn out_of_range_endpoint_panics() {
+        let mut net = NetModel::new(NetSpec::ethernet_25g(), 2);
+        net.transfer(0, 0, 5, 1);
+    }
+}

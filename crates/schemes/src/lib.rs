@@ -1,0 +1,131 @@
+//! Baseline erasure-code update schemes from the paper's §2.2:
+//!
+//! | Scheme | Data block | Parity path | Recycle |
+//! |--------|-----------|-------------|---------|
+//! | [`Fo`]    | in-place RMW | in-place RMW per parity | none (fully synchronous) |
+//! | [`Fl`]    | logged       | data logged at parity   | threshold, mutually exclusive |
+//! | [`Pl`]    | in-place RMW | parity delta appended to parity log | threshold (lazy) |
+//! | [`Plr`]   | in-place RMW | delta into *reserved space* next to the parity block (random writes) | inline when the reserved region fills |
+//! | [`Parix`] | in-place write (speculative) | new data appended to parity log; old data fetched on first touch (2× RTT) | threshold |
+//! | [`Cord`]  | in-place RMW | data delta to a *collector* that folds Eq. (5) before touching parity | when its fixed buffer fills (serialization bottleneck) |
+//!
+//! All schemes implement [`tsue_ecfs::UpdateScheme`] against identical
+//! device/network models, so the differences the paper's Fig. 5/7/8 and
+//! Table 1 report come purely from the update path structure.
+
+pub mod cord;
+pub mod fl;
+pub mod fo;
+pub mod parix;
+pub mod pl;
+pub mod plr;
+
+pub use cord::Cord;
+pub use tsue_ecfs::logregion::LogRegion;
+pub use tsue_ecfs::scheme::AckTable;
+pub use fl::Fl;
+pub use fo::Fo;
+pub use parix::Parix;
+pub use pl::Pl;
+pub use plr::Plr;
+
+use tsue_ecfs::ClusterCore;
+
+/// Scheme selector used by the experiment harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Full overwrite.
+    Fo,
+    /// Full logging.
+    Fl,
+    /// Parity logging.
+    Pl,
+    /// Parity logging with reserved space.
+    Plr,
+    /// Speculative partial writes.
+    Parix,
+    /// Collector-based delta combining.
+    Cord,
+}
+
+impl SchemeKind {
+    /// All baselines the paper evaluates on SSDs (Fig. 5), in paper order.
+    pub fn ssd_baselines() -> [SchemeKind; 5] {
+        [
+            SchemeKind::Fo,
+            SchemeKind::Pl,
+            SchemeKind::Plr,
+            SchemeKind::Parix,
+            SchemeKind::Cord,
+        ]
+    }
+
+    /// Display name as used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Fo => "FO",
+            SchemeKind::Fl => "FL",
+            SchemeKind::Pl => "PL",
+            SchemeKind::Plr => "PLR",
+            SchemeKind::Parix => "PARIX",
+            SchemeKind::Cord => "CoRD",
+        }
+    }
+
+    /// Instantiates the scheme for one OSD.
+    pub fn build(self) -> Box<dyn tsue_ecfs::UpdateScheme> {
+        match self {
+            SchemeKind::Fo => Box::new(Fo::new()),
+            SchemeKind::Fl => Box::new(Fl::new()),
+            SchemeKind::Pl => Box::new(Pl::new()),
+            SchemeKind::Plr => Box::new(Plr::new()),
+            SchemeKind::Parix => Box::new(Parix::new()),
+            SchemeKind::Cord => Box::new(Cord::new()),
+        }
+    }
+}
+
+/// Which parity index (0..m) of `gstripe` lives on `osd`, if any.
+pub fn parity_index_of(core: &ClusterCore, osd: usize, gstripe: u64) -> Option<usize> {
+    let k = core.cfg.stripe.k;
+    (0..core.cfg.stripe.m).find(|&j| core.owner_of(gstripe, k + j) == osd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_table_completes_after_need_acks() {
+        let mut t = AckTable::default();
+        let tag = t.register(77, 3);
+        assert_eq!(t.ack(tag), None);
+        assert_eq!(t.ack(tag), None);
+        assert_eq!(t.ack(tag), Some(77));
+        assert_eq!(t.ack(tag), None, "completed exchanges disappear");
+        assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
+    fn ack_table_tags_are_unique() {
+        let mut t = AckTable::default();
+        let a = t.register(1, 1);
+        let b = t.register(2, 1);
+        assert_ne!(a, b);
+        assert_eq!(t.ack(b), Some(2));
+        assert_eq!(t.ack(a), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ack")]
+    fn zero_need_panics() {
+        AckTable::default().register(0, 0);
+    }
+
+    #[test]
+    fn scheme_kind_names() {
+        assert_eq!(SchemeKind::Fo.name(), "FO");
+        assert_eq!(SchemeKind::Cord.name(), "CoRD");
+        assert_eq!(SchemeKind::ssd_baselines().len(), 5);
+    }
+}

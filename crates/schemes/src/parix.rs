@@ -1,0 +1,391 @@
+//! PARIX — speculative partial writes (Li et al., ATC '17; paper §2.2).
+//!
+//! PARIX skips the data-side read-modify-write: new data is written in
+//! place and *forwarded as data* (not as a delta) to the parity logs. The
+//! parity side can only compute `coeff · (D_latest ⊕ D_original)` if it
+//! holds the original data, so on the **first** update of a location the
+//! data OSD must additionally ship the old content — the 2× network
+//! round trip Fig. 1 charges PARIX with. Locations updated repeatedly
+//! (temporal locality) pay a single forward per write, which is the
+//! scheme's sweet spot.
+//!
+//! Parity-side state per data block is a pair of interval maps:
+//! `original` (first-wins — Eq. (4)'s `D_0`) and `latest` (newest-wins).
+//! Recycle folds `latest ⊕ original` per covered range into the parity
+//! block, then promotes `latest` to be the new `original`.
+
+use crate::{parity_index_of, AckTable, LogRegion};
+use std::collections::HashMap;
+use tsue_ecfs::rangemap::RangeMap;
+use tsue_ecfs::scheme::{Chunk, SchemeMsg, UpdateReq};
+use tsue_ecfs::{BlockId, Cluster, ClusterCore, UpdateScheme, ACK_BYTES};
+use tsue_sim::Sim;
+
+/// Tag bit marking a `DataForward` that carries *original* (old) data.
+const OLD_BIT: u64 = 1 << 62;
+/// Control tag: parity asks the data OSD for original data.
+const CTRL_NEED_OLD: u64 = 1;
+/// Timer tag: one recycle application finished.
+const TAG_RECYCLE_DONE: u64 = 2;
+/// Per-entry header bytes in the parity log.
+const ENTRY_HEADER: u64 = 32;
+
+/// Parity-side per-data-block log state.
+#[derive(Default)]
+struct BlockLog {
+    /// First-wins capture of pre-update content (`D_0`).
+    original: RangeMap,
+    /// Newest-wins capture of the latest content (`D_n`).
+    latest: RangeMap,
+}
+
+/// Data-side cache of old content awaiting parity `NeedOld` requests.
+struct PendingOld {
+    old: Chunk,
+    off: u64,
+    block: BlockId,
+    remaining: u32,
+}
+
+/// The PARIX scheme state (per OSD).
+pub struct Parix {
+    acks: AckTable,
+    /// Data-side: byte ranges whose original content the parity logs hold.
+    old_sent: HashMap<BlockId, RangeMap>,
+    /// Bytes of speculation coverage accumulated since the last epoch
+    /// flip; bounded by [`Self::speculation_budget`].
+    old_sent_bytes: u64,
+    /// Coverage budget modeling the bounded parity-log space: when
+    /// exceeded, the data side conservatively re-enters first-touch mode
+    /// (the recurring 2× round-trip penalty after log reclamation).
+    pub speculation_budget: u64,
+    /// Data-side: cached originals for in-flight first updates.
+    pend_old: HashMap<u64, PendingOld>,
+    /// Parity-side log region (holds both old and new entries).
+    log: LogRegion,
+    /// Parity-side per-block state.
+    blocks: HashMap<BlockId, BlockLog>,
+    log_bytes: u64,
+    /// Recycle trigger.
+    pub threshold: u64,
+    inflight: u64,
+}
+
+impl Default for Parix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Parix {
+    /// Creates a PARIX instance with a lazy (large) recycle threshold.
+    pub fn new() -> Self {
+        Parix {
+            acks: AckTable::default(),
+            old_sent: HashMap::new(),
+            old_sent_bytes: 0,
+            speculation_budget: 4 << 20,
+            pend_old: HashMap::new(),
+            log: LogRegion::new(512 << 20, 4),
+            blocks: HashMap::new(),
+            log_bytes: 0,
+            threshold: 256 << 20,
+            inflight: 0,
+        }
+    }
+
+    /// Parity-side recycle: per block, per covered range of `latest`,
+    /// apply `coeff · (latest ⊕ original)` to the parity block.
+    fn start_recycle(&mut self, core: &mut ClusterCore, sim: &mut Sim<Cluster>, osd: usize) {
+        let now = sim.now();
+        let keys: Vec<BlockId> = self.blocks.keys().copied().collect();
+        for dblock in keys {
+            let gstripe = core.global_stripe(dblock.file, dblock.stripe);
+            let Some(j) = parity_index_of(core, osd, gstripe) else {
+                continue; // stale entry after a placement change
+            };
+            let coeff = core.rs.coefficient(j, dblock.role);
+            let pblock = BlockId {
+                role: core.cfg.stripe.k + j,
+                ..dblock
+            };
+            let log_state = self.blocks.get_mut(&dblock).expect("key exists");
+            let latest = log_state.latest.drain();
+            for (off, newest) in latest {
+                // Log reads: the latest entry and the original entry
+                // (two scattered reads — PARIX's recycle cost).
+                // Approximate entry placement: reads wrap inside the log
+                // region, so the cost model sees two scattered reads.
+                let t1 = self.log.read(core, osd, now, off, newest.len);
+                let t2 = self.log.read(core, osd, t1, off.wrapping_mul(2654435761), newest.len);
+                // delta = latest ⊕ original over this range.
+                let mut delta = newest.clone();
+                if let Some(buf) = delta.bytes.as_mut() {
+                    let mut old = vec![0u8; buf.len()];
+                    let covered = log_state.original.overlay(off, delta.len, Some(&mut old));
+                    debug_assert!(covered, "original must cover latest");
+                    tsue_gf::xor_slice(&old, buf);
+                }
+                let pd = delta.gf_scaled(coeff);
+                let compute = core.gf_time(pd.len);
+                let t_done = core.osds[osd].xor_block_range(
+                    t2,
+                    pblock,
+                    off,
+                    pd.len,
+                    pd.bytes.as_deref(),
+                    compute,
+                );
+                self.inflight += 1;
+                core.scheme_timer(sim, osd, t_done.saturating_sub(now), TAG_RECYCLE_DONE);
+                // The merged content becomes the new original.
+                log_state.original.insert(off, newest);
+            }
+        }
+        self.log_bytes = 0;
+    }
+}
+
+impl UpdateScheme for Parix {
+    fn name(&self) -> &'static str {
+        "PARIX"
+    }
+
+    fn on_update(
+        &mut self,
+        core: &mut ClusterCore,
+        sim: &mut Sim<Cluster>,
+        osd: usize,
+        req: UpdateReq,
+    ) {
+        let now = sim.now();
+        let m = core.cfg.stripe.m;
+        let gstripe = core.global_stripe(req.block.file, req.block.stripe);
+        let coverage = self.old_sent.entry(req.block).or_default();
+        let first = !coverage.overlay(req.off, req.data.len, None);
+
+        let (t_write, old_chunk) = if first {
+            // Must capture the original before overwriting it.
+            let (t_read, old) =
+                core.osds[osd].read_block_range(now, req.block, req.off, req.data.len);
+            let t_w = core.osds[osd].write_block_range(
+                t_read,
+                req.block,
+                req.off,
+                req.data.len,
+                req.data.bytes.as_deref(),
+            );
+            let old_chunk = match old {
+                Some(b) => Chunk::real(b),
+                None => Chunk::ghost(req.data.len),
+            };
+            coverage.insert(req.off, Chunk::ghost(req.data.len));
+            self.old_sent_bytes += req.data.len;
+            (t_w, Some(old_chunk))
+        } else {
+            // Speculative fast path: blind in-place write.
+            let t_w = core.osds[osd].write_block_range(
+                now,
+                req.block,
+                req.off,
+                req.data.len,
+                req.data.bytes.as_deref(),
+            );
+            (t_w, None)
+        };
+
+        // Epoch flip: bounded parity-log space means speculation coverage
+        // eventually lapses; the next touch of any location pays the
+        // first-update protocol again. (Parity-side `original` maps keep
+        // their content, so re-sent originals are ignored by first-wins
+        // insertion — correctness is unaffected.)
+        if self.old_sent_bytes > self.speculation_budget {
+            self.old_sent.clear();
+            self.old_sent_bytes = 0;
+        }
+        // First updates ship the original data ahead of the new data (the
+        // paper's "read and forwarded separately" penalty): double payload,
+        // double parity-log appends, double acks.
+        let need = if old_chunk.is_some() { 2 * m } else { m };
+        let tag = self.acks.register(req.op_id, need as u32);
+        if let Some(old) = old_chunk {
+            // Keep a copy for the (now rare) NeedOld fallback path.
+            self.pend_old.insert(
+                tag,
+                PendingOld {
+                    old: old.clone(),
+                    off: req.off,
+                    block: req.block,
+                    remaining: m as u32,
+                },
+            );
+            for j in 0..m {
+                let peer = core.owner_of(gstripe, core.cfg.stripe.k + j);
+                let data = old.clone();
+                let (block, off, len) = (req.block, req.off, old.len);
+                // Submitted before the new-data forward: per-pair FIFO
+                // guarantees the parity sees the original first.
+                sim.schedule_at(t_write, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                    let msg = SchemeMsg::DataForward {
+                        from: osd,
+                        block,
+                        off,
+                        data,
+                        tag: tag | OLD_BIT,
+                    };
+                    w.core.send_to_scheme(sim, osd, peer, len, msg);
+                });
+            }
+        }
+        // Forward the new data to every parity owner.
+        for j in 0..m {
+            let peer = core.owner_of(gstripe, core.cfg.stripe.k + j);
+            let data = req.data.clone();
+            let (block, off, len) = (req.block, req.off, req.data.len);
+            sim.schedule_at(t_write, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                let msg = SchemeMsg::DataForward {
+                    from: osd,
+                    block,
+                    off,
+                    data,
+                    tag,
+                };
+                w.core.send_to_scheme(sim, osd, peer, len, msg);
+            });
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        core: &mut ClusterCore,
+        sim: &mut Sim<Cluster>,
+        osd: usize,
+        msg: SchemeMsg,
+    ) {
+        match msg {
+            SchemeMsg::DataForward {
+                from,
+                block,
+                off,
+                data,
+                tag,
+            } if tag & OLD_BIT != 0 => {
+                // Original data arriving on a NeedOld round trip.
+                let real_tag = tag & !OLD_BIT;
+                let len = data.len;
+                let (t_append, _) = self.log.append(core, osd, sim.now(), len + ENTRY_HEADER);
+                self.log_bytes += len + ENTRY_HEADER;
+                let state = self.blocks.entry(block).or_default();
+                state.original.insert_absent(off, data);
+                sim.schedule_at(t_append, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                    w.core.send_to_scheme(
+                        sim,
+                        osd,
+                        from,
+                        ACK_BYTES,
+                        SchemeMsg::Ack { tag: real_tag },
+                    );
+                });
+            }
+            SchemeMsg::DataForward {
+                from,
+                block,
+                off,
+                data,
+                tag,
+            } => {
+                // Speculative new-data arrival: append, then either ack or
+                // ask for the original first.
+                let len = data.len;
+                let (t_append, _) = self.log.append(core, osd, sim.now(), len + ENTRY_HEADER);
+                self.log_bytes += len + ENTRY_HEADER;
+                let state = self.blocks.entry(block).or_default();
+                let have_old = state.original.overlay(off, len, None);
+                state.latest.insert(off, data);
+                if have_old {
+                    sim.schedule_at(t_append, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                        w.core
+                            .send_to_scheme(sim, osd, from, ACK_BYTES, SchemeMsg::Ack { tag });
+                    });
+                } else {
+                    // The 2× network penalty: request the original.
+                    sim.schedule_at(t_append, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                        let ctrl = SchemeMsg::Control {
+                            from: osd,
+                            tag,
+                            a: CTRL_NEED_OLD,
+                            b: 0,
+                        };
+                        w.core.send_to_scheme(sim, osd, from, ACK_BYTES, ctrl);
+                    });
+                }
+                if self.log_bytes > self.threshold {
+                    self.start_recycle(core, sim, osd);
+                }
+            }
+            SchemeMsg::Control { from, tag, a, .. } => {
+                debug_assert_eq!(a, CTRL_NEED_OLD);
+                // Data side: ship the cached original to the requester.
+                let Some(po) = self.pend_old.get_mut(&tag) else {
+                    return;
+                };
+                po.remaining -= 1;
+                let done = po.remaining == 0;
+                let reply = SchemeMsg::DataForward {
+                    from: osd,
+                    block: po.block,
+                    off: po.off,
+                    data: po.old.clone(),
+                    tag: tag | OLD_BIT,
+                };
+                let len = po.old.len;
+                if done {
+                    self.pend_old.remove(&tag);
+                }
+                core.send_to_scheme(sim, osd, from, len, reply);
+            }
+            SchemeMsg::Ack { tag } => {
+                if let Some(op_id) = self.acks.ack(tag) {
+                    core.extent_done(sim, osd, op_id);
+                }
+            }
+            _ => unreachable!("PARIX exchanges DataForward/Control/Ack"),
+        }
+    }
+
+    fn on_timer(
+        &mut self,
+        _core: &mut ClusterCore,
+        _sim: &mut Sim<Cluster>,
+        _osd: usize,
+        tag: u64,
+    ) {
+        debug_assert_eq!(tag, TAG_RECYCLE_DONE);
+        self.inflight -= 1;
+    }
+
+    fn flush(&mut self, core: &mut ClusterCore, sim: &mut Sim<Cluster>, osd: usize) {
+        let has_latest = self.blocks.values().any(|b| !b.latest.is_empty());
+        if has_latest {
+            self.start_recycle(core, sim, osd);
+        }
+    }
+
+    fn backlog(&self) -> u64 {
+        let unmerged: u64 = self
+            .blocks
+            .values()
+            .map(|b| b.latest.len() as u64)
+            .sum();
+        unmerged + self.inflight + self.acks.outstanding() as u64
+    }
+
+    fn memory_usage(&self) -> u64 {
+        let maps: u64 = self
+            .blocks
+            .values()
+            .map(|b| b.original.covered_bytes() + b.latest.covered_bytes())
+            .sum();
+        maps + self.pend_old.len() as u64 * 64
+    }
+}

@@ -1,0 +1,200 @@
+//! PL — Parity Logging (Stodolsky et al., ISCA '93; paper §2.2).
+//!
+//! Data blocks are still updated in place (the costly read-modify-write
+//! stays on the synchronous path), but parity deltas are *appended* to a
+//! per-OSD parity log instead of applied in place. Appends are sequential
+//! and cheap, so PL is the strongest baseline for update throughput. The
+//! price: the log is recycled lazily (on a space threshold), every logged
+//! delta is applied individually with random reads at recycle time, and a
+//! failure before recycling stalls recovery behind a recycle storm — the
+//! consistency issue §2.3.2 highlights.
+
+use crate::{AckTable, LogRegion};
+use tsue_ecfs::scheme::{rmw_data_delta, Chunk, DeltaKind, SchemeMsg, UpdateReq};
+use tsue_ecfs::{BlockId, Cluster, ClusterCore, UpdateScheme, ACK_BYTES};
+use tsue_sim::Sim;
+
+/// Per-entry header bytes persisted with each logged delta.
+const ENTRY_HEADER: u64 = 32;
+/// Timer tag: one in-flight recycle application finished.
+const TAG_RECYCLE_DONE: u64 = 1;
+
+/// One logged parity delta awaiting recycle.
+struct PlEntry {
+    pblock: BlockId,
+    off: u64,
+    data: Chunk,
+    dev_off: u64,
+}
+
+/// The PL scheme state (per OSD).
+pub struct Pl {
+    acks: AckTable,
+    log: LogRegion,
+    entries: Vec<PlEntry>,
+    log_bytes: u64,
+    /// Recycle trigger: log bytes before a drain starts.
+    pub threshold: u64,
+    inflight: u64,
+}
+
+impl Default for Pl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pl {
+    /// Creates a PL instance with the paper-faithful lazy threshold
+    /// (256 MiB per OSD — "extensive parity log space allows recycling to
+    /// be indefinitely delayed").
+    pub fn new() -> Self {
+        Pl {
+            acks: AckTable::default(),
+            log: LogRegion::new(512 << 20, 0),
+            entries: Vec::new(),
+            log_bytes: 0,
+            threshold: 256 << 20,
+            inflight: 0,
+        }
+    }
+
+    /// Drains every logged entry: random log read, parity RMW, in append
+    /// order (XOR telescopes, so order only matters per location — append
+    /// order satisfies it).
+    fn start_recycle(&mut self, core: &mut ClusterCore, sim: &mut Sim<Cluster>, osd: usize) {
+        let now = sim.now();
+        for e in self.entries.drain(..) {
+            let t_read = self.log.read(core, osd, now, e.dev_off, e.data.len + ENTRY_HEADER);
+            let compute = core.xor_time(e.data.len);
+            let t_done = core.osds[osd].xor_block_range(
+                t_read,
+                e.pblock,
+                e.off,
+                e.data.len,
+                e.data.bytes.as_deref(),
+                compute,
+            );
+            self.inflight += 1;
+            core.scheme_timer(sim, osd, t_done - now, TAG_RECYCLE_DONE);
+        }
+        self.log_bytes = 0;
+    }
+}
+
+impl UpdateScheme for Pl {
+    fn name(&self) -> &'static str {
+        "PL"
+    }
+
+    fn on_update(
+        &mut self,
+        core: &mut ClusterCore,
+        sim: &mut Sim<Cluster>,
+        osd: usize,
+        req: UpdateReq,
+    ) {
+        // Same in-place data RMW as FO.
+        let (t_rmw, delta) = rmw_data_delta(core, sim.now(), osd, req.block, req.off, &req.data);
+        let m = core.cfg.stripe.m;
+        let gstripe = core.global_stripe(req.block.file, req.block.stripe);
+        let tag = self.acks.register(req.op_id, m as u32);
+        let t_send = t_rmw + core.gf_time(req.data.len * m as u64);
+        for j in 0..m {
+            let peer = core.owner_of(gstripe, core.cfg.stripe.k + j);
+            let pd = delta.gf_scaled(core.rs.coefficient(j, req.block.role));
+            let (block, off, len) = (req.block, req.off, req.data.len);
+            sim.schedule_at(t_send, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                let msg = SchemeMsg::DeltaForward {
+                    from: osd,
+                    block,
+                    off,
+                    data: pd,
+                    kind: DeltaKind::ParityDelta,
+                    parity_index: j,
+                    tag,
+                };
+                w.core.send_to_scheme(sim, osd, peer, len, msg);
+            });
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        core: &mut ClusterCore,
+        sim: &mut Sim<Cluster>,
+        osd: usize,
+        msg: SchemeMsg,
+    ) {
+        match msg {
+            SchemeMsg::DeltaForward {
+                from,
+                block,
+                off,
+                data,
+                parity_index,
+                tag,
+                ..
+            } => {
+                // Sequential append to the parity log; ack immediately
+                // after the append persists.
+                let len = data.len;
+                let (t_append, dev_off) =
+                    self.log.append(core, osd, sim.now(), len + ENTRY_HEADER);
+                self.entries.push(PlEntry {
+                    pblock: BlockId {
+                        role: core.cfg.stripe.k + parity_index,
+                        ..block
+                    },
+                    off,
+                    data,
+                    dev_off,
+                });
+                self.log_bytes += len + ENTRY_HEADER;
+                sim.schedule_at(t_append, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                    w.core
+                        .send_to_scheme(sim, osd, from, ACK_BYTES, SchemeMsg::Ack { tag });
+                });
+                if self.log_bytes > self.threshold {
+                    self.start_recycle(core, sim, osd);
+                }
+            }
+            SchemeMsg::Ack { tag } => {
+                if let Some(op_id) = self.acks.ack(tag) {
+                    core.extent_done(sim, osd, op_id);
+                }
+            }
+            _ => unreachable!("PL exchanges only DeltaForward/Ack"),
+        }
+    }
+
+    fn on_timer(
+        &mut self,
+        _core: &mut ClusterCore,
+        _sim: &mut Sim<Cluster>,
+        _osd: usize,
+        tag: u64,
+    ) {
+        debug_assert_eq!(tag, TAG_RECYCLE_DONE);
+        self.inflight -= 1;
+    }
+
+    fn flush(&mut self, core: &mut ClusterCore, sim: &mut Sim<Cluster>, osd: usize) {
+        if !self.entries.is_empty() {
+            self.start_recycle(core, sim, osd);
+        }
+    }
+
+    fn backlog(&self) -> u64 {
+        self.entries.len() as u64 + self.inflight + self.acks.outstanding() as u64
+    }
+
+    fn memory_usage(&self) -> u64 {
+        // Log content is on disk; memory holds the entry index (and bytes
+        // in materialized runs, which model the index + buffer cache).
+        self.entries
+            .iter()
+            .map(|e| ENTRY_HEADER + e.data.bytes.as_ref().map_or(48, |b| b.len() as u64))
+            .sum()
+    }
+}

@@ -1,0 +1,259 @@
+//! PLR — Parity Logging with Reserved Space (Chan et al., FAST '14;
+//! paper §2.2).
+//!
+//! Each parity block gets a dedicated log region *adjacent* to it. Recycle
+//! is cheap (the deltas sit next to the block they merge into), but the
+//! appends themselves become scattered small writes — with many parity
+//! blocks per device, consecutive appends land in different reserved
+//! regions, i.e. random I/O with full write-penalty accounting, and the
+//! paper's observed disk-space fragmentation. When a block's reserved
+//! region fills, recycling happens *inline*, stalling the update that
+//! triggered it.
+
+use crate::AckTable;
+use std::collections::HashMap;
+use tsue_device::IoKind;
+use tsue_ecfs::osd::STREAM_SCHEME_BASE;
+use tsue_ecfs::scheme::{rmw_data_delta, Chunk, DeltaKind, SchemeMsg, UpdateReq};
+use tsue_ecfs::{BlockId, Cluster, ClusterCore, UpdateScheme, ACK_BYTES};
+use tsue_sim::{Sim, Time};
+
+/// Per-entry header persisted with each logged delta.
+const ENTRY_HEADER: u64 = 32;
+/// Timer tag: an inline recycle application finished.
+const TAG_RECYCLE_DONE: u64 = 1;
+/// Reserved region size as a fraction of the block size (1/4, following
+/// the FAST '14 default of reserving modest space per parity block).
+const RESERVE_DIV: u64 = 4;
+
+/// The reserved log region of one parity block.
+struct Reserved {
+    dev_off: u64,
+    cursor: u64,
+    entries: Vec<(u64, Chunk)>,
+}
+
+/// The PLR scheme state (per OSD).
+pub struct Plr {
+    acks: AckTable,
+    reserved: HashMap<BlockId, Reserved>,
+    inflight: u64,
+}
+
+impl Default for Plr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Plr {
+    /// Creates a PLR instance.
+    pub fn new() -> Self {
+        Plr {
+            acks: AckTable::default(),
+            reserved: HashMap::new(),
+            inflight: 0,
+        }
+    }
+
+    /// Merges a full reserved region into its parity block: one (cheap,
+    /// adjacent) sequential read of the region, then a parity RMW covering
+    /// the union of logged ranges.
+    fn recycle_region(
+        &mut self,
+        core: &mut ClusterCore,
+        sim: &mut Sim<Cluster>,
+        osd: usize,
+        pblock: BlockId,
+        start: Time,
+    ) -> Time {
+        let r = self.reserved.get_mut(&pblock).expect("region exists");
+        let span = r.cursor;
+        // Adjacent sequential read of the whole region.
+        let t_read = core.osds[osd].device.submit(
+            start,
+            IoKind::Read,
+            r.dev_off,
+            span.max(ENTRY_HEADER),
+            STREAM_SCHEME_BASE + 3,
+        );
+        // Apply entries in order (content) while charging one RMW per
+        // entry range on the parity block.
+        let entries = std::mem::take(&mut r.entries);
+        r.cursor = 0;
+        let mut t = t_read;
+        let now = sim.now();
+        for (off, data) in entries {
+            let compute = core.xor_time(data.len);
+            t = core.osds[osd].xor_block_range(
+                t,
+                pblock,
+                off,
+                data.len,
+                data.bytes.as_deref(),
+                compute,
+            );
+            self.inflight += 1;
+            core.scheme_timer(sim, osd, t.saturating_sub(now), TAG_RECYCLE_DONE);
+        }
+        t
+    }
+}
+
+impl UpdateScheme for Plr {
+    fn name(&self) -> &'static str {
+        "PLR"
+    }
+
+    fn on_update(
+        &mut self,
+        core: &mut ClusterCore,
+        sim: &mut Sim<Cluster>,
+        osd: usize,
+        req: UpdateReq,
+    ) {
+        // In-place data RMW, identical to PL.
+        let (t_rmw, delta) = rmw_data_delta(core, sim.now(), osd, req.block, req.off, &req.data);
+        let m = core.cfg.stripe.m;
+        let gstripe = core.global_stripe(req.block.file, req.block.stripe);
+        let tag = self.acks.register(req.op_id, m as u32);
+        let t_send = t_rmw + core.gf_time(req.data.len * m as u64);
+        for j in 0..m {
+            let peer = core.owner_of(gstripe, core.cfg.stripe.k + j);
+            let pd = delta.gf_scaled(core.rs.coefficient(j, req.block.role));
+            let (block, off, len) = (req.block, req.off, req.data.len);
+            sim.schedule_at(t_send, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                let msg = SchemeMsg::DeltaForward {
+                    from: osd,
+                    block,
+                    off,
+                    data: pd,
+                    kind: DeltaKind::ParityDelta,
+                    parity_index: j,
+                    tag,
+                };
+                w.core.send_to_scheme(sim, osd, peer, len, msg);
+            });
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        core: &mut ClusterCore,
+        sim: &mut Sim<Cluster>,
+        osd: usize,
+        msg: SchemeMsg,
+    ) {
+        match msg {
+            SchemeMsg::DeltaForward {
+                from,
+                block,
+                off,
+                data,
+                parity_index,
+                tag,
+                ..
+            } => {
+                let pblock = BlockId {
+                    role: core.cfg.stripe.k + parity_index,
+                    ..block
+                };
+                let reserve_size = core.cfg.stripe.block_size / RESERVE_DIV;
+                if !self.reserved.contains_key(&pblock) {
+                    // Lease + format the reserved region; formatting marks
+                    // it written so appends count as the write penalty the
+                    // paper attributes to PLR.
+                    let dev_off = core.osds[osd].alloc_region(reserve_size);
+                    core.osds[osd].device.prefill(dev_off, reserve_size);
+                    self.reserved.insert(
+                        pblock,
+                        Reserved {
+                            dev_off,
+                            cursor: 0,
+                            entries: Vec::new(),
+                        },
+                    );
+                }
+                let len = data.len;
+                let need = len + ENTRY_HEADER;
+                let now = sim.now();
+
+                // Inline recycle when the region cannot take the entry.
+                let full = {
+                    let r = &self.reserved[&pblock];
+                    r.cursor + need > reserve_size
+                };
+                let t_start = if full {
+                    self.recycle_region(core, sim, osd, pblock, now)
+                } else {
+                    now
+                };
+
+                // The append itself: a scattered small write into this
+                // block's region — random, and penalized as an overwrite.
+                let r = self.reserved.get_mut(&pblock).expect("region exists");
+                let t_append = core.osds[osd].device.submit(
+                    t_start,
+                    IoKind::Write,
+                    r.dev_off + r.cursor,
+                    need,
+                    STREAM_SCHEME_BASE + 2,
+                );
+                r.cursor += need;
+                r.entries.push((off, data));
+                sim.schedule_at(t_append, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                    w.core
+                        .send_to_scheme(sim, osd, from, ACK_BYTES, SchemeMsg::Ack { tag });
+                });
+            }
+            SchemeMsg::Ack { tag } => {
+                if let Some(op_id) = self.acks.ack(tag) {
+                    core.extent_done(sim, osd, op_id);
+                }
+            }
+            _ => unreachable!("PLR exchanges only DeltaForward/Ack"),
+        }
+    }
+
+    fn on_timer(
+        &mut self,
+        _core: &mut ClusterCore,
+        _sim: &mut Sim<Cluster>,
+        _osd: usize,
+        tag: u64,
+    ) {
+        debug_assert_eq!(tag, TAG_RECYCLE_DONE);
+        self.inflight -= 1;
+    }
+
+    fn flush(&mut self, core: &mut ClusterCore, sim: &mut Sim<Cluster>, osd: usize) {
+        let now = sim.now();
+        let blocks: Vec<BlockId> = self
+            .reserved
+            .iter()
+            .filter(|(_, r)| !r.entries.is_empty())
+            .map(|(&b, _)| b)
+            .collect();
+        for b in blocks {
+            self.recycle_region(core, sim, osd, b, now);
+        }
+    }
+
+    fn backlog(&self) -> u64 {
+        self.reserved
+            .values()
+            .map(|r| r.entries.len() as u64)
+            .sum::<u64>()
+            + self.inflight
+            + self.acks.outstanding() as u64
+    }
+
+    fn memory_usage(&self) -> u64 {
+        // Reserved-space entries index; content lives on disk.
+        self.reserved
+            .values()
+            .flat_map(|r| r.entries.iter())
+            .map(|(_, c)| ENTRY_HEADER + c.bytes.as_ref().map_or(48, |b| b.len() as u64))
+            .sum()
+    }
+}

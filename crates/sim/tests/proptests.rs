@@ -1,0 +1,91 @@
+//! Property tests for the DES kernel: ordering, determinism, and resource
+//! conservation under arbitrary schedules.
+
+use proptest::prelude::*;
+use tsue_sim::{FifoResource, MultiResource, Sim};
+
+proptest! {
+    /// Events always execute in non-decreasing time order, ties in
+    /// insertion order, and all of them run.
+    #[test]
+    fn event_order_is_total_and_stable(
+        delays in proptest::collection::vec(0u64..10_000, 1..200),
+    ) {
+        let mut sim: Sim<Vec<(u64, usize)>> = Sim::new();
+        for (i, &d) in delays.iter().enumerate() {
+            sim.schedule(d, move |w: &mut Vec<(u64, usize)>, sim: &mut Sim<Vec<(u64, usize)>>| {
+                w.push((sim.now(), i));
+            });
+        }
+        let mut log = Vec::new();
+        sim.run(&mut log);
+        prop_assert_eq!(log.len(), delays.len());
+        for pair in log.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time went backwards");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "insertion order violated");
+            }
+        }
+    }
+
+    /// Two identical schedules produce identical execution traces.
+    #[test]
+    fn execution_is_deterministic(
+        delays in proptest::collection::vec(0u64..5_000, 1..100),
+    ) {
+        let run = |ds: &[u64]| {
+            let mut sim: Sim<Vec<usize>> = Sim::new();
+            for (i, &d) in ds.iter().enumerate() {
+                sim.schedule(d, move |w: &mut Vec<usize>, _: &mut Sim<Vec<usize>>| w.push(i));
+            }
+            let mut order = Vec::new();
+            sim.run(&mut order);
+            (order, sim.now())
+        };
+        prop_assert_eq!(run(&delays), run(&delays));
+    }
+
+    /// A FIFO resource conserves busy time and never overlaps jobs.
+    #[test]
+    fn fifo_resource_conserves_service(
+        jobs in proptest::collection::vec((0u64..1_000, 1u64..500), 1..100),
+    ) {
+        let mut r = FifoResource::new();
+        let mut total = 0u64;
+        let mut prev_finish = 0u64;
+        let mut now = 0u64;
+        for (gap, service) in jobs {
+            now += gap;
+            let finish = r.submit(now, service);
+            total += service;
+            prop_assert!(finish >= now + service, "job finished too early");
+            prop_assert!(finish >= prev_finish, "FIFO order violated");
+            prev_finish = finish;
+        }
+        prop_assert_eq!(r.busy_ticks(), total);
+        prop_assert!(r.next_free() >= now);
+    }
+
+    /// A k-wide pool is never slower than a single server and never
+    /// faster than the work-conservation bound.
+    #[test]
+    fn multi_resource_bounds(
+        services in proptest::collection::vec(1u64..1_000, 1..100),
+        width in 1usize..8,
+    ) {
+        let mut single = FifoResource::new();
+        let mut pool = MultiResource::new(width);
+        let mut single_finish = 0;
+        let mut pool_finish = 0;
+        for &s in &services {
+            single_finish = single.submit(0, s);
+            pool_finish = pool_finish.max(pool.submit(0, s));
+        }
+        prop_assert!(pool_finish <= single_finish, "pool slower than one server");
+        let total: u64 = services.iter().sum();
+        let lower = total.div_ceil(width as u64);
+        prop_assert!(pool_finish >= lower.min(single_finish),
+            "pool beat the work-conservation bound");
+        prop_assert_eq!(pool.busy_ticks(), total);
+    }
+}

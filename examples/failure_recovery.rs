@@ -1,0 +1,47 @@
+//! Failure & recovery under different update schemes: how pending-log
+//! drains gate reconstruction (the paper's §5.4 / Fig. 8b story).
+//!
+//! Runs the same update burst under PL (lazy threshold recycling) and TSUE
+//! (real-time recycling), then kills a node: PL must first recycle a large
+//! parity-log backlog before rebuilding can start, while TSUE's logs are
+//! already drained — its recovery bandwidth approaches FO's log-free
+//! ideal.
+//!
+//! ```text
+//! cargo run --release --example failure_recovery
+//! ```
+
+use tsue_core::Tsue;
+use tsue_ecfs::{run_recovery, run_workload, Cluster, ClusterConfig, UpdateScheme};
+use tsue_schemes::{Fo, Pl};
+use tsue_sim::{Sim, SECOND};
+use tsue_trace::ten_cloud;
+
+fn run_case(name: &str, make: impl Fn() -> Box<dyn UpdateScheme>) {
+    let mut cfg = ClusterConfig::hdd_testbed(6, 2, 8);
+    cfg.file_size_per_client = 6 << 20;
+    let mut world = Cluster::new(cfg, |_| make());
+    world.set_workload(&ten_cloud());
+    let mut sim: Sim<Cluster> = Sim::new();
+    run_workload(&mut world, &mut sim, 6 * SECOND);
+    let backlog = world.total_scheme_backlog();
+    let report = run_recovery(&mut world, &mut sim, 0);
+    println!(
+        "{name:<6} backlog at failure: {backlog:>6} items | log drain {:>6.2}s | \
+         rebuild {:>4} blocks | recovery {:>7.1} MB/s",
+        report.flush_time as f64 / 1e9,
+        report.blocks_rebuilt,
+        report.bandwidth() / 1e6,
+    );
+}
+
+fn main() {
+    println!("update burst (6 virtual seconds, Ten-Cloud, RS(6,2), HDD cluster), then kill OSD 0:\n");
+    run_case("FO", || Box::new(Fo::new()));
+    run_case("PL", || Box::new(Pl::new()));
+    run_case("TSUE", || Box::new(Tsue::hdd()));
+    println!(
+        "\nFO has no logs to drain; PL stalls recovery behind its parity-log backlog;\n\
+         TSUE's real-time recycling leaves almost nothing pending — recovery ≈ FO."
+    );
+}

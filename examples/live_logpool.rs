@@ -1,0 +1,104 @@
+//! The live (thread-based) TSUE log pool outside the simulator: four
+//! producer threads hammer a hot working set; the recycler pool merges and
+//! applies ranges to a backing store; the log doubles as a read cache.
+//!
+//! Demonstrates the embeddable form of the paper's §3.2 structure —
+//! two-level coalescing index, FIFO unit lifecycle, per-key recycle
+//! affinity — with real `parking_lot`/`crossbeam` concurrency.
+//!
+//! ```text
+//! cargo run --release --example live_logpool
+//! ```
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tsue_core::live::{LiveLogPool, LivePoolConfig, RecycleSink};
+
+/// A "disk": one 64 KiB buffer per key, with a merge counter.
+struct Store {
+    blocks: Mutex<HashMap<u64, Vec<u8>>>,
+    merges: std::sync::atomic::AtomicU64,
+}
+
+impl RecycleSink for Store {
+    fn merge(&self, key: u64, off: u64, data: &[u8]) {
+        let mut blocks = self.blocks.lock();
+        let block = blocks.entry(key).or_insert_with(|| vec![0u8; 64 << 10]);
+        block[off as usize..off as usize + data.len()].copy_from_slice(data);
+        self.merges
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+fn main() {
+    let store = Arc::new(Store {
+        blocks: Mutex::new(HashMap::new()),
+        merges: std::sync::atomic::AtomicU64::new(0),
+    });
+    let pool = Arc::new(LiveLogPool::new(
+        LivePoolConfig {
+            unit_size: 256 << 10,
+            max_units: 4,
+            workers: 2,
+            max_outstanding: 2048,
+        },
+        Arc::clone(&store),
+    ));
+
+    // Four producers, each updating 8 hot 4 KiB slots of its own blocks
+    // over and over — the spatio-temporal locality TSUE feeds on.
+    let producers = 4u64;
+    let writes_per_producer = 25_000u64;
+    let start = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for p in 0..producers {
+        let pool = Arc::clone(&pool);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..writes_per_producer {
+                let key = p * 4 + (i % 4);
+                let slot = (i * 2654435761) % 8;
+                let payload = vec![(i % 251) as u8; 4096];
+                pool.append(key, slot * 4096, &payload);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    pool.flush();
+    let elapsed = start.elapsed();
+
+    let appended = pool.appended();
+    let merged = pool.merged();
+    println!(
+        "{appended} appends from {producers} threads in {:.2}s ({:.0} appends/s)",
+        elapsed.as_secs_f64(),
+        appended as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "recyclers applied only {merged} merged ranges — locality folding absorbed {:.1}x",
+        appended as f64 / merged.max(1) as f64
+    );
+
+    // Read-cache check: content still resident in retained units is served
+    // without touching the store (units recycled longest ago may already
+    // have been reused, dropping their cache role — both outcomes are
+    // legitimate).
+    let mut buf = vec![0u8; 4096];
+    let hit = pool.read(0, 0, &mut buf);
+    println!(
+        "read of a hot slot served from the log cache: {}",
+        if hit { "yes" } else { "no (unit already reused)" }
+    );
+
+    match Arc::try_unwrap(pool) {
+        Ok(p) => p.shutdown(),
+        Err(_) => unreachable!("all producers joined"),
+    }
+    println!(
+        "store saw {} merges across {} blocks ✔",
+        store.merges.load(std::sync::atomic::Ordering::Relaxed),
+        store.blocks.lock().len()
+    );
+}

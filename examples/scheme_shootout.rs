@@ -1,0 +1,65 @@
+//! Scheme shootout: replay the same Ten-Cloud-shaped workload under every
+//! update scheme (FO, FL, PL, PLR, PARIX, CoRD, TSUE) on the simulated
+//! 16-node SSD cluster and compare throughput, latency, and device wear —
+//! a miniature of the paper's Fig. 5 + Table 1.
+//!
+//! ```text
+//! cargo run --release --example scheme_shootout
+//! ```
+
+use tsue_bench::{run_many, RunConfig, SchemeSel, TraceKind};
+use tsue_schemes::SchemeKind;
+
+fn main() {
+    let schemes: Vec<SchemeSel> = vec![
+        SchemeSel::Baseline(SchemeKind::Fo),
+        SchemeSel::Baseline(SchemeKind::Fl),
+        SchemeSel::Baseline(SchemeKind::Pl),
+        SchemeSel::Baseline(SchemeKind::Plr),
+        SchemeSel::Baseline(SchemeKind::Parix),
+        SchemeSel::Baseline(SchemeKind::Cord),
+        SchemeSel::Tsue,
+    ];
+    println!("replaying Ten-Cloud on RS(6,4), 16 clients, 1.5 virtual seconds per scheme...\n");
+    let cfgs: Vec<RunConfig> = schemes
+        .into_iter()
+        .map(|s| {
+            let mut c = RunConfig::ssd(TraceKind::Ten, 6, 4, 16, s);
+            c.duration_ms = 1_500;
+            c
+        })
+        .collect();
+    let results = run_many(cfgs);
+
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "SCHEME", "IOPS", "LAT(us)", "RW_OPS", "OVERWRITES", "SEQ_FRAC"
+    );
+    let tsue = results
+        .iter()
+        .find(|r| r.scheme == "TSUE")
+        .expect("TSUE ran")
+        .clone();
+    for r in &results {
+        println!(
+            "{:<8} {:>10.0} {:>10.1} {:>12} {:>12} {:>10.2}",
+            r.scheme,
+            r.iops,
+            r.mean_latency_us,
+            r.dev.rw_ops,
+            r.dev.overwrite_ops,
+            r.dev.seq_fraction
+        );
+    }
+    println!();
+    for r in &results {
+        if r.scheme != "TSUE" {
+            println!(
+                "TSUE vs {:<6} {:>5.1}x the throughput, {:>5.1}x fewer overwrites",
+                r.scheme,
+                tsue.iops / r.iops.max(1.0),
+                r.dev.overwrite_ops as f64 / tsue.dev.overwrite_ops.max(1) as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Cross-crate property tests: randomized workloads against the strongest
+//! system invariants.
+
+use proptest::prelude::*;
+use tsue_repro::core::{Tsue, TsueConfig};
+use tsue_repro::ecfs::{check_consistency, run_workload, Cluster, ClusterConfig};
+use tsue_repro::schemes::SchemeKind;
+use tsue_repro::sim::{Sim, SECOND};
+use tsue_repro::trace::WorkloadProfile;
+
+fn profile_from(update_frac: f64, hot: f64, repeat: f64, seq: f64) -> WorkloadProfile {
+    WorkloadProfile {
+        name: "prop".into(),
+        update_fraction: update_frac,
+        size_dist: vec![(512, 0.3), (4096, 0.4), (8192, 0.2), (24576, 0.1)],
+        hot_fraction: hot,
+        hot_access_prob: 0.8,
+        skew_depth: 2,
+        repeat_prob: repeat,
+        seq_run_prob: seq,
+        align: 512,
+    }
+}
+
+fn converge_check(
+    scheme: &str,
+    make: impl Fn() -> Box<dyn tsue_repro::ecfs::UpdateScheme>,
+    k: usize,
+    m: usize,
+    seed: u64,
+    profile: &WorkloadProfile,
+    ops: u64,
+) -> Result<(), TestCaseError> {
+    let mut cfg = ClusterConfig::ssd_testbed(k, m, 2);
+    cfg.osds = (k + m + 1).max(7);
+    cfg.stripe = tsue_repro::ec::StripeConfig::new(k, m, 32 << 10);
+    cfg.file_size_per_client = 1 << 20;
+    cfg.materialize = true;
+    cfg.record_arrivals = true;
+    cfg.seed = seed;
+    let mut world = Cluster::new(cfg, |_| make());
+    world.set_workload(profile);
+    for c in &mut world.core.clients {
+        c.max_ops = Some(ops);
+    }
+    let mut sim: Sim<Cluster> = Sim::new();
+    run_workload(&mut world, &mut sim, 3600 * SECOND);
+    world.flush_all(&mut sim);
+    prop_assert_eq!(world.total_scheme_backlog(), 0, "{} backlog", scheme);
+    if let Err(e) = check_consistency(&world) {
+        return Err(TestCaseError::fail(format!("{scheme}: {e}")));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any workload shape, any seed: every baseline converges to a
+    /// consistent state. (The paper's comparison is only meaningful
+    /// because schemes are state-equivalent.)
+    #[test]
+    fn baselines_converge_under_random_workloads(
+        seed: u64,
+        update_frac in 0.4f64..0.95,
+        hot in 0.05f64..0.4,
+        repeat in 0.0f64..0.5,
+        seq in 0.0f64..0.3,
+        scheme_idx in 0usize..6,
+    ) {
+        let schemes = [
+            SchemeKind::Fo,
+            SchemeKind::Fl,
+            SchemeKind::Pl,
+            SchemeKind::Plr,
+            SchemeKind::Parix,
+            SchemeKind::Cord,
+        ];
+        let kind = schemes[scheme_idx];
+        let profile = profile_from(update_frac, hot, repeat, seq);
+        converge_check(kind.name(), || kind.build(), 3, 2, seed, &profile, 40)?;
+    }
+
+    /// TSUE under random workload shapes and random ablation levels.
+    #[test]
+    fn tsue_converges_under_random_workloads(
+        seed: u64,
+        update_frac in 0.4f64..0.95,
+        hot in 0.05f64..0.4,
+        repeat in 0.0f64..0.5,
+        level in 0usize..6,
+    ) {
+        let profile = profile_from(update_frac, hot, repeat, 0.1);
+        converge_check(
+            "TSUE",
+            || {
+                let mut c = TsueConfig::breakdown(level);
+                c.unit_size = 128 << 10;
+                c.seal_interval = SECOND / 2;
+                Box::new(Tsue::new(c))
+            },
+            3,
+            2,
+            seed,
+            &profile,
+            40,
+        )?;
+    }
+
+    /// Random RS shapes: TSUE converges for any (k, m) the cluster fits.
+    #[test]
+    fn tsue_converges_across_code_shapes(
+        seed: u64,
+        k in 2usize..7,
+        m in 2usize..5,
+    ) {
+        let profile = profile_from(0.8, 0.2, 0.3, 0.1);
+        converge_check(
+            "TSUE",
+            || {
+                let mut c = TsueConfig::ssd_default();
+                c.unit_size = 128 << 10;
+                c.seal_interval = SECOND / 2;
+                Box::new(Tsue::new(c))
+            },
+            k,
+            m,
+            seed,
+            &profile,
+            30,
+        )?;
+    }
+}
