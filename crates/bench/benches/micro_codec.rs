@@ -32,7 +32,9 @@ fn bench_parity_delta(c: &mut Criterion) {
     c.bench_function("incremental_parity_delta_4k_m4", |b| {
         b.iter(|| {
             let d = data_delta(&old, &new);
-            (0..4).map(|j| rs.parity_delta(j, 2, &d)).collect::<Vec<_>>()
+            (0..4)
+                .map(|j| rs.parity_delta(j, 2, &d))
+                .collect::<Vec<_>>()
         })
     });
 }
@@ -59,5 +61,10 @@ fn bench_two_level_index(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_encode, bench_parity_delta, bench_two_level_index);
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_parity_delta,
+    bench_two_level_index
+);
 criterion_main!(benches);

@@ -73,7 +73,10 @@ fn extras_cmd(scale: Scale, outdir: &std::path::Path) {
     let rows = ext_unit_size(scale);
     println!("\nUNIT(MiB)  DATA_BUFFER(ms)      IOPS");
     for r in &rows {
-        println!("{:>8} {:>16.1} {:>9.0}", r.unit_mib, r.data_buffer_ms, r.iops);
+        println!(
+            "{:>8} {:>16.1} {:>9.0}",
+            r.unit_mib, r.data_buffer_ms, r.iops
+        );
     }
     save_json(outdir, "ext_unit_size", &rows).expect("write results");
 }

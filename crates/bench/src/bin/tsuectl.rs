@@ -42,7 +42,9 @@ fn parse_args() -> Result<(RunConfig, Option<String>), String> {
             "--k" => cfg.k = next(&mut i)?.parse().map_err(|e| format!("--k: {e}"))?,
             "--m" => cfg.m = next(&mut i)?.parse().map_err(|e| format!("--m: {e}"))?,
             "--clients" => {
-                cfg.clients = next(&mut i)?.parse().map_err(|e| format!("--clients: {e}"))?
+                cfg.clients = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
             }
             "--duration-ms" => {
                 cfg.duration_ms = next(&mut i)?
@@ -50,7 +52,9 @@ fn parse_args() -> Result<(RunConfig, Option<String>), String> {
                     .map_err(|e| format!("--duration-ms: {e}"))?
             }
             "--file-mb" => {
-                cfg.file_mb = next(&mut i)?.parse().map_err(|e| format!("--file-mb: {e}"))?
+                cfg.file_mb = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--file-mb: {e}"))?
             }
             "--seed" => cfg.seed = next(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--device" => {

@@ -169,8 +169,7 @@ pub fn render_fig8b(rows: &[Fig8bRow]) -> String {
 pub fn save_json<T: serde::Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+    let json = serde_json::to_string_pretty(value).map_err(std::io::Error::other)?;
     std::fs::write(path, json)
 }
 

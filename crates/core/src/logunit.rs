@@ -213,9 +213,7 @@ impl<K: Eq + Hash + Copy> LogUnit<K> {
                 cover.insert(i_start, Chunk::ghost(i_end - i_start));
                 if let (Some(b), Some(bytes)) = (buf.as_deref_mut(), chunk.bytes.as_ref()) {
                     let dst = &mut b[(i_start - off) as usize..(i_end - off) as usize];
-                    dst.copy_from_slice(
-                        &bytes[(i_start - roff) as usize..(i_end - roff) as usize],
-                    );
+                    dst.copy_from_slice(&bytes[(i_start - roff) as usize..(i_end - roff) as usize]);
                 }
             }
             cover.overlay(off, len, None)

@@ -33,6 +33,9 @@ use tsue_sim::{MultiResource, Sim, Time, SECOND};
 /// DeltaLog key: (global stripe, data-block role).
 pub type DeltaKey = (u64, usize);
 
+/// Recycle batches grouped per stripe: `stripe -> [(role, [(off, chunk)])]`.
+type StripeGroups = HashMap<u64, Vec<(usize, Vec<(u64, Chunk)>)>>;
+
 /// Message-tag values on `DeltaForward { kind: DataDelta, .. }`.
 const TAG_DELTA: u64 = 2;
 const TAG_DELTA_REP: u64 = 3;
@@ -342,7 +345,11 @@ impl Tsue {
         self.arm_seal_timer(core, sim, osd, LayerKind::Data, pool);
 
         // Ack bookkeeping: local persist + (replicas − 1) peers.
-        let copies = self.cfg.data_replicas.saturating_sub(1).min(core.cfg.osds - 1);
+        let copies = self
+            .cfg
+            .data_replicas
+            .saturating_sub(1)
+            .min(core.cfg.osds - 1);
         let tag = self.acks.register(req.op_id, 1 + copies as u32);
         sim.schedule_at(t_persist, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
             tsue_ecfs::scheme::deliver_msg(w, sim, osd, SchemeMsg::Ack { tag });
@@ -679,14 +686,14 @@ impl Tsue {
         uid: UnitId,
     ) {
         let now = sim.now();
-        let by_stripe: HashMap<u64, Vec<(usize, Vec<(u64, Chunk)>)>> = {
+        let by_stripe: StripeGroups = {
             let unit = self.delta.pools[pool].unit_mut(uid).expect("unit exists");
             unit.state = UnitState::Recycling;
             unit.recycle_started = Some(now);
             if let Some(fa) = unit.first_append {
                 self.residency.delta.buffer.add(now.saturating_sub(fa));
             }
-            let mut grouped: HashMap<u64, Vec<(usize, Vec<(u64, Chunk)>)>> = HashMap::new();
+            let mut grouped: StripeGroups = HashMap::new();
             for (&(gstripe, role), entry) in unit.index.iter() {
                 let items: Vec<(u64, Chunk)> =
                     entry.ranges.iter().map(|(o, c)| (o, c.clone())).collect();
@@ -783,8 +790,7 @@ impl Tsue {
             .into_iter()
             .map(|(pblock, off, delta)| {
                 if let Some(d) = delta.bytes.as_ref() {
-                    if let Some(mut old) = core.osds[osd].peek_block_range(pblock, off, delta.len)
-                    {
+                    if let Some(mut old) = core.osds[osd].peek_block_range(pblock, off, delta.len) {
                         tsue_gf::xor_slice(d, &mut old);
                         core.osds[osd].poke_block_range(pblock, off, Some(&old));
                     }
@@ -976,9 +982,7 @@ impl Tsue {
 
 /// Collects `(block, offset, chunk)` recycle jobs from a unit keyed by
 /// [`BlockId`], honouring raw (no-locality) mode.
-fn collect_jobs_blockid(
-    unit: &crate::logunit::LogUnit<BlockId>,
-) -> Vec<(BlockId, u64, Chunk)> {
+fn collect_jobs_blockid(unit: &crate::logunit::LogUnit<BlockId>) -> Vec<(BlockId, u64, Chunk)> {
     // Deterministic cross-block order; raw entries keep their append
     // order *within* a block — overlapping raw records must replay in
     // arrival order for newest-wins semantics.
@@ -1080,13 +1084,7 @@ impl UpdateScheme for Tsue {
         }
     }
 
-    fn on_timer(
-        &mut self,
-        core: &mut ClusterCore,
-        sim: &mut Sim<Cluster>,
-        osd: usize,
-        tag: u64,
-    ) {
+    fn on_timer(&mut self, core: &mut ClusterCore, sim: &mut Sim<Cluster>, osd: usize, tag: u64) {
         match tag & 0xF {
             TK_SEAL => {
                 let layer = match (tag >> 4) & 0xF {

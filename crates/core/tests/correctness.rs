@@ -97,7 +97,13 @@ fn every_breakdown_level_converges() {
     // Fig. 7's Baseline and O1–O5 must all be *correct*; they differ only
     // in performance.
     for level in 0..=5 {
-        run_tsue(move || TsueConfig::breakdown(level), 4, 2, 30 + level as u64, 50);
+        run_tsue(
+            move || TsueConfig::breakdown(level),
+            4,
+            2,
+            30 + level as u64,
+            50,
+        );
     }
 }
 

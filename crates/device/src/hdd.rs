@@ -114,8 +114,7 @@ mod tests {
         let mut d = HddModel::nearline(1 << 40);
         let t_seq = d.submit(0, IoKind::Read, 0, 4096, Locality::Sequential);
         let start = 1_000_000_000_000;
-        let t_rand =
-            d.submit(start, IoKind::Read, 512 << 30, 4096, Locality::Random) - start;
+        let t_rand = d.submit(start, IoKind::Read, 512 << 30, 4096, Locality::Random) - start;
         assert!(
             t_rand > t_seq * 20,
             "random {t_rand} ns vs sequential {t_seq} ns"

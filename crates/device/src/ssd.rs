@@ -291,6 +291,7 @@ mod tests {
     fn sequential_rewrite_erases_with_low_amplification() {
         let mut stats = DeviceStats::default();
         let mut ssd = SsdModel::datacenter(4 << 20); // 4 MiB logical
+
         // Fill the device twice sequentially: second pass invalidates whole
         // blocks, so GC migrates (almost) nothing.
         for pass in 0..4 {
@@ -299,7 +300,10 @@ mod tests {
         }
         assert!(stats.erase_ops > 0, "rewrites must trigger GC");
         let wa = stats.write_amplification();
-        assert!(wa < 1.25, "sequential rewrite WA should be near 1, got {wa}");
+        assert!(
+            wa < 1.25,
+            "sequential rewrite WA should be near 1, got {wa}"
+        );
     }
 
     #[test]
@@ -318,7 +322,9 @@ mod tests {
         let pages = cap / PAGE_SIZE;
         let mut x: u64 = 12345;
         for _ in 0..(pages * 5) {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let lpn = x % pages;
             rnd.submit(
                 0,

@@ -126,7 +126,9 @@ impl RsCode {
             return Err(EcError::ShardSizeMismatch);
         }
         let mut parity = vec![Vec::new(); self.m];
-        let parity_rows = self.generator.select_rows(&(self.k..self.n()).collect::<Vec<_>>());
+        let parity_rows = self
+            .generator
+            .select_rows(&(self.k..self.n()).collect::<Vec<_>>());
         parity_rows.apply(data, &mut parity);
         Ok(parity)
     }
@@ -173,8 +175,7 @@ impl RsCode {
             .expect("MDS generator: any k rows are invertible");
 
         let missing_data: Vec<usize> = missing.iter().copied().filter(|&i| i < self.k).collect();
-        let missing_parity: Vec<usize> =
-            missing.iter().copied().filter(|&i| i >= self.k).collect();
+        let missing_parity: Vec<usize> = missing.iter().copied().filter(|&i| i >= self.k).collect();
 
         // Compute everything from the surviving shards before mutating.
         let (out_data, out_parity) = {
@@ -226,17 +227,19 @@ impl RsCode {
         }
         let data: Vec<&[u8]> = shards[..self.k].iter().map(|v| v.as_slice()).collect();
         let parity = self.encode(&data)?;
-        Ok(parity
-            .iter()
-            .zip(&shards[self.k..])
-            .all(|(a, b)| a == b))
+        Ok(parity.iter().zip(&shards[self.k..]).all(|(a, b)| a == b))
     }
 
     /// Eq. (2): computes the parity delta for parity block `parity_index`
     /// given the data delta `ΔD = D_new ⊕ D_old` of data block `data_index`:
     /// `ΔP_j = ∂_{j,i} · ΔD_i`. XORing the result into the old parity yields
     /// the new parity.
-    pub fn parity_delta(&self, parity_index: usize, data_index: usize, data_delta: &[u8]) -> Vec<u8> {
+    pub fn parity_delta(
+        &self,
+        parity_index: usize,
+        data_index: usize,
+        data_delta: &[u8],
+    ) -> Vec<u8> {
         let c = self.coefficient(parity_index, data_index);
         let mut out = vec![0u8; data_delta.len()];
         tsue_gf::mul_slice(c, data_delta, &mut out);
@@ -266,11 +269,7 @@ impl RsCode {
     ///
     /// # Panics
     /// Panics if deltas have inconsistent lengths.
-    pub fn combined_parity_delta(
-        &self,
-        parity_index: usize,
-        deltas: &[(usize, &[u8])],
-    ) -> Vec<u8> {
+    pub fn combined_parity_delta(&self, parity_index: usize, deltas: &[(usize, &[u8])]) -> Vec<u8> {
         assert!(!deltas.is_empty(), "need at least one delta");
         let len = deltas[0].1.len();
         let mut acc = vec![0u8; len];
@@ -362,8 +361,7 @@ mod tests {
         // All single and double losses.
         for a in 0..6 {
             for b in a..6 {
-                let mut shards: Vec<Option<Vec<u8>>> =
-                    full.iter().cloned().map(Some).collect();
+                let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
                 shards[a] = None;
                 shards[b] = None;
                 rs.reconstruct(&mut shards).unwrap();
@@ -380,17 +378,16 @@ mod tests {
         let data = blocks(4, 16, 1);
         let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
         let parity = rs.encode(&refs).unwrap();
-        let mut shards: Vec<Option<Vec<u8>>> = data
-            .into_iter()
-            .chain(parity)
-            .map(Some)
-            .collect();
+        let mut shards: Vec<Option<Vec<u8>>> = data.into_iter().chain(parity).map(Some).collect();
         shards[0] = None;
         shards[1] = None;
         shards[4] = None;
         assert!(matches!(
             rs.reconstruct(&mut shards),
-            Err(EcError::TooFewShards { present: 3, needed: 4 })
+            Err(EcError::TooFewShards {
+                present: 3,
+                needed: 4
+            })
         ));
     }
 
@@ -403,13 +400,15 @@ mod tests {
 
         // Update bytes 10..20 of data block 2.
         let old = data[2][10..20].to_vec();
-        let new: Vec<u8> = (0..10u8).map(|x| x.wrapping_mul(37).wrapping_add(5)).collect();
+        let new: Vec<u8> = (0..10u8)
+            .map(|x| x.wrapping_mul(37).wrapping_add(5))
+            .collect();
         let delta = data_delta(&old, &new);
         data[2][10..20].copy_from_slice(&new);
 
-        for j in 0..4 {
+        for (j, p) in parity.iter_mut().enumerate() {
             let pd = rs.parity_delta(j, 2, &delta);
-            RsCode::apply_parity_delta(&mut parity[j][10..20], &pd);
+            RsCode::apply_parity_delta(&mut p[10..20], &pd);
         }
 
         let refs2: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
@@ -446,8 +445,7 @@ mod tests {
         let d2 = vec![0x25u8; 16];
         let d3 = vec![0xa7u8; 16];
         for j in 0..3 {
-            let combined =
-                rs.combined_parity_delta(j, &[(0, &d0), (2, &d2), (3, &d3)]);
+            let combined = rs.combined_parity_delta(j, &[(0, &d0), (2, &d2), (3, &d3)]);
             let mut expect = rs.parity_delta(j, 0, &d0);
             merge_deltas(&mut expect, &rs.parity_delta(j, 2, &d2));
             merge_deltas(&mut expect, &rs.parity_delta(j, 3, &d3));

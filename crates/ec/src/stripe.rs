@@ -120,12 +120,7 @@ impl StripeLayout {
     }
 
     /// Inverse-ish helper: all roles of `stripe` hosted on `node`.
-    pub fn roles_on_node(
-        &self,
-        stripe: u64,
-        node: usize,
-        blocks_per_stripe: usize,
-    ) -> Vec<usize> {
+    pub fn roles_on_node(&self, stripe: u64, node: usize, blocks_per_stripe: usize) -> Vec<usize> {
         (0..blocks_per_stripe)
             .filter(|&r| self.node_for(stripe, r, blocks_per_stripe) == node)
             .collect()
@@ -141,23 +136,43 @@ mod tests {
         let cfg = StripeConfig::new(4, 2, 100);
         assert_eq!(
             cfg.locate(0),
-            BlockAddr { stripe: 0, block: 0, offset: 0 }
+            BlockAddr {
+                stripe: 0,
+                block: 0,
+                offset: 0
+            }
         );
         assert_eq!(
             cfg.locate(99),
-            BlockAddr { stripe: 0, block: 0, offset: 99 }
+            BlockAddr {
+                stripe: 0,
+                block: 0,
+                offset: 99
+            }
         );
         assert_eq!(
             cfg.locate(100),
-            BlockAddr { stripe: 0, block: 1, offset: 0 }
+            BlockAddr {
+                stripe: 0,
+                block: 1,
+                offset: 0
+            }
         );
         assert_eq!(
             cfg.locate(399),
-            BlockAddr { stripe: 0, block: 3, offset: 99 }
+            BlockAddr {
+                stripe: 0,
+                block: 3,
+                offset: 99
+            }
         );
         assert_eq!(
             cfg.locate(400),
-            BlockAddr { stripe: 1, block: 0, offset: 0 }
+            BlockAddr {
+                stripe: 1,
+                block: 0,
+                offset: 0
+            }
         );
     }
 

@@ -70,9 +70,9 @@ proptest! {
             let new: Vec<u8> = (0..ulen).map(|_| rng.gen()).collect();
             let delta = data_delta(&data[b][off..off + ulen], &new);
             data[b][off..off + ulen].copy_from_slice(&new);
-            for j in 0..m {
+            for (j, p) in parity.iter_mut().enumerate() {
                 let pd = rs.parity_delta(j, b, &delta);
-                tsue_ec::RsCode::apply_parity_delta(&mut parity[j][off..off + ulen], &pd);
+                tsue_ec::RsCode::apply_parity_delta(&mut p[off..off + ulen], &pd);
             }
         }
 

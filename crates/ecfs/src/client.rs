@@ -9,8 +9,8 @@ use crate::osd::BlockId;
 use crate::scheme::{deliver_read, deliver_update, Chunk, UpdateReq};
 use crate::{payload_for, Cluster, FileId};
 use tsue_net::NodeId;
-use tsue_trace::{OpKind, TraceGen, WorkloadProfile};
 use tsue_sim::Sim;
+use tsue_trace::{OpKind, TraceGen, WorkloadProfile};
 
 /// One closed-loop client.
 pub struct ClientState {
@@ -144,7 +144,9 @@ pub fn client_issue(world: &mut Cluster, sim: &mut Sim<Cluster>, cid: usize) {
             });
         } else if core.mds.is_alive(owner) {
             let (off, len) = (e.addr.offset, e.len);
-            let arrival = core.net.transfer(now, client_node, owner_node, crate::ACK_BYTES);
+            let arrival = core
+                .net
+                .transfer(now, client_node, owner_node, crate::ACK_BYTES);
             sim.schedule_at(arrival, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
                 deliver_read(w, sim, owner, op_id, block, off, len);
             });
@@ -160,6 +162,7 @@ pub fn client_issue(world: &mut Cluster, sim: &mut Sim<Cluster>, cid: usize) {
 /// Serves a read extent whose owner is dead: range reads from `k` live
 /// blocks of the stripe, transfers to the client, and a decode — the
 /// degraded-read path every erasure-coded file system must provide.
+#[allow(clippy::too_many_arguments)] // one parameter per field of the op descriptor
 fn degraded_read(
     core: &mut crate::ClusterCore,
     sim: &mut Sim<Cluster>,

@@ -341,13 +341,17 @@ impl ClusterCore {
     /// CPU time to XOR `bytes`.
     #[inline]
     pub fn xor_time(&self, bytes: u64) -> Time {
-        (bytes * self.cfg.compute.xor_ns_per_kib).div_ceil(1024).max(200)
+        (bytes * self.cfg.compute.xor_ns_per_kib)
+            .div_ceil(1024)
+            .max(200)
     }
 
     /// CPU time for a GF multiply-accumulate over `bytes`.
     #[inline]
     pub fn gf_time(&self, bytes: u64) -> Time {
-        (bytes * self.cfg.compute.gf_ns_per_kib).div_ceil(1024).max(300)
+        (bytes * self.cfg.compute.gf_ns_per_kib)
+            .div_ceil(1024)
+            .max(300)
     }
 
     /// Creates a file of `size` bytes: registers stripes with the MDS,
@@ -428,7 +432,7 @@ impl ClusterCore {
 
     /// Whether the experiment window is still open.
     pub fn accepting(&self, now: Time) -> bool {
-        self.stop_at.map_or(true, |t| now < t)
+        self.stop_at.is_none_or(|t| now < t)
     }
 }
 

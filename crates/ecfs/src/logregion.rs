@@ -55,9 +55,13 @@ impl LogRegion {
         }
         let rel = self.cursor;
         self.cursor += len;
-        let t = core.osds[osd]
-            .device
-            .submit_log(now, IoKind::Write, base + rel, len, self.append_stream);
+        let t = core.osds[osd].device.submit_log(
+            now,
+            IoKind::Write,
+            base + rel,
+            len,
+            self.append_stream,
+        );
         (t, rel)
     }
 
@@ -78,7 +82,6 @@ impl LogRegion {
             .submit(now, IoKind::Read, off, len, self.read_stream)
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -147,7 +147,10 @@ mod tests {
     fn classify_write_distinguishes_update_from_first_write() {
         let mut m = Mds::new(1);
         let f = m.register_file(64 << 10, 1);
-        assert!(!m.classify_write(f, 0, 4096), "first write is not an update");
+        assert!(
+            !m.classify_write(f, 0, 4096),
+            "first write is not an update"
+        );
         assert!(m.classify_write(f, 0, 4096), "second write is an update");
         assert!(!m.classify_write(f, 8192, 100), "fresh page");
         // Straddling a written and an unwritten page => normal write.

@@ -149,10 +149,30 @@ mod tests {
     #[test]
     fn arrival_log_respects_flag() {
         let mut off = ClusterMetrics::new(false);
-        off.record_arrival(1, 0, BlockId { file: 0, stripe: 0, role: 0 }, 0, 10);
+        off.record_arrival(
+            1,
+            0,
+            BlockId {
+                file: 0,
+                stripe: 0,
+                role: 0,
+            },
+            0,
+            10,
+        );
         assert!(off.arrivals.is_none());
         let mut on = ClusterMetrics::new(true);
-        on.record_arrival(1, 0, BlockId { file: 0, stripe: 0, role: 0 }, 0, 10);
+        on.record_arrival(
+            1,
+            0,
+            BlockId {
+                file: 0,
+                stripe: 0,
+                role: 0,
+            },
+            0,
+            10,
+        );
         assert_eq!(on.arrivals.as_ref().unwrap().len(), 1);
     }
 }

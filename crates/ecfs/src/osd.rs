@@ -115,7 +115,9 @@ impl Osd {
             assert!((off + len) as usize <= d.len(), "read beyond block");
             d[off as usize..(off + len) as usize].to_vec()
         });
-        let t = self.device.submit(now, IoKind::Read, dev_off, len, STREAM_BLOCK);
+        let t = self
+            .device
+            .submit(now, IoKind::Read, dev_off, len, STREAM_BLOCK);
         (t, data)
     }
 
@@ -139,7 +141,8 @@ impl Osd {
             store[off as usize..(off + len) as usize].copy_from_slice(src);
         }
         let dev_off = b.dev_offset + off;
-        self.device.submit(now, IoKind::Write, dev_off, len, STREAM_BLOCK)
+        self.device
+            .submit(now, IoKind::Write, dev_off, len, STREAM_BLOCK)
     }
 
     /// Applies `delta` into block content with XOR (parity merge) and
@@ -188,9 +191,7 @@ impl Osd {
 
     /// Mutable access to materialized block bytes (tests, recovery).
     pub fn block_data_mut(&mut self, id: BlockId) -> Option<&mut [u8]> {
-        self.blocks
-            .get_mut(&id)
-            .and_then(|b| b.data.as_deref_mut())
+        self.blocks.get_mut(&id).and_then(|b| b.data.as_deref_mut())
     }
 
     /// Immutable access to materialized block bytes.

@@ -104,11 +104,7 @@ impl RangeMap {
             // Any entry starting before `end` could overlap; walk back from
             // there. Entries are non-overlapping, so only the last one
             // starting at or before `off` can cross `off` from the left.
-            let mut keys: Vec<u64> = self
-                .entries
-                .range(off..end)
-                .map(|(&k, _)| k)
-                .collect();
+            let mut keys: Vec<u64> = self.entries.range(off..end).map(|(&k, _)| k).collect();
             if let Some((&k, c)) = self.entries.range(..off).next_back() {
                 if k + c.len > off {
                     keys.insert(0, k);
@@ -170,7 +166,8 @@ impl RangeMap {
                     // Gap before this entry.
                     let e_start = k.max(off);
                     if e_start > cursor {
-                        to_insert.push((cursor, slice_chunk(&chunk, cursor - off, e_start - cursor)));
+                        to_insert
+                            .push((cursor, slice_chunk(&chunk, cursor - off, e_start - cursor)));
                     }
                     // Overlapped middle: xor the intersecting span.
                     let i_start = e_start;
@@ -264,10 +261,7 @@ impl RangeMap {
             if a + ca.len != b {
                 continue;
             }
-            let mergeable = matches!(
-                (&ca.bytes, &cb.bytes),
-                (Some(_), Some(_)) | (None, None)
-            );
+            let mergeable = matches!((&ca.bytes, &cb.bytes), (Some(_), Some(_)) | (None, None));
             if !mergeable {
                 continue;
             }
@@ -299,12 +293,10 @@ fn false_with_patch(map: &RangeMap, cursor: u64, end: u64, buf: Option<&mut [u8]
 
 /// Splits `chunk` (starting at `start`) into (before `lo`, [`lo`,`hi`),
 /// after `hi`) pieces, any of which may be absent.
-fn split3(
-    start: u64,
-    chunk: Chunk,
-    lo: u64,
-    hi: u64,
-) -> (Option<(u64, Chunk)>, Option<(u64, Chunk)>, Option<(u64, Chunk)>) {
+/// One positioned piece produced by [`split3`]: `(offset, chunk)`.
+type Piece = Option<(u64, Chunk)>;
+
+fn split3(start: u64, chunk: Chunk, lo: u64, hi: u64) -> (Piece, Piece, Piece) {
     let end = start + chunk.len;
     let left = if start < lo {
         Some((start, slice_chunk(&chunk, 0, lo.min(end) - start)))
@@ -319,7 +311,10 @@ fn split3(
         None
     };
     let right = if end > hi {
-        Some((hi.max(start), slice_chunk(&chunk, hi.max(start) - start, end - hi.max(start))))
+        Some((
+            hi.max(start),
+            slice_chunk(&chunk, hi.max(start) - start, end - hi.max(start)),
+        ))
     } else {
         None
     };
@@ -472,7 +467,9 @@ mod tests {
         let mut model = std::collections::HashMap::new();
         let mut x: u64 = 0x12345;
         for i in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let off = (x >> 16) % 200;
             let len = 1 + ((x >> 40) % 40);
             let val = (i % 251) as u8;
@@ -491,7 +488,9 @@ mod tests {
         let mut model = std::collections::HashMap::<u64, u8>::new();
         let mut x: u64 = 99;
         for _ in 0..300 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let off = (x >> 16) % 150;
             let len = 1 + ((x >> 40) % 30);
             let val = (x >> 8) as u8;

@@ -123,9 +123,12 @@ fn schedule_rebuild(
     for &(role, owner) in &sources {
         let src_block = BlockId { role, ..block };
         let (t_read, data) = core.osds[owner].read_block_range(now, src_block, 0, block_size);
-        let arrive = core
-            .net
-            .transfer(t_read, core.osds[owner].node, core.osds[target].node, block_size);
+        let arrive = core.net.transfer(
+            t_read,
+            core.osds[owner].node,
+            core.osds[target].node,
+            block_size,
+        );
         ready = ready.max(arrive);
         shard_data.push((role, data));
     }
@@ -143,9 +146,7 @@ fn schedule_rebuild(
         core.rs
             .reconstruct(&mut shards)
             .expect("enough shards by construction");
-        shards[block.role]
-            .take()
-            .map(|v| v.into_boxed_slice())
+        shards[block.role].take().map(|v| v.into_boxed_slice())
     } else {
         None
     };

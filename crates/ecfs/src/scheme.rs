@@ -244,7 +244,10 @@ pub fn deliver_update(world: &mut Cluster, sim: &mut Sim<Cluster>, osd: usize, r
         return; // lost on the wire; failure tests stop traffic first
     }
     if world.core.cfg.record_arrivals {
-        world.core.metrics.record_arrival(req.op_id, req.ext, req.block, req.off, req.data.len);
+        world
+            .core
+            .metrics
+            .record_arrival(req.op_id, req.ext, req.block, req.off, req.data.len);
     }
     world.core.metrics.extents_received += 1;
     let mut s = world.schemes[osd].take().expect("scheme reentrancy");
@@ -466,7 +469,7 @@ mod tests {
     fn chunk_gf_scaled_matches_field() {
         let c = Chunk::real(vec![3, 5, 7]);
         let s = c.gf_scaled(9);
-        let expect: Vec<u8> = vec![3, 5, 7].iter().map(|&x| tsue_gf::mul(9, x)).collect();
+        let expect: Vec<u8> = [3, 5, 7].iter().map(|&x| tsue_gf::mul(9, x)).collect();
         assert_eq!(s.bytes.unwrap(), expect);
     }
 

@@ -53,8 +53,7 @@ pub fn div(a: u8, b: u8) -> u8 {
     if a == 0 {
         return 0;
     }
-    let log_diff =
-        255 + LOG_TABLE[a as usize] as usize - LOG_TABLE[b as usize] as usize;
+    let log_diff = 255 + LOG_TABLE[a as usize] as usize - LOG_TABLE[b as usize] as usize;
     EXP_TABLE[log_diff]
 }
 

@@ -350,6 +350,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // per-index matrix-vector reference
     fn apply_matches_mul() {
         let g = Matrix::cauchy(2, 3);
         let data: Vec<Vec<u8>> = vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8], vec![9, 10, 11, 12]];

@@ -87,6 +87,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index-pair table lookups
     fn mul_table_row_zero_and_one() {
         for b in 0..256usize {
             assert_eq!(MUL_TABLE[0][b], 0);
@@ -97,6 +98,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index-pair table lookups
     fn mul_table_is_symmetric() {
         for a in 0..256usize {
             for b in a..256usize {

@@ -98,9 +98,9 @@ impl Cord {
         // Persist the raw delta in the buffer log, charge the Eq. (5)
         // folding compute, then ack.
         let compute = core.gf_time(q.data.len * m as u64);
-        let (t_persist, _) = self
-            .buf_log
-            .append(core, osd, sim.now() + compute, q.data.len + ENTRY_HEADER);
+        let (t_persist, _) =
+            self.buf_log
+                .append(core, osd, sim.now() + compute, q.data.len + ENTRY_HEADER);
         let (from, tag) = (q.from, q.tag);
         sim.schedule_at(t_persist, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
             w.core
@@ -148,7 +148,8 @@ impl Cord {
                 }
             }
         }
-        self.agg.retain(|_, maps| maps.iter().any(|m| !m.is_empty()));
+        self.agg
+            .retain(|_, maps| maps.iter().any(|m| !m.is_empty()));
         self.buffered = 0;
         if self.drain_inflight == 0 {
             self.finish_drain(core, sim, osd);
@@ -281,7 +282,10 @@ impl UpdateScheme for Cord {
     }
 
     fn flush(&mut self, core: &mut ClusterCore, sim: &mut Sim<Cluster>, osd: usize) {
-        let has_agg = self.agg.values().any(|maps| maps.iter().any(|m| !m.is_empty()));
+        let has_agg = self
+            .agg
+            .values()
+            .any(|maps| maps.iter().any(|m| !m.is_empty()));
         if (has_agg || !self.queue.is_empty()) && !self.draining {
             self.start_drain(core, sim, osd);
         }
@@ -294,10 +298,7 @@ impl UpdateScheme for Cord {
             .flat_map(|maps| maps.iter())
             .map(|m| m.len() as u64)
             .sum();
-        agg_entries
-            + self.queue.len() as u64
-            + self.drain_inflight
-            + self.acks.outstanding() as u64
+        agg_entries + self.queue.len() as u64 + self.drain_inflight + self.acks.outstanding() as u64
     }
 
     fn memory_usage(&self) -> u64 {

@@ -21,13 +21,13 @@ pub mod pl;
 pub mod plr;
 
 pub use cord::Cord;
-pub use tsue_ecfs::logregion::LogRegion;
-pub use tsue_ecfs::scheme::AckTable;
 pub use fl::Fl;
 pub use fo::Fo;
 pub use parix::Parix;
 pub use pl::Pl;
 pub use plr::Plr;
+pub use tsue_ecfs::logregion::LogRegion;
+pub use tsue_ecfs::scheme::AckTable;
 
 use tsue_ecfs::ClusterCore;
 

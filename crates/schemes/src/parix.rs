@@ -117,7 +117,9 @@ impl Parix {
                 // Approximate entry placement: reads wrap inside the log
                 // region, so the cost model sees two scattered reads.
                 let t1 = self.log.read(core, osd, now, off, newest.len);
-                let t2 = self.log.read(core, osd, t1, off.wrapping_mul(2654435761), newest.len);
+                let t2 = self
+                    .log
+                    .read(core, osd, t1, off.wrapping_mul(2654435761), newest.len);
                 // delta = latest ⊕ original over this range.
                 let mut delta = newest.clone();
                 if let Some(buf) = delta.bytes.as_mut() {
@@ -372,11 +374,7 @@ impl UpdateScheme for Parix {
     }
 
     fn backlog(&self) -> u64 {
-        let unmerged: u64 = self
-            .blocks
-            .values()
-            .map(|b| b.latest.len() as u64)
-            .sum();
+        let unmerged: u64 = self.blocks.values().map(|b| b.latest.len() as u64).sum();
         unmerged + self.inflight + self.acks.outstanding() as u64
     }
 

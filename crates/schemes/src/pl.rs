@@ -65,7 +65,9 @@ impl Pl {
     fn start_recycle(&mut self, core: &mut ClusterCore, sim: &mut Sim<Cluster>, osd: usize) {
         let now = sim.now();
         for e in self.entries.drain(..) {
-            let t_read = self.log.read(core, osd, now, e.dev_off, e.data.len + ENTRY_HEADER);
+            let t_read = self
+                .log
+                .read(core, osd, now, e.dev_off, e.data.len + ENTRY_HEADER);
             let compute = core.xor_time(e.data.len);
             let t_done = core.osds[osd].xor_block_range(
                 t_read,
@@ -139,8 +141,7 @@ impl UpdateScheme for Pl {
                 // Sequential append to the parity log; ack immediately
                 // after the append persists.
                 let len = data.len;
-                let (t_append, dev_off) =
-                    self.log.append(core, osd, sim.now(), len + ENTRY_HEADER);
+                let (t_append, dev_off) = self.log.append(core, osd, sim.now(), len + ENTRY_HEADER);
                 self.entries.push(PlEntry {
                     pblock: BlockId {
                         role: core.cfg.stripe.k + parity_index,

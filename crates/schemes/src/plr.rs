@@ -159,20 +159,17 @@ impl UpdateScheme for Plr {
                     ..block
                 };
                 let reserve_size = core.cfg.stripe.block_size / RESERVE_DIV;
-                if !self.reserved.contains_key(&pblock) {
+                if let std::collections::hash_map::Entry::Vacant(e) = self.reserved.entry(pblock) {
                     // Lease + format the reserved region; formatting marks
                     // it written so appends count as the write penalty the
                     // paper attributes to PLR.
                     let dev_off = core.osds[osd].alloc_region(reserve_size);
                     core.osds[osd].device.prefill(dev_off, reserve_size);
-                    self.reserved.insert(
-                        pblock,
-                        Reserved {
-                            dev_off,
-                            cursor: 0,
-                            entries: Vec::new(),
-                        },
-                    );
+                    e.insert(Reserved {
+                        dev_off,
+                        cursor: 0,
+                        entries: Vec::new(),
+                    });
                 }
                 let len = data.len;
                 let need = len + ENTRY_HEADER;

@@ -93,8 +93,8 @@ fn pl_threshold_bounds_backlog() {
 fn plr_pays_the_write_penalty() {
     let plr = run(cluster(3, 8), &hot_profile(), SchemeKind::Plr, 500);
     let pl = run(cluster(3, 8), &hot_profile(), SchemeKind::Pl, 500);
-    let plr_ow = plr.device_stats().overwrite_ops as f64
-        / plr.core.metrics.updates_completed.max(1) as f64;
+    let plr_ow =
+        plr.device_stats().overwrite_ops as f64 / plr.core.metrics.updates_completed.max(1) as f64;
     let pl_ow =
         pl.device_stats().overwrite_ops as f64 / pl.core.metrics.updates_completed.max(1) as f64;
     assert!(
@@ -133,8 +133,7 @@ fn parix_speculation_budget_recurs() {
         world.set_workload(&hot_profile());
         let mut sim: Sim<Cluster> = Sim::new();
         run_workload(&mut world, &mut sim, SECOND / 2);
-        world.core.net.total_payload() as f64
-            / world.core.metrics.updates_completed.max(1) as f64
+        world.core.net.total_payload() as f64 / world.core.metrics.updates_completed.max(1) as f64
     };
     let tiny = mk(64 << 10);
     let large = mk(1 << 30);

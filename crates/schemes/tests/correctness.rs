@@ -46,8 +46,8 @@ fn run_and_check(kind: SchemeKind, k: usize, m: usize, seed: u64, ops: u64) {
     assert!(world.core.pending.is_empty(), "ops still in flight");
     world.flush_all(&mut sim);
     assert_eq!(world.total_scheme_backlog(), 0, "{}: backlog", kind.name());
-    let (blocks, stripes) = check_consistency(&world)
-        .unwrap_or_else(|e| panic!("{} inconsistent: {e}", kind.name()));
+    let (blocks, stripes) =
+        check_consistency(&world).unwrap_or_else(|e| panic!("{} inconsistent: {e}", kind.name()));
     assert!(blocks > 0, "no blocks were updated");
     assert!(stripes > 0);
 }

@@ -150,12 +150,8 @@ impl<W> Sim<W> {
     /// to `deadline` afterwards so rate computations over the window are
     /// well-defined even if the last event fired earlier.
     pub fn run_until(&mut self, world: &mut W, deadline: Time) -> Time {
-        loop {
-            let next_at = match self.queue.peek() {
-                Some(Reverse(e)) => e.at,
-                None => break,
-            };
-            if next_at > deadline {
+        while let Some(Reverse(event)) = self.queue.peek() {
+            if event.at > deadline {
                 break;
             }
             self.step(world);

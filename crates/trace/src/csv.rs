@@ -116,10 +116,7 @@ fn parse_line(fields: &[&str]) -> Result<Option<(OpKind, u64, u64)>, String> {
         }
     }
     // Header detection: first data-ish field non-numeric.
-    if fields
-        .first()
-        .is_some_and(|f| f.parse::<f64>().is_err())
-    {
+    if fields.first().is_some_and(|f| f.parse::<f64>().is_err()) {
         return Ok(None);
     }
     Err(format!("unrecognized record with {} fields", fields.len()))
@@ -179,7 +176,10 @@ Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
             parse_csv("1,2\n", 1 << 20),
             Err(ParseError::BadLine { line: 1, .. })
         ));
-        assert_eq!(parse_csv("# just a comment\n", 1 << 20), Err(ParseError::Empty));
+        assert_eq!(
+            parse_csv("# just a comment\n", 1 << 20),
+            Err(ParseError::Empty)
+        );
     }
 
     #[test]

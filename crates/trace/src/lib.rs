@@ -90,7 +90,10 @@ impl WorkloadProfile {
             (total - 1.0).abs() < 1e-6,
             "size distribution sums to {total}, expected 1.0"
         );
-        assert!(self.align.is_power_of_two(), "alignment must be a power of two");
+        assert!(
+            self.align.is_power_of_two(),
+            "alignment must be a power of two"
+        );
         self
     }
 
@@ -123,7 +126,10 @@ impl TraceGen {
     /// Panics if the volume is smaller than 1 MiB (the locality layering
     /// needs room) or the profile is malformed.
     pub fn new(profile: WorkloadProfile, volume_size: u64, seed: u64) -> Self {
-        assert!(volume_size >= 1 << 20, "volume too small for locality model");
+        assert!(
+            volume_size >= 1 << 20,
+            "volume too small for locality model"
+        );
         let profile = profile.validated();
         TraceGen {
             profile,
@@ -246,8 +252,7 @@ impl TraceGen {
             // level narrows to the hot_fraction sub-range with probability
             // hot_access_prob, compounding the skew.
             for _ in 0..self.profile.skew_depth {
-                let hot_span =
-                    ((span as f64) * self.profile.hot_fraction).max(align as f64) as u64;
+                let hot_span = ((span as f64) * self.profile.hot_fraction).max(align as f64) as u64;
                 if hot_span >= span {
                     break;
                 }

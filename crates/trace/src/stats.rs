@@ -104,11 +104,19 @@ mod tests {
         let mut g = TraceGen::new(ali_cloud(), 256 << 20, 11);
         let ops = g.take_ops(30_000);
         let s = TraceStats::compute(&ops, 256 << 20);
-        assert!((s.write_fraction - 0.75).abs() < 0.02, "{}", s.write_fraction);
+        assert!(
+            (s.write_fraction - 0.75).abs() < 0.02,
+            "{}",
+            s.write_fraction
+        );
         // Repeats re-draw recorded sizes, so quantiles drift slightly from
         // the raw point masses; allow a modest band.
         assert!((s.le_16k - 0.60).abs() < 0.08, "le_16k {}", s.le_16k);
-        assert!(s.top_decile_share > 0.4, "locality too weak: {}", s.top_decile_share);
+        assert!(
+            s.top_decile_share > 0.4,
+            "locality too weak: {}",
+            s.top_decile_share
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@ fn run_case(name: &str, make: impl Fn() -> Box<dyn UpdateScheme>) {
 }
 
 fn main() {
-    println!("update burst (6 virtual seconds, Ten-Cloud, RS(6,2), HDD cluster), then kill OSD 0:\n");
+    println!(
+        "update burst (6 virtual seconds, Ten-Cloud, RS(6,2), HDD cluster), then kill OSD 0:\n"
+    );
     run_case("FO", || Box::new(Fo::new()));
     run_case("PL", || Box::new(Pl::new()));
     run_case("TSUE", || Box::new(Tsue::hdd()));

@@ -89,7 +89,11 @@ fn main() {
     let hit = pool.read(0, 0, &mut buf);
     println!(
         "read of a hot slot served from the log cache: {}",
-        if hit { "yes" } else { "no (unit already reused)" }
+        if hit {
+            "yes"
+        } else {
+            "no (unit already reused)"
+        }
     );
 
     match Arc::try_unwrap(pool) {

@@ -6,9 +6,7 @@
 //! ```
 
 use tsue_core::Tsue;
-use tsue_ecfs::{
-    check_consistency, run_recovery, run_workload, Cluster, ClusterConfig,
-};
+use tsue_ecfs::{check_consistency, run_recovery, run_workload, Cluster, ClusterConfig};
 use tsue_sim::{Sim, SECOND};
 use tsue_trace::ten_cloud;
 
@@ -40,7 +38,9 @@ fn main() {
     // exactly what the update stream dictates.
     world.flush_all(&mut sim);
     let (blocks, stripes) = check_consistency(&world).expect("consistent end state");
-    println!("verified: {blocks} data blocks match the replay, {stripes} stripes parity-consistent");
+    println!(
+        "verified: {blocks} data blocks match the replay, {stripes} stripes parity-consistent"
+    );
 
     // Storage/network cost of the run.
     let dev = world.device_stats();

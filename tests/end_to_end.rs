@@ -95,7 +95,8 @@ fn simulation_is_deterministic() {
 /// a mixed read/write workload with sub-4K requests (MSR-like).
 #[test]
 fn all_schemes_and_tsue_converge_msr_style() {
-    let schemes: Vec<(String, Box<dyn Fn() -> Box<dyn tsue_repro::ecfs::UpdateScheme>>)> = vec![
+    type SchemeFactory = Box<dyn Fn() -> Box<dyn tsue_repro::ecfs::UpdateScheme>>;
+    let schemes: Vec<(String, SchemeFactory)> = vec![
         ("FO".into(), Box::new(|| SchemeKind::Fo.build())),
         ("PL".into(), Box::new(|| SchemeKind::Pl.build())),
         ("CoRD".into(), Box::new(|| SchemeKind::Cord.build())),
@@ -158,8 +159,12 @@ fn codec_and_cluster_agree_on_reconstruction() {
     let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
     let parity = rs.encode(&refs).unwrap();
     // Lose two shards and rebuild.
-    let mut shards: Vec<Option<Vec<u8>>> =
-        data.iter().cloned().chain(parity.iter().cloned()).map(Some).collect();
+    let mut shards: Vec<Option<Vec<u8>>> = data
+        .iter()
+        .cloned()
+        .chain(parity.iter().cloned())
+        .map(Some)
+        .collect();
     shards[1] = None;
     shards[4] = None;
     rs.reconstruct(&mut shards).unwrap();
@@ -217,7 +222,10 @@ fn degraded_reads_survive_node_failure() {
     let mut sim: Sim<Cluster> = Sim::new();
     run_workload(&mut world, &mut sim, 3600 * SECOND);
     let m = &world.core.metrics;
-    assert_eq!(m.ops_completed, 200, "all reads must complete despite the failure");
+    assert_eq!(
+        m.ops_completed, 200,
+        "all reads must complete despite the failure"
+    );
     assert!(
         m.degraded_reads > 0,
         "some extents lived on the dead node and required reconstruction"

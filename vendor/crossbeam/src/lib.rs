@@ -1,0 +1,143 @@
+//! Offline stand-in for `crossbeam`, covering the `channel` module
+//! surface this workspace uses: `unbounded()`, cloneable senders, and
+//! receivers that iterate until every sender is dropped.
+
+/// Multi-producer channels (stand-in for `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like crossbeam, the payload is elided so `Debug` (and therefore
+    // `Result::expect`) works for any `T`.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned when the channel is empty and disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    ///
+    /// Unlike `std::sync::mpsc`, crossbeam receivers are cloneable
+    /// (multi-consumer); this shim recovers that with a shared mutex,
+    /// which is ample for the recycler-pool fan-in pattern used here.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self.0.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns an iterator draining the channel until disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self)
+        }
+    }
+
+    /// Borrowing iterator over received messages.
+    pub struct Iter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+
+    /// Owning iterator over received messages.
+    pub struct IntoIter<T>(Receiver<T>);
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter(self)
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn iteration_ends_when_senders_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            drop(tx);
+            drop(tx2);
+            let got: Vec<u32> = rx.into_iter().collect();
+            assert_eq!(got, vec![1, 2]);
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+    }
+}

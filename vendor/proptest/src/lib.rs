@@ -1,0 +1,230 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the slice of proptest the workspace's property suites
+//! rely on: the `proptest!` macro (mixed `name: Type` / `pat in strategy`
+//! parameters, optional `#![proptest_config(..)]`), integer/float range
+//! strategies, `any::<T>()`, tuple strategies, `collection::vec`, and the
+//! `prop_assert*` macros returning [`test_runner::TestCaseError`].
+//!
+//! Differences from real proptest, deliberately accepted for a hermetic
+//! build:
+//!
+//! * **No shrinking** — a failing case panics with the generated input's
+//!   `Debug` rendering instead of a minimized counterexample.
+//! * **Deterministic seeding** — each test's RNG is seeded from a fixed
+//!   constant (overridable via `PROPTEST_SEED`), so CI runs are
+//!   replayable bit for bit; `PROPTEST_CASES` scales the case count.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a proptest case, failing the case (not the
+/// whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, "{}\n  both: {:?}", format!($($fmt)*), left);
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted as failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn` becomes a `#[test]` whose
+/// parameters are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::Config::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case! {
+                config = ($cfg);
+                name = ($name);
+                body = ($body);
+                pats = ();
+                strats = ();
+                $($params)*
+            }
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters consumed: run the case.
+    (config = ($cfg:expr);
+     name = ($name:ident);
+     body = ($body:block);
+     pats = ($($pat:pat,)*);
+     strats = ($($strat:expr,)*);
+    ) => {
+        $crate::test_runner::run_cases(
+            &($cfg),
+            stringify!($name),
+            &($($strat,)*),
+            |($($pat,)*)| {
+                $body
+                ::core::result::Result::Ok(())
+            },
+        );
+    };
+    // `pat in strategy` parameter, more to come.
+    (config = ($cfg:expr);
+     name = ($name:ident);
+     body = ($body:block);
+     pats = ($($pat:pat,)*);
+     strats = ($($strat:expr,)*);
+     $p:pat in $s:expr, $($rest:tt)*
+    ) => {
+        $crate::__proptest_case! {
+            config = ($cfg);
+            name = ($name);
+            body = ($body);
+            pats = ($($pat,)* $p,);
+            strats = ($($strat,)* $s,);
+            $($rest)*
+        }
+    };
+    // `pat in strategy` as the final parameter.
+    (config = ($cfg:expr);
+     name = ($name:ident);
+     body = ($body:block);
+     pats = ($($pat:pat,)*);
+     strats = ($($strat:expr,)*);
+     $p:pat in $s:expr
+    ) => {
+        $crate::__proptest_case! {
+            config = ($cfg);
+            name = ($name);
+            body = ($body);
+            pats = ($($pat,)* $p,);
+            strats = ($($strat,)* $s,);
+        }
+    };
+    // `name: Type` parameter (drawn from `any::<Type>()`), more to come.
+    (config = ($cfg:expr);
+     name = ($name:ident);
+     body = ($body:block);
+     pats = ($($pat:pat,)*);
+     strats = ($($strat:expr,)*);
+     $p:ident : $t:ty, $($rest:tt)*
+    ) => {
+        $crate::__proptest_case! {
+            config = ($cfg);
+            name = ($name);
+            body = ($body);
+            pats = ($($pat,)* $p,);
+            strats = ($($strat,)* $crate::arbitrary::any::<$t>(),);
+            $($rest)*
+        }
+    };
+    // `name: Type` as the final parameter.
+    (config = ($cfg:expr);
+     name = ($name:ident);
+     body = ($body:block);
+     pats = ($($pat:pat,)*);
+     strats = ($($strat:expr,)*);
+     $p:ident : $t:ty
+    ) => {
+        $crate::__proptest_case! {
+            config = ($cfg);
+            name = ($name);
+            body = ($body);
+            pats = ($($pat,)* $p,);
+            strats = ($($strat,)* $crate::arbitrary::any::<$t>(),);
+        }
+    };
+}

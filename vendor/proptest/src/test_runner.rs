@@ -1,0 +1,127 @@
+//! Case execution: configuration, error type, and the runner loop.
+
+use crate::strategy::Strategy;
+use rand::SeedableRng;
+
+/// The RNG driving value generation.
+#[derive(Clone, Debug)]
+pub struct TestRng(rand::rngs::SmallRng);
+
+impl TestRng {
+    fn for_test(name: &str) -> Self {
+        // Deterministic per test (name-hashed), overridable for replay
+        // exploration via PROPTEST_SEED.
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x7353_5545_2025_0001); // "sSUE" 2025
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(rand::rngs::SmallRng::seed_from_u64(base ^ h))
+    }
+}
+
+impl rand::Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Runner configuration (`proptest::test_runner::Config` subset).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!`) cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        Config {
+            cases,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The input was rejected (`prop_assume!`); the case is re-drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+        }
+    }
+}
+
+/// Outcome of one case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs `config.cases` generated cases of `strategy` through `test`,
+/// panicking (with the offending input) on the first failure.
+pub fn run_cases<S: Strategy>(
+    config: &Config,
+    test_name: &str,
+    strategy: &S,
+    mut test: impl FnMut(S::Value) -> TestCaseResult,
+) {
+    let mut rng = TestRng::for_test(test_name);
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    while case < config.cases {
+        let value = strategy.generate(&mut rng);
+        let rendered = format!("{value:?}");
+        match test(value) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Fail(reason)) => panic!(
+                "proptest: test '{test_name}' failed at case {case}/{}: {reason}\n\
+                 input: {rendered}",
+                config.cases
+            ),
+            Err(TestCaseError::Reject(reason)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "proptest: test '{test_name}' rejected too many inputs ({rejects}): {reason}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable (no crates.io access), so the derive
+//! parses the item declaration directly from the raw token stream. It
+//! supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields, and
+//! * enums whose variants are units or tuples.
+//!
+//! Generics and named-field enum variants are rejected with a
+//! `compile_error!` rather than miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives the shim `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    if !serialize {
+        return format!("impl serde::Deserialize for {name} {{}}")
+            .parse()
+            .expect("generated Deserialize impl parses");
+    }
+    let body = match &item {
+        Item::Struct { fields, .. } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(variant, arity)| match arity {
+                    0 => format!(
+                        "{name}::{variant} => serde::Value::Str(\"{variant}\".to_string()),"
+                    ),
+                    1 => format!(
+                        "{name}::{variant}(f0) => serde::Value::Object(vec![\
+                         (\"{variant}\".to_string(), serde::Serialize::to_value(f0))]),"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{variant}({}) => serde::Value::Object(vec![\
+                             (\"{variant}\".to_string(), serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!(\"serde shim derive: {msg}\");")
+        .parse()
+        .expect("compile_error parses")
+}
+
+/// Parses `[attrs] [vis] (struct|enum) Name { ... }` from the derive
+/// input, rejecting shapes the shim cannot faithfully handle.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    // Scan past attributes and visibility to the struct/enum keyword.
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the [...] attribute group
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"struct" || *id.to_string() == *"enum" => {
+                kind = Some(id.to_string());
+                break;
+            }
+            _ => return Err(format!("unexpected token before item keyword: {tt}")),
+        }
+    }
+    let kind = kind.ok_or("no struct/enum keyword found")?;
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("generic type {name} is not supported"));
+            }
+            Some(_) => continue,
+            None => return Err(format!("no braced body found for {name}")),
+        }
+    };
+    if kind == "struct" {
+        Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+/// Splits a brace-group body at top-level commas. Groups are atomic
+/// token trees, so nested commas never leak.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => chunks.push(Vec::new()),
+            _ => chunks.last_mut().expect("chunk present").push(tt),
+        }
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_commas(body) {
+        let mut it = chunk.into_iter().peekable();
+        let mut name: Option<String> = None;
+        while let Some(tt) = it.next() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    it.next(); // attribute group
+                }
+                TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                TokenTree::Ident(id) => {
+                    name = Some(id.to_string());
+                    break;
+                }
+                other => return Err(format!("unexpected token in field: {other}")),
+            }
+        }
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err("tuple or unit structs are not supported".into()),
+        }
+        fields.push(name.ok_or("field without a name")?);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_commas(body) {
+        let mut it = chunk.into_iter().peekable();
+        let mut name: Option<String> = None;
+        while let Some(tt) = it.next() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    it.next(); // attribute group
+                }
+                TokenTree::Ident(id) => {
+                    name = Some(id.to_string());
+                    break;
+                }
+                other => return Err(format!("unexpected token in variant: {other}")),
+            }
+        }
+        let name = name.ok_or("variant without a name")?;
+        let arity = match it.next() {
+            None => 0,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Count top-level commas to get the tuple arity.
+                split_commas(g.stream()).len()
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!("struct variant {name} is not supported"));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!("discriminant on variant {name} is not supported"));
+            }
+            Some(other) => return Err(format!("unexpected token after variant {name}: {other}")),
+        };
+        variants.push((name, arity));
+    }
+    Ok(variants)
+}

@@ -1,0 +1,186 @@
+//! Offline stand-in for `serde_json`: prints the shim `serde` value tree
+//! as (pretty) JSON.
+
+pub use serde::Value;
+
+use std::fmt::Write as _;
+
+/// Serialization error.
+///
+/// The value-tree design cannot fail structurally; the only error case
+/// is a non-finite float, which JSON cannot represent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+/// Fails on non-finite floats (JSON has no representation for them).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable, two-space-indented JSON.
+///
+/// # Errors
+/// Fails on non-finite floats (JSON has no representation for them).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+fn write_value(
+    out: &mut String,
+    value: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(x) => {
+            if !x.is_finite() {
+                return Err(Error(format!("non-finite float {x} is not valid JSON")));
+            }
+            // Keep a decimal point so the value round-trips as a float.
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                let _ = write!(out, "{x:.1}");
+            } else {
+                let _ = write!(out, "{x}");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, depth, ('[', ']'), |out, v, d| {
+                write_value(out, v, indent, d)
+            })?
+        }
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            indent,
+            depth,
+            ('{', '}'),
+            |out, (k, v), d| {
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, d)
+            },
+        )?,
+    }
+    Ok(())
+}
+
+fn write_seq<I: ExactSizeIterator>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    (open, close): (char, char),
+    mut write_item: impl FnMut(&mut String, I::Item, usize) -> Result<(), Error>,
+) -> Result<(), Error> {
+    out.push(open);
+    if items.len() == 0 {
+        out.push(close);
+        return Ok(());
+    }
+    let mut first = true;
+    for item in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        write_item(out, item, depth + 1)?;
+    }
+    newline_indent(out, indent, depth);
+    out.push(close);
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("tsue".into())),
+            ("iops".into(), Value::Float(1234.5)),
+            (
+                "per_second".into(),
+                Value::Array(vec![Value::UInt(1), Value::UInt(2)]),
+            ),
+            ("flush".into(), Value::Null),
+        ]);
+        let compact = to_string(&v).unwrap();
+        assert_eq!(
+            compact,
+            r#"{"name":"tsue","iops":1234.5,"per_second":[1,2],"flush":null}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"tsue\""), "{pretty}");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = to_string(&Value::Str("a\"b\\c\nd".into())).unwrap();
+        assert_eq!(s, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert!(to_string(&Value::Float(f64::NAN)).is_err());
+        assert!(to_string(&Value::Float(f64::INFINITY)).is_err());
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&Value::Float(3.0)).unwrap(), "3.0");
+    }
+}
