@@ -2,13 +2,13 @@
 //! scale: Ali & Ten × two representative RS codes × the full scheme
 //! lineup. Run the `experiments` binary for the complete sweep.
 
-use tsue_bench::{fig5_subplot, render_throughput, Scale, TraceKind};
+use tsue_bench::{fig5_subplot, render_throughput, results_of, Scale, TraceKind};
 
 fn main() {
     println!("== Fig. 5 (quick): Ali-Cloud RS(6,2) ==");
-    let rows = fig5_subplot(TraceKind::Ali, 6, 2, Scale::Quick);
+    let rows = results_of(&fig5_subplot(TraceKind::Ali, 6, 2, Scale::Quick));
     println!("{}", render_throughput(&rows));
     println!("== Fig. 5 (quick): Ten-Cloud RS(6,4) ==");
-    let rows = fig5_subplot(TraceKind::Ten, 6, 4, Scale::Quick);
+    let rows = results_of(&fig5_subplot(TraceKind::Ten, 6, 4, Scale::Quick));
     println!("{}", render_throughput(&rows));
 }

@@ -1,11 +1,11 @@
 //! Bench target regenerating Fig. 8a (HDD update throughput) and Fig. 8b
 //! (recovery bandwidth) at quick scale.
 
-use tsue_bench::{fig8a, fig8b, render_fig8b, render_throughput, Scale};
+use tsue_bench::{fig8a, fig8b, render_fig8b, render_throughput, results_of, Scale};
 
 fn main() {
     println!("== Fig. 8a (quick): HDD throughput ==");
-    let rows = fig8a(Scale::Quick);
+    let rows = results_of(&fig8a(Scale::Quick));
     println!("{}", render_throughput(&rows));
     println!("== Fig. 8b (quick): recovery bandwidth ==");
     let rows = fig8b(Scale::Quick);

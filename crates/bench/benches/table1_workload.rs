@@ -1,11 +1,11 @@
 //! Bench target regenerating Table 1 (storage workload, network traffic,
 //! SSD lifespan) at quick scale.
 
-use tsue_bench::{lifespan, render_table1, table1, Scale};
+use tsue_bench::{lifespan, render_table1, results_of, table1, Scale};
 
 fn main() {
     println!("== Table 1 (quick): workload & traffic ==");
-    let rows = table1(Scale::Quick);
+    let rows = results_of(&table1(Scale::Quick));
     let life = lifespan(&rows);
     println!("{}", render_table1(&rows, &life));
 }

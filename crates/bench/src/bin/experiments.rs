@@ -1,25 +1,58 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [all|fig5|fig6a|fig6b|fig7|table1|table2|fig8a|fig8b] [--quick]
+//! experiments [all|fig5|fig6a|fig6b|fig7|table1|table2|fig8a|fig8b|extras|list] [--quick]
 //! ```
 //!
 //! Results are printed as text tables and persisted as JSON under
-//! `results/`. `--quick` runs shape-check scale (seconds); the default
-//! full scale reproduces the paper's sweeps (minutes).
+//! `results/`; the sweeps with `RunResult`-shaped rows (fig5, table1,
+//! fig8a) additionally write a `<name>_scenarios.json` with the
+//! [`ScenarioSpec`]s that reproduce each data point (the derived-row
+//! figures persist their reduced rows only). `--quick` runs
+//! shape-check scale (seconds); the default full scale reproduces the
+//! paper's sweeps (minutes). `list` prints the registered schemes and
+//! bundled scenario files.
 
 use std::path::PathBuf;
 use tsue_bench::*;
 
+const USAGE: &str = "usage: experiments \
+[all|fig5|fig6a|fig6b|fig7|table1|table2|fig8a|fig8b|extras|list] [--quick]";
+
+const COMMANDS: [&str; 11] = [
+    "all", "fig5", "fig6a", "fig6b", "fig7", "table1", "table2", "fig8a", "fig8b", "extras", "list",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let mut quick = false;
+    let mut what: Option<String> = None;
+    for a in &args {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag '{flag}'\n{USAGE}");
+                std::process::exit(2);
+            }
+            cmd if COMMANDS.contains(&cmd) => {
+                if let Some(prev) = &what {
+                    eprintln!("error: got both '{prev}' and '{cmd}'\n{USAGE}");
+                    std::process::exit(2);
+                }
+                what = Some(cmd.to_string());
+            }
+            other => {
+                eprintln!("error: unknown experiment '{other}'\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let what = what.unwrap_or_else(|| "all".to_string());
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
     let outdir = PathBuf::from("results");
 
     let wall = std::time::Instant::now();
@@ -33,6 +66,10 @@ fn main() {
         "fig8a" => fig8a_cmd(scale, &outdir),
         "fig8b" => fig8b_cmd(scale, &outdir),
         "extras" => extras_cmd(scale, &outdir),
+        "list" => {
+            list_cmd();
+            return;
+        }
         "all" => {
             fig5_cmd(scale, &outdir);
             fig6a_cmd(scale, &outdir);
@@ -44,18 +81,31 @@ fn main() {
             fig8b_cmd(scale, &outdir);
             extras_cmd(scale, &outdir);
         }
-        other => {
-            eprintln!("unknown experiment '{other}'");
-            eprintln!(
-                "usage: experiments [all|fig5|fig6a|fig6b|fig7|table1|table2|fig8a|fig8b] [--quick]"
-            );
-            std::process::exit(2);
-        }
+        _ => unreachable!("commands are pre-validated"),
     }
     eprintln!(
         "\n[experiments] total wall time: {:.1}s",
         wall.elapsed().as_secs_f64()
     );
+}
+
+/// Prints the scheme registry and the bundled scenario files.
+fn list_cmd() {
+    print!("{}", render_listing(&default_registry()));
+}
+
+/// Persists a sweep's results plus the specs that reproduce them;
+/// returns the bare rows for rendering.
+fn save_outcomes(
+    outdir: &std::path::Path,
+    name: &str,
+    outcomes: &[ScenarioOutcome],
+) -> Vec<RunResult> {
+    let rows: Vec<RunResult> = outcomes.iter().map(|o| o.result.clone()).collect();
+    save_json(outdir, name, &rows).expect("write results");
+    let specs: Vec<&ScenarioSpec> = outcomes.iter().map(|o| &o.spec).collect();
+    save_json(outdir, &format!("{name}_scenarios"), &specs).expect("write scenarios");
+    rows
 }
 
 fn extras_cmd(scale: Scale, outdir: &std::path::Path) {
@@ -87,9 +137,8 @@ fn banner(s: &str) {
 
 fn fig5_cmd(scale: Scale, outdir: &std::path::Path) {
     banner("Fig. 5 — SSD update throughput (Ali/Ten × RS codes × clients)");
-    let rows = fig5(scale);
+    let rows = save_outcomes(outdir, "fig5", &fig5(scale));
     println!("{}", render_throughput(&rows));
-    save_json(outdir, "fig5", &rows).expect("write results");
 }
 
 fn fig6a_cmd(scale: Scale, outdir: &std::path::Path) {
@@ -115,10 +164,9 @@ fn fig7_cmd(scale: Scale, outdir: &std::path::Path) {
 
 fn table1_cmd(scale: Scale, outdir: &std::path::Path) {
     banner("Table 1 — storage workload & network traffic (Ten, RS(6,4))");
-    let rows = table1(scale);
+    let rows = save_outcomes(outdir, "table1", &table1(scale));
     let life = lifespan(&rows);
     println!("{}", render_table1(&rows, &life));
-    save_json(outdir, "table1", &rows).expect("write results");
     save_json(outdir, "lifespan", &life).expect("write results");
 }
 
@@ -131,9 +179,8 @@ fn table2_cmd(scale: Scale, outdir: &std::path::Path) {
 
 fn fig8a_cmd(scale: Scale, outdir: &std::path::Path) {
     banner("Fig. 8a — HDD update throughput over MSR volumes (RS(6,4))");
-    let rows = fig8a(scale);
+    let rows = save_outcomes(outdir, "fig8a", &fig8a(scale));
     println!("{}", render_throughput(&rows));
-    save_json(outdir, "fig8a", &rows).expect("write results");
 }
 
 fn fig8b_cmd(scale: Scale, outdir: &std::path::Path) {

@@ -1,159 +1,240 @@
-//! `tsuectl` — run one configurable cluster simulation from the command
-//! line and print its summary. The single-run counterpart to the
-//! `experiments` sweep binary.
+//! `tsuectl` — run cluster simulations from the command line.
 //!
 //! ```text
-//! tsuectl [--scheme fo|fl|pl|plr|parix|cord|tsue] [--k 6] [--m 4]
-//!         [--clients 16] [--trace ali|ten|src10|src22|proj2|prn1|hm0|usr0|mds0]
-//!         [--trace-csv FILE] [--device ssd|hdd] [--duration-ms 2000]
-//!         [--file-mb 12] [--seed 42] [--flush]
+//! tsuectl run <scenario.json> [--out DIR]     execute a scenario file
+//! tsuectl list                                registered schemes + bundled scenarios
+//! tsuectl [flags...]                          ad-hoc single run (see --help)
 //! ```
+//!
+//! Every execution path goes through the declarative scenario API: the
+//! ad-hoc flags are parsed into a [`ScenarioSpec`] (printable via
+//! `--print-spec`), and each scenario run's `{spec, result}` pair is
+//! persisted under `--out` (default `results/`) so any result is
+//! reproducible from its spec. The one exception is `--trace-csv`
+//! replay: a recorded trace is an external input the spec alone cannot
+//! reproduce, so that path prints its metrics without persisting.
 
-use tsue_bench::{run_one, MsrSel, RunConfig, SchemeSel, TraceKind};
+use tsue_bench::{
+    default_registry, render_listing, run_scenario, RunResult, ScenarioOutcome, ScenarioSpec,
+    SchemeSpec, TraceKind,
+};
 use tsue_ecfs::{run_workload, Cluster, DeviceKind};
-use tsue_schemes::SchemeKind;
 use tsue_sim::{Sim, MILLISECOND};
 
-fn parse_args() -> Result<(RunConfig, Option<String>), String> {
-    let mut cfg = RunConfig::ssd(TraceKind::Ten, 6, 4, 16, SchemeSel::Tsue);
-    let mut csv: Option<String> = None;
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    let next = |i: &mut usize| -> Result<String, String> {
-        *i += 1;
-        args.get(*i)
-            .cloned()
-            .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
-    };
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scheme" => {
-                cfg.scheme = match next(&mut i)?.to_ascii_lowercase().as_str() {
-                    "fo" => SchemeSel::Baseline(SchemeKind::Fo),
-                    "fl" => SchemeSel::Baseline(SchemeKind::Fl),
-                    "pl" => SchemeSel::Baseline(SchemeKind::Pl),
-                    "plr" => SchemeSel::Baseline(SchemeKind::Plr),
-                    "parix" => SchemeSel::Baseline(SchemeKind::Parix),
-                    "cord" => SchemeSel::Baseline(SchemeKind::Cord),
-                    "tsue" => SchemeSel::Tsue,
-                    s => return Err(format!("unknown scheme '{s}'")),
-                }
-            }
-            "--k" => cfg.k = next(&mut i)?.parse().map_err(|e| format!("--k: {e}"))?,
-            "--m" => cfg.m = next(&mut i)?.parse().map_err(|e| format!("--m: {e}"))?,
-            "--clients" => {
-                cfg.clients = next(&mut i)?
-                    .parse()
-                    .map_err(|e| format!("--clients: {e}"))?
-            }
-            "--duration-ms" => {
-                cfg.duration_ms = next(&mut i)?
-                    .parse()
-                    .map_err(|e| format!("--duration-ms: {e}"))?
-            }
-            "--file-mb" => {
-                cfg.file_mb = next(&mut i)?
-                    .parse()
-                    .map_err(|e| format!("--file-mb: {e}"))?
-            }
-            "--seed" => cfg.seed = next(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--device" => {
-                cfg.device = match next(&mut i)?.to_ascii_lowercase().as_str() {
-                    "ssd" => DeviceKind::Ssd,
-                    "hdd" => DeviceKind::Hdd,
-                    s => return Err(format!("unknown device '{s}'")),
-                }
-            }
-            "--trace" => {
-                cfg.trace = match next(&mut i)?.to_ascii_lowercase().as_str() {
-                    "ali" => TraceKind::Ali,
-                    "ten" => TraceKind::Ten,
-                    "src10" => TraceKind::Msr(MsrSel::Src10),
-                    "src22" => TraceKind::Msr(MsrSel::Src22),
-                    "proj2" => TraceKind::Msr(MsrSel::Proj2),
-                    "prn1" => TraceKind::Msr(MsrSel::Prn1),
-                    "hm0" => TraceKind::Msr(MsrSel::Hm0),
-                    "usr0" => TraceKind::Msr(MsrSel::Usr0),
-                    "mds0" => TraceKind::Msr(MsrSel::Mds0),
-                    s => return Err(format!("unknown trace '{s}'")),
-                }
-            }
-            "--trace-csv" => csv = Some(next(&mut i)?),
-            "--flush" => cfg.flush_after = true,
-            "--help" | "-h" => {
-                println!("{}", HELP);
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown flag '{other}'")),
-        }
-        i += 1;
-    }
-    Ok((cfg, csv))
-}
-
-const HELP: &str = "tsuectl — run one TSUE cluster simulation\n\
-  --scheme fo|fl|pl|plr|parix|cord|tsue   update scheme (default tsue)\n\
+const HELP: &str = "tsuectl — run TSUE cluster simulations\n\n\
+subcommands:\n\
+  run <scenario.json> [--out DIR]         execute a scenario file\n\
+  list                                    print registered schemes and bundled scenarios\n\n\
+ad-hoc flags (assembled into a scenario spec):\n\
+  --scheme NAME                           update scheme by registry name (default tsue)\n\
+  --knobs JSON                            per-scheme knob object, e.g. '{\"max_units\": 2}'\n\
   --k N --m N                             RS shape (default 6,4)\n\
   --clients N                             closed-loop clients (default 16)\n\
   --trace ali|ten|src10|...|mds0          workload preset (default ten)\n\
   --trace-csv FILE                        replay a real CSV trace instead\n\
   --device ssd|hdd                        device class (default ssd)\n\
+  --net ethernet-25g|infiniband-40g       fabric override (default: by device)\n\
   --duration-ms N                         measured window (default 2000)\n\
   --file-mb N                             per-client file size (default 12)\n\
   --seed N                                workload seed (default 42)\n\
-  --flush                                 drain logs and include recycle I/O";
+  --flush                                 drain logs and include recycle I/O\n\
+  --out DIR                               where to persist {spec, result} (default results)\n\
+  --print-spec                            print the scenario JSON and exit";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{HELP}");
+    std::process::exit(2);
+}
 
 fn main() {
-    let (cfg, csv) = match parse_args() {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{HELP}");
-            std::process::exit(2);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            if args.len() > 1 {
+                fail(&format!("'list' takes no arguments, got '{}'", args[1]));
+            }
+            list();
         }
-    };
+        Some("run") => run_file(&args[1..]),
+        Some("--help") | Some("-h") => println!("{HELP}"),
+        _ => adhoc(&args),
+    }
+}
 
-    let result = if let Some(path) = csv {
-        // Replay path: build the cluster, install the recorded trace.
-        let ops = tsue_trace::load_csv(std::path::Path::new(&path), cfg.file_mb << 20)
-            .unwrap_or_else(|e| {
-                eprintln!("error: cannot load trace '{path}': {e}");
-                std::process::exit(2);
-            });
-        let mut world = tsue_bench::build_cluster(&cfg);
-        world.set_replay(&ops);
-        let mut sim: Sim<Cluster> = Sim::new();
-        let end = run_workload(&mut world, &mut sim, cfg.duration_ms * MILLISECOND);
-        if cfg.flush_after {
-            world.flush_all(&mut sim);
+/// `tsuectl list` — the registry and the bundled scenario files.
+fn list() {
+    print!("{}", render_listing(&default_registry()));
+    println!("\ntraces: ali ten src10 src22 proj2 prn1 hm0 usr0 mds0");
+}
+
+/// `tsuectl run <scenario.json>` — execute one scenario file.
+fn run_file(rest: &[String]) {
+    let mut path: Option<String> = None;
+    let mut out = String::from("results");
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = rest
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| fail("missing value after --out"));
+            }
+            flag if flag.starts_with('-') => fail(&format!("unknown flag '{flag}' after 'run'")),
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => fail(&format!("unexpected argument '{extra}'")),
         }
+        i += 1;
+    }
+    let path = path.unwrap_or_else(|| fail("usage: tsuectl run <scenario.json> [--out DIR]"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read '{path}': {e}")));
+    let spec: ScenarioSpec = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(&format!("cannot parse '{path}': {e}")));
+    execute(spec, &out);
+}
+
+/// Runs a validated spec, prints the summary, persists `{spec, result}`.
+fn execute(spec: ScenarioSpec, out: &str) {
+    let result = run_scenario(&spec).unwrap_or_else(|e| fail(&e));
+    print_result(&spec, &result);
+    let outcome = ScenarioOutcome {
+        spec: spec.clone(),
+        result,
+    };
+    let dir = std::path::Path::new(out);
+    match tsue_bench::save_json(dir, &spec.name, &outcome) {
+        Ok(()) => println!("\nwrote {}/{}.json (spec + result)", out, spec.name),
+        Err(e) => eprintln!("\nwarning: could not persist outcome under '{out}': {e}"),
+    }
+}
+
+/// Ad-hoc flag path: flags → [`ScenarioSpec`] → same execution as `run`.
+fn adhoc(args: &[String]) {
+    let mut spec = ScenarioSpec::ssd("cli", TraceKind::Ten, 6, 4, 16, SchemeSpec::tsue());
+    let mut csv: Option<String> = None;
+    let mut out = String::from("results");
+    let mut print_spec = false;
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .unwrap_or_else(|| fail(&format!("missing value after {}", args[*i - 1])))
+    };
+    let parse_num = |flag: &str, v: String| -> u64 {
+        v.parse().unwrap_or_else(|e| fail(&format!("{flag}: {e}")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scheme" => spec.scheme.name = next(&mut i).to_ascii_lowercase(),
+            "--knobs" => {
+                let text = next(&mut i);
+                let knobs = serde_json::value_from_str(&text)
+                    .unwrap_or_else(|e| fail(&format!("--knobs: {e}")));
+                spec.scheme.knobs = Some(knobs);
+            }
+            "--k" => spec.k = parse_num("--k", next(&mut i)) as usize,
+            "--m" => spec.m = parse_num("--m", next(&mut i)) as usize,
+            "--clients" => spec.clients = parse_num("--clients", next(&mut i)) as usize,
+            "--duration-ms" => spec.duration_ms = Some(parse_num("--duration-ms", next(&mut i))),
+            "--file-mb" => spec.file_mb = Some(parse_num("--file-mb", next(&mut i))),
+            "--seed" => spec.seed = Some(parse_num("--seed", next(&mut i))),
+            "--device" => {
+                let v = next(&mut i);
+                spec.device =
+                    DeviceKind::parse(&v).unwrap_or_else(|| fail(&format!("unknown device '{v}'")));
+            }
+            "--net" => {
+                let v = next(&mut i);
+                spec.net = Some(
+                    tsue_net::NetSpec::by_name(&v)
+                        .unwrap_or_else(|| fail(&format!("unknown fabric '{v}'"))),
+                );
+            }
+            "--trace" => {
+                let v = next(&mut i);
+                spec.trace =
+                    TraceKind::parse(&v).unwrap_or_else(|| fail(&format!("unknown trace '{v}'")));
+            }
+            "--trace-csv" => csv = Some(next(&mut i)),
+            "--flush" => spec.flush_after = Some(true),
+            "--out" => out = next(&mut i),
+            "--print-spec" => print_spec = true,
+            other => fail(&format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    spec.name = format!(
+        "cli-{}",
+        ScenarioSpec::auto_name(&spec.scheme, spec.trace, spec.k, spec.m, spec.clients)
+    );
+
+    if print_spec {
+        let registry = default_registry();
+        spec.validate(&registry).unwrap_or_else(|e| fail(&e));
         println!(
-            "replayed {} recorded ops cyclically across {} clients",
-            ops.len(),
-            cfg.clients
-        );
-        let m = &world.core.metrics;
-        println!(
-            "ops={} iops={:.0} mean_latency_us={:.1}",
-            m.ops_completed,
-            m.iops(end),
-            m.mean_latency() / 1000.0
-        );
-        let d = world.device_stats();
-        println!(
-            "device: rw_ops={} overwrites={} erases={} wa={:.2}",
-            d.total_ops(),
-            d.overwrite_ops,
-            d.erase_ops,
-            d.write_amplification()
+            "{}",
+            serde_json::to_string_pretty(&spec).expect("spec serializes")
         );
         return;
-    } else {
-        run_one(&cfg)
-    };
+    }
 
+    if let Some(path) = csv {
+        replay_csv(&spec, &path);
+        return;
+    }
+    execute(spec, &out);
+}
+
+/// Replay path: build the scenario's cluster, then install the recorded
+/// trace instead of the synthetic profile.
+fn replay_csv(spec: &ScenarioSpec, path: &str) {
+    let ops = tsue_trace::load_csv(std::path::Path::new(path), spec.file_mb() << 20)
+        .unwrap_or_else(|e| fail(&format!("cannot load trace '{path}': {e}")));
+    let registry = default_registry();
+    let mut world = spec.build_cluster(&registry).unwrap_or_else(|e| fail(&e));
+    world.set_replay(&ops);
+    let mut sim: Sim<Cluster> = Sim::new();
+    let end = run_workload(&mut world, &mut sim, spec.duration_ms() * MILLISECOND);
+    if spec.flush_after() {
+        world.flush_all(&mut sim);
+    }
     println!(
-        "{} on {} RS({},{}) clients={} window={}ms",
-        result.scheme, result.trace, result.k, result.m, result.clients, cfg.duration_ms
+        "replayed {} recorded ops cyclically across {} clients \
+         (replay results are not persisted: the CSV is an external input)",
+        ops.len(),
+        spec.clients
+    );
+    let m = &world.core.metrics;
+    println!(
+        "ops={} iops={:.0} mean_latency_us={:.1}",
+        m.ops_completed,
+        m.iops(end),
+        m.mean_latency() / 1000.0
+    );
+    let d = world.device_stats();
+    println!(
+        "device: rw_ops={} overwrites={} erases={} wa={:.2}",
+        d.total_ops(),
+        d.overwrite_ops,
+        d.erase_ops,
+        d.write_amplification()
+    );
+}
+
+/// Prints the standard single-run summary block.
+fn print_result(spec: &ScenarioSpec, result: &RunResult) {
+    println!(
+        "[{}] {} on {} RS({},{}) clients={} window={}ms",
+        spec.name,
+        result.scheme,
+        result.trace,
+        result.k,
+        result.m,
+        result.clients,
+        spec.duration_ms()
     );
     println!(
         "iops={:.0} mean_latency_us={:.1} cache_hits={}",

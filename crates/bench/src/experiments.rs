@@ -1,57 +1,77 @@
 //! One function per table/figure of the paper's evaluation (§5).
+//!
+//! Every sweep is expressed as a list of [`ScenarioSpec`]s — the same
+//! declarative descriptions `tsuectl run` consumes from JSON. The
+//! sweeps that return raw results (`fig5`, `table1`, `fig8a`) yield
+//! [`ScenarioOutcome`]s pairing each result with its reproducing spec;
+//! the others reduce to figure-specific rows.
 
-use crate::{run_many, run_one, MsrSel, RunConfig, RunResult, Scale, SchemeSel, TraceKind};
-use serde::{Deserialize, Serialize};
+use crate::{
+    default_registry, run_scenario, run_scenarios, MsrSel, RunResult, Scale, ScenarioOutcome,
+    ScenarioSpec, SchemeSpec, TraceKind,
+};
+use serde::{Deserialize, Serialize, Value};
 use tsue_core::TsueConfig;
 use tsue_ecfs::{run_recovery, run_workload, Cluster};
-use tsue_schemes::SchemeKind;
 use tsue_sim::{Sim, MILLISECOND};
 
 /// The six RS shapes of Fig. 5, in paper order.
 pub const FIG5_CODES: [(usize, usize); 6] = [(6, 2), (12, 2), (6, 3), (12, 3), (6, 4), (12, 4)];
 
+/// A sweep point: the auto-named spec for one (trace, code, clients,
+/// scheme) cell with the scale's window applied.
+fn sweep_spec(
+    trace: TraceKind,
+    k: usize,
+    m: usize,
+    clients: usize,
+    scheme: SchemeSpec,
+    scale: Scale,
+) -> ScenarioSpec {
+    let name = ScenarioSpec::auto_name(&scheme, trace, k, m, clients);
+    let mut s = ScenarioSpec::ssd(name, trace, k, m, clients, scheme);
+    s.duration_ms = Some(scale.duration_ms());
+    s
+}
+
 /// Fig. 5 — update throughput on the SSD cluster: Ali/Ten × six RS codes ×
 /// client counts × {FO, PL, PLR, PARIX, CoRD, TSUE}.
-pub fn fig5(scale: Scale) -> Vec<RunResult> {
-    let mut cfgs = Vec::new();
+pub fn fig5(scale: Scale) -> Vec<ScenarioOutcome> {
+    let mut specs = Vec::new();
     for trace in [TraceKind::Ali, TraceKind::Ten] {
         for (k, m) in FIG5_CODES {
             for clients in scale.client_counts() {
-                for scheme in SchemeSel::fig5_lineup() {
-                    let mut c = RunConfig::ssd(trace, k, m, clients, scheme);
-                    c.duration_ms = scale.duration_ms();
-                    cfgs.push(c);
+                for scheme in SchemeSpec::fig5_lineup() {
+                    specs.push(sweep_spec(trace, k, m, clients, scheme, scale));
                 }
             }
         }
     }
-    run_many(cfgs)
+    run_scenarios(specs).expect("fig5 specs are valid")
 }
 
 /// A focused Fig. 5 subplot (one trace, one code) for the Criterion bench.
-pub fn fig5_subplot(trace: TraceKind, k: usize, m: usize, scale: Scale) -> Vec<RunResult> {
-    let mut cfgs = Vec::new();
+pub fn fig5_subplot(trace: TraceKind, k: usize, m: usize, scale: Scale) -> Vec<ScenarioOutcome> {
+    let mut specs = Vec::new();
     for clients in scale.client_counts() {
-        for scheme in SchemeSel::fig5_lineup() {
-            let mut c = RunConfig::ssd(trace, k, m, clients, scheme);
-            c.duration_ms = scale.duration_ms();
-            cfgs.push(c);
+        for scheme in SchemeSpec::fig5_lineup() {
+            specs.push(sweep_spec(trace, k, m, clients, scheme, scale));
         }
     }
-    run_many(cfgs)
+    run_scenarios(specs).expect("fig5 specs are valid")
 }
 
 /// Fig. 6a — TSUE IOPS sampled over a one-minute window (Quick: scaled
 /// down), showing that back-end recycling does not dent foreground
 /// throughput.
 pub fn fig6a(scale: Scale) -> RunResult {
-    let mut c = RunConfig::ssd(TraceKind::Ten, 6, 4, 16, SchemeSel::Tsue);
-    c.duration_ms = match scale {
+    let mut s = ScenarioSpec::ssd("fig6a", TraceKind::Ten, 6, 4, 16, SchemeSpec::tsue());
+    s.duration_ms = Some(match scale {
         Scale::Quick => 3_000,
         Scale::Full => 60_000,
-    };
-    c.file_mb = 16;
-    run_one(&c)
+    });
+    s.file_mb = Some(16);
+    run_scenario(&s).expect("fig6a spec is valid")
 }
 
 /// One row of the Fig. 6b sweep.
@@ -68,34 +88,37 @@ pub struct Fig6bRow {
 }
 
 /// Fig. 6b — update performance and memory versus the log-unit quota
-/// (2..20 units per pool).
+/// (2..20 units per pool), expressed as a single TSUE knob per point.
 pub fn fig6b(scale: Scale) -> Vec<Fig6bRow> {
     let units = match scale {
         Scale::Quick => vec![2, 4, 8],
         Scale::Full => vec![2, 4, 6, 8, 12, 16, 20],
     };
-    let cfgs: Vec<RunConfig> = units
+    let specs: Vec<ScenarioSpec> = units
         .iter()
         .map(|&mu| {
-            let mut tc = TsueConfig::ssd_default();
-            tc.max_units = mu;
-            let mut c = RunConfig::ssd(TraceKind::Ten, 6, 4, 16, SchemeSel::TsueWith(tc));
-            c.duration_ms = scale.duration_ms();
-            c
+            let scheme = SchemeSpec::with_knobs(
+                "tsue",
+                Value::Object(vec![("max_units".into(), Value::UInt(mu as u64))]),
+            );
+            let mut s =
+                ScenarioSpec::ssd(format!("fig6b-units{mu}"), TraceKind::Ten, 6, 4, 16, scheme);
+            s.duration_ms = Some(scale.duration_ms());
+            s
         })
         .collect();
-    let results = run_many(cfgs);
+    let results = run_scenarios(specs).expect("fig6b specs are valid");
     units
         .into_iter()
         .zip(results)
-        .map(|(mu, r)| {
+        .map(|(mu, o)| {
             let quota =
                 (mu as u64 * (16 << 20) * TsueConfig::ssd_default().pools as u64 * 3) as f64;
             Fig6bRow {
                 max_units: mu,
-                iops: r.iops,
-                mem_mib: r.mem_peak as f64 / (1 << 20) as f64,
-                mem_fraction_of_quota: r.mem_peak as f64 / quota,
+                iops: o.result.iops,
+                mem_mib: o.result.mem_peak as f64 / (1 << 20) as f64,
+                mem_fraction_of_quota: o.result.mem_peak as f64 / quota,
             }
         })
         .collect()
@@ -120,7 +143,8 @@ pub struct Fig7Row {
 pub const FIG7_LEVELS: [&str; 6] = ["Baseline", "O1", "O2", "O3", "O4", "O5"];
 
 /// Fig. 7 — contribution breakdown: cumulative O1..O5 over the baseline
-/// two-layer memory-log design, for Ali & Ten × RS(6,2/3/4).
+/// two-layer memory-log design, for Ali & Ten × RS(6,2/3/4). Each bar is
+/// the one-knob `breakdown_level` scenario.
 pub fn fig7(scale: Scale) -> Vec<Fig7Row> {
     let codes: &[(usize, usize)] = match scale {
         Scale::Quick => &[(6, 4)],
@@ -130,28 +154,38 @@ pub fn fig7(scale: Scale) -> Vec<Fig7Row> {
         Scale::Quick => &[TraceKind::Ten],
         Scale::Full => &[TraceKind::Ali, TraceKind::Ten],
     };
-    let mut cfgs = Vec::new();
+    let mut specs = Vec::new();
     let mut meta = Vec::new();
     for &trace in traces {
         for &(k, m) in codes {
             for (lvl, name) in FIG7_LEVELS.iter().enumerate() {
-                let tc = TsueConfig::breakdown(lvl);
-                let mut c = RunConfig::ssd(trace, k, m, 16, SchemeSel::TsueWith(tc));
-                c.duration_ms = scale.duration_ms();
+                let scheme = SchemeSpec::with_knobs(
+                    "tsue",
+                    Value::Object(vec![("breakdown_level".into(), Value::UInt(lvl as u64))]),
+                );
+                let mut s = ScenarioSpec::ssd(
+                    format!("fig7-{}-rs{k}-{m}-{}", trace.token(), name.to_lowercase()),
+                    trace,
+                    k,
+                    m,
+                    16,
+                    scheme,
+                );
+                s.duration_ms = Some(scale.duration_ms());
                 meta.push((trace.name(), k, m, name.to_string()));
-                cfgs.push(c);
+                specs.push(s);
             }
         }
     }
-    let results = run_many(cfgs);
+    let results = run_scenarios(specs).expect("fig7 specs are valid");
     meta.into_iter()
         .zip(results)
-        .map(|((trace, k, m, level), r)| Fig7Row {
+        .map(|((trace, k, m, level), o)| Fig7Row {
             trace,
             k,
             m,
             level,
-            iops: r.iops,
+            iops: o.result.iops,
         })
         .collect()
 }
@@ -160,21 +194,24 @@ pub fn fig7(scale: Scale) -> Vec<Fig7Row> {
 /// every scheme replays the same window, then drains its logs so recycle
 /// I/O is included, exactly like the paper's accounting. The erase counts
 /// feed the lifespan comparison (§5.3.4).
-pub fn table1(scale: Scale) -> Vec<RunResult> {
-    let mut cfgs = Vec::new();
-    let mut lineup = SchemeSel::fig5_lineup();
-    lineup.insert(1, SchemeSel::Baseline(SchemeKind::Fl)); // FO, FL, PL, ...
+pub fn table1(scale: Scale) -> Vec<ScenarioOutcome> {
+    let mut lineup = SchemeSpec::fig5_lineup();
+    lineup.insert(1, SchemeSpec::named("fl")); // FO, FL, PL, ...
     let ops = match scale {
         Scale::Quick => 800,
         Scale::Full => 8_000,
     };
-    for scheme in lineup {
-        let mut c = RunConfig::ssd(TraceKind::Ten, 6, 4, 16, scheme);
-        c.ops_per_client = Some(ops);
-        c.flush_after = true;
-        cfgs.push(c);
-    }
-    run_many(cfgs)
+    let specs: Vec<ScenarioSpec> = lineup
+        .into_iter()
+        .map(|scheme| {
+            let mut s = sweep_spec(TraceKind::Ten, 6, 4, 16, scheme, scale);
+            s.name = format!("table1-{}", s.scheme.name);
+            s.ops_per_client = Some(ops);
+            s.flush_after = Some(true);
+            s
+        })
+        .collect();
+    run_scenarios(specs).expect("table1 specs are valid")
 }
 
 /// Table 2 result: residency rows for one trace.
@@ -190,19 +227,27 @@ pub struct Table2Result {
 
 /// Table 2 — mean residence time per log layer under RS(12,4).
 pub fn table2(scale: Scale) -> Vec<Table2Result> {
+    let registry = default_registry();
     [TraceKind::Ali, TraceKind::Ten]
         .into_iter()
         .map(|trace| {
-            let mut c = RunConfig::ssd(trace, 12, 4, 16, SchemeSel::Tsue);
-            c.duration_ms = match scale {
+            let mut s = ScenarioSpec::ssd(
+                format!("table2-{}", trace.token()),
+                trace,
+                12,
+                4,
+                16,
+                SchemeSpec::tsue(),
+            );
+            s.duration_ms = Some(match scale {
                 Scale::Quick => 2_000,
                 Scale::Full => 10_000,
-            };
-            // Rebuild the cluster here (not via run_one) so the scheme
+            });
+            // Build the cluster here (not via run_scenario) so the scheme
             // instances remain inspectable for residency harvesting.
-            let mut world = crate::build_cluster(&c);
+            let mut world = s.build_cluster(&registry).expect("table2 spec is valid");
             let mut sim: Sim<Cluster> = Sim::new();
-            run_workload(&mut world, &mut sim, c.duration_ms * MILLISECOND);
+            run_workload(&mut world, &mut sim, s.duration_ms() * MILLISECOND);
             world.flush_all(&mut sim);
             let stats = tsue_core::tsue::harvest_residency(&world);
             let rows = stats
@@ -219,30 +264,33 @@ pub fn table2(scale: Scale) -> Vec<Table2Result> {
         .collect()
 }
 
+/// The HDD lineup of Fig. 8 (no FL/CoRD, matching the paper).
+fn fig8_lineup() -> Vec<SchemeSpec> {
+    ["fo", "pl", "plr", "parix", "tsue"]
+        .into_iter()
+        .map(SchemeSpec::named)
+        .collect()
+}
+
 /// Fig. 8a — HDD-cluster update throughput over the MSR volumes for
 /// {FO, PL, PLR, PARIX, TSUE} under RS(6,4).
-pub fn fig8a(scale: Scale) -> Vec<RunResult> {
+pub fn fig8a(scale: Scale) -> Vec<ScenarioOutcome> {
     let volumes: Vec<MsrSel> = match scale {
         Scale::Quick => vec![MsrSel::Src22, MsrSel::Usr0],
         Scale::Full => MsrSel::all().to_vec(),
     };
-    let schemes = [
-        SchemeSel::Baseline(SchemeKind::Fo),
-        SchemeSel::Baseline(SchemeKind::Pl),
-        SchemeSel::Baseline(SchemeKind::Plr),
-        SchemeSel::Baseline(SchemeKind::Parix),
-        SchemeSel::Tsue,
-    ];
-    let mut cfgs = Vec::new();
+    let mut specs = Vec::new();
     for &vol in &volumes {
-        for scheme in schemes.clone() {
-            let mut c = RunConfig::hdd(TraceKind::Msr(vol), 6, 4, 16, scheme);
-            c.duration_ms = scale.duration_ms();
-            c.file_mb = 8;
-            cfgs.push(c);
+        for scheme in fig8_lineup() {
+            let trace = TraceKind::Msr(vol);
+            let name = ScenarioSpec::auto_name(&scheme, trace, 6, 4, 16);
+            let mut s = ScenarioSpec::hdd(name, trace, 6, 4, 16, scheme);
+            s.duration_ms = Some(scale.duration_ms());
+            s.file_mb = Some(8);
+            specs.push(s);
         }
     }
-    run_many(cfgs)
+    run_scenarios(specs).expect("fig8a specs are valid")
 }
 
 /// One Fig. 8b recovery measurement.
@@ -262,42 +310,45 @@ pub struct Fig8bRow {
 /// kill one node, recover all its blocks; schemes with lazy logs pay the
 /// drain inside the measured window.
 pub fn fig8b(scale: Scale) -> Vec<Fig8bRow> {
+    let registry = default_registry();
     let volumes: Vec<MsrSel> = match scale {
         Scale::Quick => vec![MsrSel::Src22],
         Scale::Full => MsrSel::all().to_vec(),
     };
-    let schemes = [
-        SchemeSel::Baseline(SchemeKind::Fo),
-        SchemeSel::Baseline(SchemeKind::Pl),
-        SchemeSel::Baseline(SchemeKind::Plr),
-        SchemeSel::Baseline(SchemeKind::Parix),
-        SchemeSel::Tsue,
-    ];
     let mut out = Vec::new();
     for &vol in &volumes {
-        for scheme in schemes.clone() {
-            let mut c = RunConfig::hdd(TraceKind::Msr(vol), 6, 4, 8, scheme);
+        for scheme in fig8_lineup() {
+            let trace = TraceKind::Msr(vol);
+            let mut s = ScenarioSpec::hdd(
+                format!("fig8b-{}-{}", trace.token(), scheme.name),
+                trace,
+                6,
+                4,
+                8,
+                scheme,
+            );
             // Long enough for lazily-recycled logs to accumulate a real
             // backlog (the paper runs updates for 3 minutes first).
-            c.duration_ms = match scale {
+            s.duration_ms = Some(match scale {
                 Scale::Quick => 3_000,
                 Scale::Full => 20_000,
-            };
-            c.file_mb = 8;
-            let mut world = crate::build_cluster(&c);
+            });
+            s.file_mb = Some(8);
+            let scheme_display = s.scheme_display(&registry);
+            let mut world = s.build_cluster(&registry).expect("fig8b spec is valid");
             let mut sim: Sim<Cluster> = Sim::new();
-            run_workload(&mut world, &mut sim, c.duration_ms * MILLISECOND);
+            run_workload(&mut world, &mut sim, s.duration_ms() * MILLISECOND);
             let report = run_recovery(&mut world, &mut sim, 0);
             eprintln!(
                 "[fig8b] {} / {}: {:.2} MB/s (flush share {:.2})",
-                c.trace.name(),
-                c.scheme.name(),
+                s.trace.name(),
+                scheme_display,
                 report.bandwidth() / 1e6,
                 report.flush_time as f64 / report.total_time.max(1) as f64
             );
             out.push(Fig8bRow {
-                trace: c.trace.name(),
-                scheme: c.scheme.name(),
+                trace: s.trace.name(),
+                scheme: scheme_display,
                 recovery_mb_s: report.bandwidth() / 1e6,
                 flush_share: if report.total_time == 0 {
                     0.0
@@ -352,15 +403,24 @@ pub fn lifespan(table1_rows: &[RunResult]) -> Vec<LifespanRow> {
 /// Returns (without, with) results; compare `net_payload_gib`.
 pub fn ext_compression(scale: Scale) -> (RunResult, RunResult) {
     let mk = |compress: bool| {
-        let mut tc = TsueConfig::ssd_default();
-        tc.compress_deltas = compress;
-        let mut c = RunConfig::ssd(TraceKind::Ten, 6, 4, 16, SchemeSel::TsueWith(tc));
-        c.duration_ms = scale.duration_ms();
-        c
+        let scheme = SchemeSpec::with_knobs(
+            "tsue",
+            Value::Object(vec![("compress_deltas".into(), Value::Bool(compress))]),
+        );
+        let mut s = ScenarioSpec::ssd(
+            format!("ext-compression-{}", if compress { "on" } else { "off" }),
+            TraceKind::Ten,
+            6,
+            4,
+            16,
+            scheme,
+        );
+        s.duration_ms = Some(scale.duration_ms());
+        s
     };
-    let mut r = run_many(vec![mk(false), mk(true)]);
-    let with = r.pop().expect("two runs");
-    let without = r.pop().expect("two runs");
+    let mut r = run_scenarios(vec![mk(false), mk(true)]).expect("ext specs are valid");
+    let with = r.pop().expect("two runs").result;
+    let without = r.pop().expect("two runs").result;
     (without, with)
 }
 
@@ -378,6 +438,7 @@ pub struct UnitSizeRow {
 
 /// Runs the unit-size residence ablation.
 pub fn ext_unit_size(scale: Scale) -> Vec<UnitSizeRow> {
+    let registry = default_registry();
     let sizes: &[u64] = match scale {
         Scale::Quick => &[4, 16],
         Scale::Full => &[4, 8, 16, 32],
@@ -385,16 +446,25 @@ pub fn ext_unit_size(scale: Scale) -> Vec<UnitSizeRow> {
     sizes
         .iter()
         .map(|&mib| {
-            let mut tc = TsueConfig::ssd_default();
-            tc.unit_size = mib << 20;
-            let mut c = RunConfig::ssd(TraceKind::Ten, 6, 4, 16, SchemeSel::TsueWith(tc));
-            c.duration_ms = match scale {
+            let scheme = SchemeSpec::with_knobs(
+                "tsue",
+                Value::Object(vec![("unit_size".into(), Value::UInt(mib << 20))]),
+            );
+            let mut s = ScenarioSpec::ssd(
+                format!("ext-unit-size-{mib}m"),
+                TraceKind::Ten,
+                6,
+                4,
+                16,
+                scheme,
+            );
+            s.duration_ms = Some(match scale {
                 Scale::Quick => 2_000,
                 Scale::Full => 8_000,
-            };
-            let mut world = crate::build_cluster(&c);
+            });
+            let mut world = s.build_cluster(&registry).expect("unit-size spec is valid");
             let mut sim: Sim<Cluster> = Sim::new();
-            run_workload(&mut world, &mut sim, c.duration_ms * MILLISECOND);
+            run_workload(&mut world, &mut sim, s.duration_ms() * MILLISECOND);
             let end = world.core.stop_at.unwrap().max(sim.now());
             let iops = world.core.metrics.iops(end);
             world.flush_all(&mut sim);
@@ -410,12 +480,22 @@ pub fn ext_unit_size(scale: Scale) -> Vec<UnitSizeRow> {
 
 /// Sanity run used by integration tests: a tiny two-scheme comparison.
 pub fn smoke() -> (RunResult, RunResult) {
-    let mut a = RunConfig::ssd(TraceKind::Ten, 4, 2, 4, SchemeSel::Baseline(SchemeKind::Fo));
-    a.duration_ms = 300;
-    a.file_mb = 4;
-    let mut b = a.clone();
-    b.scheme = SchemeSel::Tsue;
-    (run_one(&a), run_one(&b))
+    let mk = |scheme: SchemeSpec| {
+        let mut s = ScenarioSpec::ssd(
+            format!("smoke-{}", scheme.name),
+            TraceKind::Ten,
+            4,
+            2,
+            4,
+            scheme,
+        );
+        s.duration_ms = Some(300);
+        s.file_mb = Some(4);
+        s
+    };
+    let fo = run_scenario(&mk(SchemeSpec::named("fo"))).expect("smoke fo");
+    let tsue = run_scenario(&mk(SchemeSpec::tsue())).expect("smoke tsue");
+    (fo, tsue)
 }
 
 /// Virtual-vs-wall sanity: the DES must report virtual seconds regardless

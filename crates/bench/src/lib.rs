@@ -1,27 +1,34 @@
 //! Experiment harness: one function per table/figure of the paper.
 //!
-//! Every experiment is expressed as a set of [`RunConfig`]s executed by
-//! [`run_one`] (deterministic per seed) and fanned out over OS threads by
-//! [`run_many`]. The `experiments` binary regenerates all figures/tables
-//! and writes machine-readable results; the Criterion benches wrap the
-//! same functions at `Scale::Quick`.
+//! Every experiment is expressed as a set of [`ScenarioSpec`]s — the
+//! serializable run descriptions of the declarative scenario API
+//! ([`scenario`]) — executed by [`run_scenario`] (deterministic per
+//! seed) and fanned out over OS threads by [`run_scenarios`]. The
+//! `experiments` binary regenerates all figures/tables and writes
+//! machine-readable results plus the specs that reproduce them; the
+//! Criterion benches wrap the same functions at `Scale::Quick`.
+//!
+//! [`RunConfig`]/[`run_one`]/[`run_many`]/[`build_cluster`] remain as
+//! thin wrappers over the scenario API for older call sites; new code
+//! should construct [`ScenarioSpec`]s (or JSON scenario files) directly.
 
 pub mod experiments;
 pub mod report;
+pub mod scenario;
 
 pub use experiments::*;
 pub use report::*;
+pub use scenario::*;
 
 use serde::{Deserialize, Serialize};
-use tsue_core::{Tsue, TsueConfig};
+use tsue_core::TsueConfig;
 use tsue_device::DeviceStats;
-use tsue_ecfs::{run_workload, Cluster, ClusterConfig, DeviceKind, UpdateScheme};
-use tsue_schemes::SchemeKind;
-use tsue_sim::{Sim, Time, MILLISECOND, SECOND};
+use tsue_ecfs::{Cluster, DeviceKind};
+use tsue_sim::{Sim, Time, MILLISECOND};
 use tsue_trace::{ali_cloud, msr_volume, ten_cloud, MsrVolume, WorkloadProfile};
 
 /// Which trace drives the workload.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceKind {
     /// Ali-Cloud stand-in.
     Ali,
@@ -94,13 +101,72 @@ impl TraceKind {
             }
         }
     }
+
+    /// Lower-case token shared by scenario files and the `--trace` flag.
+    pub fn token(&self) -> &'static str {
+        match self {
+            TraceKind::Ali => "ali",
+            TraceKind::Ten => "ten",
+            TraceKind::Msr(MsrSel::Src10) => "src10",
+            TraceKind::Msr(MsrSel::Src22) => "src22",
+            TraceKind::Msr(MsrSel::Proj2) => "proj2",
+            TraceKind::Msr(MsrSel::Prn1) => "prn1",
+            TraceKind::Msr(MsrSel::Hm0) => "hm0",
+            TraceKind::Msr(MsrSel::Usr0) => "usr0",
+            TraceKind::Msr(MsrSel::Mds0) => "mds0",
+        }
+    }
+
+    /// Every trace, in token order (`list` output, error messages).
+    pub fn all() -> Vec<TraceKind> {
+        let mut v = vec![TraceKind::Ali, TraceKind::Ten];
+        v.extend(MsrSel::all().into_iter().map(TraceKind::Msr));
+        v
+    }
+
+    /// Parses the scenario/CLI token (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        let lower = s.to_ascii_lowercase();
+        Self::all().into_iter().find(|t| t.token() == lower)
+    }
+}
+
+// Hand-written (rather than derived) so scenario JSON reads
+// `"trace": "src10"` with the same tokens the `--trace` flag uses.
+impl Serialize for TraceKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.token().to_string())
+    }
+}
+
+impl Deserialize for TraceKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => Self::parse(s).ok_or_else(|| {
+                serde::DeError::msg(format!(
+                    "unknown trace '{s}' (expected one of: {})",
+                    Self::all()
+                        .iter()
+                        .map(|t| t.token())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            }),
+            other => Err(serde::DeError::mismatch("TraceKind", "string", other)),
+        }
+    }
 }
 
 /// Scheme selection for a run.
+///
+/// Transition-era wrapper: scheme construction goes through the
+/// [`tsue_ecfs::SchemeRegistry`]; this enum survives only as sugar for
+/// code still assembling [`RunConfig`]s. New code should use
+/// [`SchemeSpec`] directly.
 #[derive(Clone, Debug)]
 pub enum SchemeSel {
     /// One of the baselines.
-    Baseline(SchemeKind),
+    Baseline(tsue_schemes::SchemeKind),
     /// TSUE with defaults for the device class.
     Tsue,
     /// TSUE with an explicit configuration (ablation/sweep runs).
@@ -116,30 +182,21 @@ impl SchemeSel {
         }
     }
 
-    /// Instantiates the scheme for one OSD.
-    pub fn build(&self, device: DeviceKind) -> Box<dyn UpdateScheme> {
+    /// The declarative form: registry name plus knobs.
+    pub fn to_scheme_spec(&self) -> SchemeSpec {
         match self {
-            SchemeSel::Baseline(k) => k.build(),
-            SchemeSel::Tsue => Box::new(match device {
-                DeviceKind::Ssd => Tsue::ssd(),
-                DeviceKind::Hdd => Tsue::hdd(),
-            }),
-            SchemeSel::TsueWith(cfg) => Box::new(Tsue::new(cfg.clone())),
+            SchemeSel::Baseline(k) => SchemeSpec::named(&k.name().to_ascii_lowercase()),
+            SchemeSel::Tsue => SchemeSpec::tsue(),
+            SchemeSel::TsueWith(cfg) => SchemeSpec::tsue_with(cfg),
         }
-    }
-
-    /// All SSD contenders in the paper's Fig. 5 order (TSUE last).
-    pub fn fig5_lineup() -> Vec<SchemeSel> {
-        let mut v: Vec<SchemeSel> = SchemeKind::ssd_baselines()
-            .into_iter()
-            .map(SchemeSel::Baseline)
-            .collect();
-        v.push(SchemeSel::Tsue);
-        v
     }
 }
 
 /// One experiment run.
+///
+/// Transition-era wrapper over [`ScenarioSpec`] (see
+/// [`RunConfig::to_spec`]); slated for removal once the remaining
+/// callers author specs directly.
 #[derive(Clone, Debug)]
 pub struct RunConfig {
     /// Workload.
@@ -192,6 +249,29 @@ impl RunConfig {
         RunConfig {
             device: DeviceKind::Hdd,
             ..Self::ssd(trace, k, m, clients, scheme)
+        }
+    }
+
+    /// The declarative form of this run: every field pinned explicitly
+    /// so the spec reproduces the run bit for bit.
+    pub fn to_spec(&self) -> ScenarioSpec {
+        let scheme = self.scheme.to_scheme_spec();
+        ScenarioSpec {
+            name: ScenarioSpec::auto_name(&scheme, self.trace, self.k, self.m, self.clients),
+            device: self.device,
+            k: self.k,
+            m: self.m,
+            clients: self.clients,
+            trace: self.trace,
+            scheme,
+            osds: None,
+            block_kib: None,
+            net: None,
+            duration_ms: Some(self.duration_ms),
+            ops_per_client: self.ops_per_client,
+            file_mb: Some(self.file_mb),
+            seed: Some(self.seed),
+            flush_after: Some(self.flush_after),
         }
     }
 }
@@ -267,19 +347,12 @@ impl From<DeviceStats> for DevSummary {
     }
 }
 
-/// Builds the cluster for a run.
+/// Builds the cluster for a run (thin wrapper over
+/// [`ScenarioSpec::build_cluster`] with the default registry).
 pub fn build_cluster(cfg: &RunConfig) -> Cluster {
-    let mut ccfg = match cfg.device {
-        DeviceKind::Ssd => ClusterConfig::ssd_testbed(cfg.k, cfg.m, cfg.clients),
-        DeviceKind::Hdd => ClusterConfig::hdd_testbed(cfg.k, cfg.m, cfg.clients),
-    };
-    ccfg.file_size_per_client = cfg.file_mb << 20;
-    ccfg.seed = cfg.seed;
-    let device = cfg.device;
-    let scheme = cfg.scheme.clone();
-    let mut world = Cluster::new(ccfg, move |_| scheme.build(device));
-    world.set_workload(&cfg.trace.profile());
-    world
+    cfg.to_spec()
+        .build_cluster(&default_registry())
+        .expect("RunConfig always maps to a valid scenario")
 }
 
 /// Memory-probe cadence during a run.
@@ -293,88 +366,25 @@ fn mem_probe(w: &mut Cluster, sim: &mut Sim<Cluster>) {
     }
 }
 
-/// Executes one run deterministically and harvests its metrics.
-pub fn run_one(cfg: &RunConfig) -> RunResult {
-    let mut world = build_cluster(cfg);
-    let mut sim: Sim<Cluster> = Sim::new();
+/// Starts the periodic scheme-memory probe feeding `metrics.mem_peak`.
+pub(crate) fn mem_probe_start(sim: &mut Sim<Cluster>) {
     sim.schedule(MEM_PROBE_EVERY, mem_probe);
-    let duration = match cfg.ops_per_client {
-        Some(n) => {
-            for c in &mut world.core.clients {
-                c.max_ops = Some(n);
-            }
-            // Effectively unbounded window; clients stop on their budget.
-            3_600_000 * MILLISECOND
-        }
-        None => cfg.duration_ms * MILLISECOND,
-    };
-    run_workload(&mut world, &mut sim, duration);
-    let window_end = if cfg.ops_per_client.is_some() {
-        sim.now()
-    } else {
-        world.core.stop_at.expect("window set").max(sim.now())
-    };
-    let iops = world.core.metrics.iops(window_end);
-    let mean_latency_us = world.core.metrics.mean_latency() / 1000.0;
-    let per_second = world.core.metrics.per_second.clone();
-    let cache_hits = world.core.metrics.read_cache_hits;
-
-    let mut flush_s = 0.0;
-    if cfg.flush_after {
-        let t0 = sim.now();
-        world.flush_all(&mut sim);
-        flush_s = (sim.now() - t0) as f64 / SECOND as f64;
-    }
-
-    let (mem_now, _) = world.scheme_memory();
-    let mem_peak = world.core.metrics.mem_peak.max(mem_now);
-    const GIB: f64 = (1u64 << 30) as f64;
-    RunResult {
-        scheme: cfg.scheme.name(),
-        trace: cfg.trace.name(),
-        k: cfg.k,
-        m: cfg.m,
-        clients: cfg.clients,
-        iops,
-        mean_latency_us,
-        per_second,
-        dev: world.device_stats().into(),
-        net_payload_gib: world.core.net.total_payload() as f64 / GIB,
-        net_wire_gib: world.core.net.total_wire() as f64 / GIB,
-        mem_peak,
-        flush_s,
-        cache_hits,
-    }
 }
 
-/// Runs a batch across OS threads (each run stays deterministic).
+/// Executes one run deterministically and harvests its metrics (thin
+/// wrapper over [`run_scenario`]).
+pub fn run_one(cfg: &RunConfig) -> RunResult {
+    run_scenario(&cfg.to_spec()).expect("RunConfig always maps to a valid scenario")
+}
+
+/// Runs a batch across OS threads (thin wrapper over
+/// [`run_scenarios`]; each run stays deterministic).
 pub fn run_many(cfgs: Vec<RunConfig>) -> Vec<RunResult> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
-        .min(cfgs.len().max(1));
-    if workers <= 1 || cfgs.len() == 1 {
-        return cfgs.iter().map(run_one).collect();
-    }
-    let jobs = std::sync::Mutex::new(
-        cfgs.into_iter()
-            .enumerate()
-            .collect::<std::collections::VecDeque<_>>(),
-    );
-    let results = std::sync::Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let job = jobs.lock().unwrap().pop_front();
-                let Some((idx, cfg)) = job else { break };
-                let r = run_one(&cfg);
-                results.lock().unwrap().push((idx, r));
-            });
-        }
-    });
-    let mut out = results.into_inner().unwrap();
-    out.sort_by_key(|(i, _)| *i);
-    out.into_iter().map(|(_, r)| r).collect()
+    run_scenarios(cfgs.iter().map(RunConfig::to_spec).collect())
+        .expect("RunConfig always maps to a valid scenario")
+        .into_iter()
+        .map(|o| o.result)
+        .collect()
 }
 
 /// Experiment scale: `Quick` for benches/tests, `Full` for the paper-shaped

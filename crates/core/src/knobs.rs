@@ -1,0 +1,177 @@
+//! Scenario-file knobs for TSUE and its [`SchemeRegistry`] registration.
+//!
+//! A scenario selects TSUE with `"scheme": {"name": "tsue"}` and may
+//! attach a `knobs` object overriding any subset of [`TsueConfig`] on
+//! top of the device-class default — including the Fig. 7 ablation
+//! switches O1–O5, either individually (`datalog_locality`, …) or via
+//! the cumulative `breakdown_level` preset (0 = Baseline … 5 = +O5).
+
+use crate::{Tsue, TsueConfig};
+use serde::{Deserialize, Value};
+use tsue_ecfs::{DeviceKind, MakeScheme, SchemeError, SchemeRegistry};
+
+/// Partial [`TsueConfig`] override parsed from a scenario's `knobs`
+/// object. Every field is optional; absent fields keep the base value.
+///
+/// `breakdown_level` (0–5) is applied first as the Fig. 7 cumulative
+/// ablation preset, then the individual fields override it, so
+/// `{"breakdown_level": 3, "pools": 2}` means "+O1..O3, but 2 pools".
+#[derive(Clone, Debug, Default, PartialEq, Eq, Deserialize)]
+pub struct TsueKnobs {
+    /// Log unit size in bytes.
+    pub unit_size: Option<u64>,
+    /// Units per pool.
+    pub max_units: Option<usize>,
+    /// Log pools per device per layer (O4 strength).
+    pub pools: Option<usize>,
+    /// O1: DataLog locality folding.
+    pub datalog_locality: Option<bool>,
+    /// O2: ParityLog locality folding.
+    pub paritylog_locality: Option<bool>,
+    /// O3: FIFO multi-unit pool.
+    pub use_log_pool: Option<bool>,
+    /// O5: route deltas through the DeltaLog.
+    pub use_delta_log: Option<bool>,
+    /// Total DataLog copies including the primary.
+    pub data_replicas: Option<usize>,
+    /// Recycle thread pool width per OSD.
+    pub recycle_threads: Option<usize>,
+    /// Background seal interval, ns.
+    pub seal_interval: Option<u64>,
+    /// §7 extension: compress deltas in the log layers.
+    pub compress_deltas: Option<bool>,
+    /// Fig. 7 cumulative ablation preset (0 = Baseline … 5 = +O5).
+    pub breakdown_level: Option<usize>,
+}
+
+impl TsueKnobs {
+    /// Applies the knobs on top of `base`.
+    ///
+    /// # Errors
+    /// Rejects an out-of-range `breakdown_level`.
+    pub fn apply(&self, base: TsueConfig) -> Result<TsueConfig, SchemeError> {
+        let mut cfg = match self.breakdown_level {
+            None => base,
+            Some(level @ 0..=5) => TsueConfig::breakdown(level),
+            Some(level) => {
+                return Err(SchemeError::msg(format!(
+                    "breakdown_level must be 0..=5, got {level}"
+                )))
+            }
+        };
+        macro_rules! over {
+            ($($field:ident),*) => {$(
+                if let Some(v) = self.$field {
+                    cfg.$field = v;
+                }
+            )*};
+        }
+        over!(
+            unit_size,
+            max_units,
+            pools,
+            datalog_locality,
+            paritylog_locality,
+            use_log_pool,
+            use_delta_log,
+            data_replicas,
+            recycle_threads,
+            seal_interval,
+            compress_deltas
+        );
+        if cfg.unit_size == 0 || cfg.max_units == 0 || cfg.pools == 0 || cfg.data_replicas == 0 {
+            return Err(SchemeError::msg(
+                "unit_size, max_units, pools, and data_replicas must be non-zero",
+            ));
+        }
+        Ok(cfg)
+    }
+}
+
+impl TsueConfig {
+    /// Resolves a scenario `knobs` value into a full config: the device
+    /// default ([`TsueConfig::ssd_default`] / [`TsueConfig::hdd_default`])
+    /// overridden by the parsed [`TsueKnobs`].
+    ///
+    /// # Errors
+    /// Unknown knob keys, ill-typed values, and out-of-range presets are
+    /// rejected with the offending key named.
+    pub fn from_knobs(device: DeviceKind, knobs: &Value) -> Result<Self, SchemeError> {
+        let base = match device {
+            DeviceKind::Ssd => TsueConfig::ssd_default(),
+            DeviceKind::Hdd => TsueConfig::hdd_default(),
+        };
+        match knobs {
+            Value::Null => Ok(base),
+            other => {
+                let parsed =
+                    TsueKnobs::from_value(other).map_err(|e| SchemeError::msg(e.to_string()))?;
+                parsed.apply(base)
+            }
+        }
+    }
+}
+
+/// Registers TSUE with a [`SchemeRegistry`] under the name `tsue`.
+pub fn register_tsue(reg: &mut SchemeRegistry) {
+    reg.register(
+        "tsue",
+        "TSUE",
+        "two-stage update: replicated DataLog front end, real-time recycle \
+         through Delta/ParityLog pools (knobs: TsueConfig fields + breakdown_level)",
+        |params| -> Result<MakeScheme, SchemeError> {
+            let cfg = TsueConfig::from_knobs(params.device, &params.knobs)?;
+            Ok(Box::new(move |_| Box::new(Tsue::new(cfg.clone()))))
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_knobs_give_device_defaults() {
+        let ssd = TsueConfig::from_knobs(DeviceKind::Ssd, &Value::Null).unwrap();
+        assert_eq!(ssd, TsueConfig::ssd_default());
+        let hdd = TsueConfig::from_knobs(DeviceKind::Hdd, &Value::Null).unwrap();
+        assert_eq!(hdd, TsueConfig::hdd_default());
+    }
+
+    #[test]
+    fn full_config_round_trips_through_knobs() {
+        let mut cfg = TsueConfig::ssd_default();
+        cfg.unit_size = 8 << 20;
+        cfg.pools = 2;
+        cfg.compress_deltas = true;
+        cfg.use_delta_log = false;
+        let knobs = serde::Serialize::to_value(&cfg);
+        let back = TsueConfig::from_knobs(DeviceKind::Hdd, &knobs).unwrap();
+        assert_eq!(back, cfg, "serialized config must override every field");
+    }
+
+    #[test]
+    fn breakdown_preset_then_field_overrides() {
+        let knobs = serde_json::value_from_str(r#"{"breakdown_level": 3, "pools": 2}"#).unwrap();
+        let cfg = TsueConfig::from_knobs(DeviceKind::Ssd, &knobs).unwrap();
+        let mut expect = TsueConfig::breakdown(3);
+        expect.pools = 2;
+        assert_eq!(cfg, expect);
+    }
+
+    #[test]
+    fn unknown_and_ill_typed_knobs_are_rejected() {
+        let typo = serde_json::value_from_str(r#"{"max_unit": 4}"#).unwrap();
+        let err = TsueConfig::from_knobs(DeviceKind::Ssd, &typo).expect_err("typo must fail");
+        assert!(err.to_string().contains("max_unit"), "{err}");
+
+        let bad = serde_json::value_from_str(r#"{"pools": "four"}"#).unwrap();
+        assert!(TsueConfig::from_knobs(DeviceKind::Ssd, &bad).is_err());
+
+        let oob = serde_json::value_from_str(r#"{"breakdown_level": 9}"#).unwrap();
+        assert!(TsueConfig::from_knobs(DeviceKind::Ssd, &oob).is_err());
+
+        let zero = serde_json::value_from_str(r#"{"max_units": 0}"#).unwrap();
+        assert!(TsueConfig::from_knobs(DeviceKind::Ssd, &zero).is_err());
+    }
+}

@@ -30,12 +30,14 @@
 //! * [`live`] — a thread-based concurrent log pool (parking_lot +
 //!   crossbeam) demonstrating the same structure outside the simulator.
 
+pub mod knobs;
 pub mod live;
 pub mod logpool;
 pub mod logunit;
 pub mod residency;
 pub mod tsue;
 
+pub use knobs::{register_tsue, TsueKnobs};
 pub use logpool::LogPool;
 pub use logunit::{BlockIndex, LogUnit, UnitId, UnitState, RECORD_HEADER};
 pub use residency::{LayerResidency, ResidencyStats, StatAcc};

@@ -34,7 +34,9 @@ use tsue_sim::{MultiResource, Sim, Time, SECOND};
 pub type DeltaKey = (u64, usize);
 
 /// Recycle batches grouped per stripe: `stripe -> [(role, [(off, chunk)])]`.
-type StripeGroups = HashMap<u64, Vec<(usize, Vec<(u64, Chunk)>)>>;
+/// Ordered map so recycle I/O replays in stripe order regardless of the
+/// level-one index's hash order (determinism across identical runs).
+type StripeGroups = std::collections::BTreeMap<u64, Vec<(usize, Vec<(u64, Chunk)>)>>;
 
 /// Message-tag values on `DeltaForward { kind: DataDelta, .. }`.
 const TAG_DELTA: u64 = 2;
@@ -53,7 +55,11 @@ enum LayerKind {
 }
 
 /// TSUE tunables; every Fig. 6/7 knob lives here.
-#[derive(Clone, Debug)]
+///
+/// Serializes field-for-field (sizes in bytes, intervals in ns), so a
+/// full config round-trips through a scenario file's `knobs` object; see
+/// [`crate::knobs::TsueKnobs`] for the partial-override form.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize)]
 pub struct TsueConfig {
     /// Log unit size in bytes (paper: 16 MiB).
     pub unit_size: u64,
@@ -693,11 +699,15 @@ impl Tsue {
             if let Some(fa) = unit.first_append {
                 self.residency.delta.buffer.add(now.saturating_sub(fa));
             }
-            let mut grouped: StripeGroups = HashMap::new();
+            let mut grouped: StripeGroups = StripeGroups::new();
             for (&(gstripe, role), entry) in unit.index.iter() {
                 let items: Vec<(u64, Chunk)> =
                     entry.ranges.iter().map(|(o, c)| (o, c.clone())).collect();
                 grouped.entry(gstripe).or_default().push((role, items));
+            }
+            // The hash index yields roles in arbitrary order; pin it.
+            for roles in grouped.values_mut() {
+                roles.sort_by_key(|(role, _)| *role);
             }
             grouped
         };

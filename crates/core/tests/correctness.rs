@@ -4,7 +4,9 @@
 //! a fresh encode, once the logs drain.
 
 use tsue_core::{Tsue, TsueConfig};
-use tsue_ecfs::{check_consistency, run_workload, Cluster, ClusterConfig, DeviceKind};
+use tsue_ecfs::{
+    check_consistency, run_workload, Cluster, ClusterBuilder, ClusterConfig, DeviceKind,
+};
 use tsue_sim::{Sim, SECOND};
 use tsue_trace::WorkloadProfile;
 
@@ -33,19 +35,18 @@ fn test_profile() -> WorkloadProfile {
     }
 }
 
-fn run_tsue(cfg_fn: impl Fn() -> TsueConfig, k: usize, m: usize, seed: u64, ops: u64) {
-    let cluster_cfg = small_config(k, m, seed);
+fn run_tsue(cfg_fn: impl Fn() -> TsueConfig + 'static, k: usize, m: usize, seed: u64, ops: u64) {
     // Shrink units so seals/recycles actually happen within a short test.
-    let mut world = Cluster::new(cluster_cfg, |_| {
-        let mut c = cfg_fn();
-        c.unit_size = 256 << 10;
-        c.seal_interval = SECOND / 2;
-        Box::new(Tsue::new(c))
-    });
-    world.set_workload(&test_profile());
-    for c in &mut world.core.clients {
-        c.max_ops = Some(ops);
-    }
+    let mut world = ClusterBuilder::from_config(small_config(k, m, seed))
+        .workload(&test_profile())
+        .ops_per_client(ops)
+        .scheme_fn(move |_| {
+            let mut c = cfg_fn();
+            c.unit_size = 256 << 10;
+            c.seal_interval = SECOND / 2;
+            Box::new(Tsue::new(c))
+        })
+        .build();
     let mut sim: Sim<Cluster> = Sim::new();
     run_workload(&mut world, &mut sim, 3600 * SECOND);
     assert!(world.core.pending.is_empty(), "ops still in flight");
@@ -74,18 +75,17 @@ fn tsue_converges_rs22_minimum_m() {
 #[test]
 fn tsue_hdd_mode_converges() {
     // 3-copy data log, no delta log.
-    let mut cfg = small_config(4, 2, 24);
-    cfg.device = DeviceKind::Hdd;
-    let mut world = Cluster::new(cfg, |_| {
-        let mut c = TsueConfig::hdd_default();
-        c.unit_size = 256 << 10;
-        c.seal_interval = SECOND / 2;
-        Box::new(Tsue::new(c))
-    });
-    world.set_workload(&test_profile());
-    for c in &mut world.core.clients {
-        c.max_ops = Some(40);
-    }
+    let mut world = ClusterBuilder::from_config(small_config(4, 2, 24))
+        .device(DeviceKind::Hdd)
+        .workload(&test_profile())
+        .ops_per_client(40)
+        .scheme_fn(|_| {
+            let mut c = TsueConfig::hdd_default();
+            c.unit_size = 256 << 10;
+            c.seal_interval = SECOND / 2;
+            Box::new(Tsue::new(c))
+        })
+        .build();
     let mut sim: Sim<Cluster> = Sim::new();
     run_workload(&mut world, &mut sim, 3600 * SECOND);
     world.flush_all(&mut sim);
@@ -109,17 +109,16 @@ fn every_breakdown_level_converges() {
 
 #[test]
 fn residency_stats_populate() {
-    let cluster_cfg = small_config(4, 2, 40);
-    let mut world = Cluster::new(cluster_cfg, |_| {
-        let mut c = TsueConfig::ssd_default();
-        c.unit_size = 128 << 10;
-        c.seal_interval = SECOND / 4;
-        Box::new(Tsue::new(c))
-    });
-    world.set_workload(&test_profile());
-    for c in &mut world.core.clients {
-        c.max_ops = Some(60);
-    }
+    let mut world = ClusterBuilder::from_config(small_config(4, 2, 40))
+        .workload(&test_profile())
+        .ops_per_client(60)
+        .scheme_fn(|_| {
+            let mut c = TsueConfig::ssd_default();
+            c.unit_size = 128 << 10;
+            c.seal_interval = SECOND / 4;
+            Box::new(Tsue::new(c))
+        })
+        .build();
     let mut sim: Sim<Cluster> = Sim::new();
     run_workload(&mut world, &mut sim, 3600 * SECOND);
     world.flush_all(&mut sim);

@@ -19,6 +19,7 @@
 //! Schemes on different OSDs interact only through scheduled messages,
 //! mirroring the real system's RPCs and keeping borrows disjoint.
 
+pub mod builder;
 pub mod client;
 pub mod logregion;
 pub mod mds;
@@ -26,15 +27,20 @@ pub mod metrics;
 pub mod osd;
 pub mod rangemap;
 pub mod recovery;
+pub mod registry;
 pub mod scheme;
 pub mod verify;
 
+pub use builder::ClusterBuilder;
 pub use client::{client_issue, start_clients, ClientState};
 pub use mds::{FileId, FileMeta, Mds};
 pub use metrics::{ArrivalRecord, ClusterMetrics};
 pub use osd::{BlockId, Osd, StoredBlock};
 pub use rangemap::{Discipline, RangeMap};
 pub use recovery::{fail_node, run_recovery, RecoveryReport};
+pub use registry::{
+    MakeScheme, RegisteredScheme, SchemeError, SchemeFactory, SchemeParams, SchemeRegistry,
+};
 pub use scheme::{
     deliver_read, deliver_update, Chunk, InstantScheme, SchemeMsg, UpdateReq, UpdateScheme,
 };
@@ -52,6 +58,43 @@ pub enum DeviceKind {
     Ssd,
     /// Spinning disk (the paper's §5.4 testbed).
     Hdd,
+}
+
+impl DeviceKind {
+    /// Lower-case token used by scenario files and CLI flags.
+    pub fn token(&self) -> &'static str {
+        match self {
+            DeviceKind::Ssd => "ssd",
+            DeviceKind::Hdd => "hdd",
+        }
+    }
+
+    /// Parses the scenario/CLI token (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "ssd" => Some(DeviceKind::Ssd),
+            "hdd" => Some(DeviceKind::Hdd),
+            _ => None,
+        }
+    }
+}
+
+// Hand-written (rather than derived) so scenario JSON reads
+// `"device": "ssd"` with the same tokens the CLI flags use.
+impl serde::Serialize for DeviceKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.token().to_string())
+    }
+}
+
+impl serde::Deserialize for DeviceKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => Self::parse(s)
+                .ok_or_else(|| serde::DeError::unknown_variant("DeviceKind", s, &["ssd", "hdd"])),
+            other => Err(serde::DeError::mismatch("DeviceKind", "string", other)),
+        }
+    }
 }
 
 /// CPU cost model for delta/parity math.

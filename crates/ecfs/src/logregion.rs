@@ -86,13 +86,14 @@ impl LogRegion {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Cluster, ClusterConfig, InstantScheme};
+    use crate::{Cluster, ClusterBuilder, InstantScheme};
 
     fn test_core() -> Cluster {
-        let mut cfg = ClusterConfig::ssd_testbed(4, 2, 1);
-        cfg.osds = 8;
-        cfg.file_size_per_client = 1 << 20;
-        Cluster::new(cfg, |_| Box::new(InstantScheme::default()))
+        ClusterBuilder::ssd(4, 2, 1)
+            .osds(8)
+            .file_size_per_client(1 << 20)
+            .scheme_fn(|_| Box::new(InstantScheme::default()))
+            .build()
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Name → factory registry for update schemes.
+//!
+//! The experiment layers construct schemes *by name* ("fo", "pl",
+//! "tsue", …) so a scenario file — not a code change — decides what runs
+//! on each OSD. Scheme crates register themselves against ECFS's
+//! [`SchemeRegistry`] (`tsue_schemes::register_baselines`,
+//! `tsue_core::register_tsue`); the harness assembles a populated
+//! registry once and threads it through [`crate::ClusterBuilder`].
+//!
+//! A factory receives [`SchemeParams`] — the device class plus the
+//! scenario's free-form per-scheme knob object — and returns a per-OSD
+//! constructor, so knob parsing happens once per run rather than once
+//! per OSD.
+
+use crate::{DeviceKind, UpdateScheme};
+use serde::Value;
+
+/// Per-OSD scheme constructor returned by a registry factory.
+pub type MakeScheme = Box<dyn FnMut(usize) -> Box<dyn UpdateScheme>>;
+
+/// Everything a scheme factory may condition on.
+#[derive(Clone, Debug)]
+pub struct SchemeParams {
+    /// Device class backing every OSD of the run.
+    pub device: DeviceKind,
+    /// Scheme-specific knob object from the scenario (`Null` when the
+    /// scenario carries no knobs).
+    pub knobs: Value,
+}
+
+impl SchemeParams {
+    /// Parameters with no knobs.
+    pub fn bare(device: DeviceKind) -> Self {
+        SchemeParams {
+            device,
+            knobs: Value::Null,
+        }
+    }
+}
+
+/// Error raised by registry lookups and factories (unknown scheme name,
+/// unknown or ill-typed knob).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemeError(String);
+
+impl SchemeError {
+    /// A free-form error message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        SchemeError(m.into())
+    }
+}
+
+impl std::fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+/// Factory producing the per-OSD constructor for one scheme.
+pub type SchemeFactory = fn(&SchemeParams) -> Result<MakeScheme, SchemeError>;
+
+/// One registered scheme.
+pub struct RegisteredScheme {
+    /// Lower-case lookup name (`"fo"`, `"tsue"`, …).
+    pub name: &'static str,
+    /// Display name as used in the paper's figures (`"FO"`, `"TSUE"`).
+    pub display: &'static str,
+    /// One-line description for `list` output.
+    pub summary: &'static str,
+    factory: SchemeFactory,
+}
+
+impl RegisteredScheme {
+    /// Runs the factory, yielding the per-OSD constructor.
+    ///
+    /// # Errors
+    /// Propagates the factory's knob-validation failure.
+    pub fn instantiate(&self, params: &SchemeParams) -> Result<MakeScheme, SchemeError> {
+        (self.factory)(params).map_err(|e| SchemeError(format!("scheme '{}': {e}", self.name)))
+    }
+}
+
+/// The scheme name → factory table.
+#[derive(Default)]
+pub struct SchemeRegistry {
+    entries: Vec<RegisteredScheme>,
+}
+
+impl SchemeRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a scheme.
+    ///
+    /// # Panics
+    /// Panics when `name` is already taken — duplicate registration is a
+    /// wiring bug, not a runtime condition.
+    pub fn register(
+        &mut self,
+        name: &'static str,
+        display: &'static str,
+        summary: &'static str,
+        factory: SchemeFactory,
+    ) {
+        assert!(self.get(name).is_none(), "scheme '{name}' registered twice");
+        self.entries.push(RegisteredScheme {
+            name,
+            display,
+            summary,
+            factory,
+        });
+    }
+
+    /// Looks up a scheme by name (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&RegisteredScheme> {
+        self.entries
+            .iter()
+            .find(|e| e.name.eq_ignore_ascii_case(name))
+    }
+
+    /// All registered schemes, in registration order.
+    pub fn entries(&self) -> &[RegisteredScheme] {
+        &self.entries
+    }
+
+    /// All registered lookup names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// Instantiates `name` with `params`.
+    ///
+    /// # Errors
+    /// Unknown names report the full name list; factory errors pass
+    /// through with the scheme name prefixed.
+    pub fn instantiate(
+        &self,
+        name: &str,
+        params: &SchemeParams,
+    ) -> Result<MakeScheme, SchemeError> {
+        let entry = self.get(name).ok_or_else(|| {
+            SchemeError(format!(
+                "unknown scheme '{name}' (registered: {})",
+                self.names().join(", ")
+            ))
+        })?;
+        entry.instantiate(params)
+    }
+}
+
+/// Factory helper for schemes that take no knobs: accepts `null` or an
+/// empty object, rejects anything else so scenario typos fail loudly.
+///
+/// # Errors
+/// Returns a [`SchemeError`] naming the first offending knob key.
+pub fn reject_knobs(knobs: &Value) -> Result<(), SchemeError> {
+    match knobs {
+        Value::Null => Ok(()),
+        Value::Object(entries) if entries.is_empty() => Ok(()),
+        Value::Object(entries) => Err(SchemeError(format!(
+            "takes no knobs, got `{}`",
+            entries[0].0
+        ))),
+        other => Err(SchemeError(format!(
+            "knobs must be an object, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InstantScheme;
+
+    fn instant_factory(params: &SchemeParams) -> Result<MakeScheme, SchemeError> {
+        reject_knobs(&params.knobs)?;
+        Ok(Box::new(|_| Box::new(InstantScheme::default())))
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_ordered() {
+        let mut reg = SchemeRegistry::new();
+        reg.register("alpha", "ALPHA", "first", instant_factory);
+        reg.register("beta", "BETA", "second", instant_factory);
+        assert_eq!(reg.names(), vec!["alpha", "beta"]);
+        assert_eq!(reg.get("ALPHA").unwrap().display, "ALPHA");
+        assert!(reg.get("gamma").is_none());
+    }
+
+    #[test]
+    fn unknown_scheme_lists_candidates() {
+        let mut reg = SchemeRegistry::new();
+        reg.register("alpha", "ALPHA", "first", instant_factory);
+        let err = reg
+            .instantiate("nope", &SchemeParams::bare(DeviceKind::Ssd))
+            .err()
+            .expect("must fail");
+        assert!(err.to_string().contains("alpha"), "{err}");
+    }
+
+    #[test]
+    fn knob_rejection_names_the_key() {
+        let mut reg = SchemeRegistry::new();
+        reg.register("alpha", "ALPHA", "first", instant_factory);
+        let params = SchemeParams {
+            device: DeviceKind::Ssd,
+            knobs: Value::Object(vec![("bogus".into(), Value::UInt(1))]),
+        };
+        let err = reg.instantiate("alpha", &params).err().expect("must fail");
+        assert!(err.to_string().contains("bogus"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut reg = SchemeRegistry::new();
+        reg.register("alpha", "ALPHA", "first", instant_factory);
+        reg.register("alpha", "ALPHA", "again", instant_factory);
+    }
+}

@@ -10,13 +10,20 @@
 //! * all bytes are counted globally and per node — the source of the
 //!   Table 1 "NETWORK TRAFFIC" column.
 
+use serde::{Deserialize, Serialize};
 use tsue_sim::{FifoResource, Time, MICROSECOND};
 
 /// Identifies a node (OSD, MDS, or client host) on the fabric.
 pub type NodeId = usize;
 
 /// Fabric parameters.
-#[derive(Clone, Copy, Debug)]
+///
+/// Serializes field-for-field (bandwidth in bytes/s, latency in ns), so
+/// a scenario file pins a custom fabric with the full
+/// `{bandwidth, latency, header_bytes}` object; [`NetSpec::by_name`]
+/// resolves the two named testbed fabrics for CLI flags like
+/// `tsuectl --net`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetSpec {
     /// Per-NIC bandwidth in bytes/second (each direction).
     pub bandwidth: u64,
@@ -42,6 +49,16 @@ impl NetSpec {
             bandwidth: 40_000_000_000 / 8,
             latency: 8 * MICROSECOND,
             header_bytes: 96,
+        }
+    }
+
+    /// Resolves a named fabric profile (`"ethernet-25g"`,
+    /// `"infiniband-40g"`); `None` for unknown names.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "ethernet-25g" | "ethernet_25g" => Some(Self::ethernet_25g()),
+            "infiniband-40g" | "infiniband_40g" => Some(Self::infiniband_40g()),
+            _ => None,
         }
     }
 }

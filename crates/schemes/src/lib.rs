@@ -29,7 +29,8 @@ pub use plr::Plr;
 pub use tsue_ecfs::logregion::LogRegion;
 pub use tsue_ecfs::scheme::AckTable;
 
-use tsue_ecfs::ClusterCore;
+use tsue_ecfs::registry::reject_knobs;
+use tsue_ecfs::{ClusterCore, MakeScheme, SchemeError, SchemeParams, SchemeRegistry};
 
 /// Scheme selector used by the experiment harness.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -83,6 +84,52 @@ impl SchemeKind {
             SchemeKind::Cord => Box::new(Cord::new()),
         }
     }
+}
+
+/// Registers every baseline with a [`SchemeRegistry`] under the names
+/// `fo`, `fl`, `pl`, `plr`, `parix`, `cord`. The baselines take no
+/// scenario knobs; passing any is rejected.
+pub fn register_baselines(reg: &mut SchemeRegistry) {
+    fn bare(params: &SchemeParams, kind: SchemeKind) -> Result<MakeScheme, SchemeError> {
+        reject_knobs(&params.knobs)?;
+        Ok(Box::new(move |_| kind.build()))
+    }
+    reg.register(
+        "fo",
+        "FO",
+        "full overwrite: synchronous in-place RMW of data and every parity",
+        |p| bare(p, SchemeKind::Fo),
+    );
+    reg.register(
+        "fl",
+        "FL",
+        "full logging: data and parity updates appended to logs, threshold recycle",
+        |p| bare(p, SchemeKind::Fl),
+    );
+    reg.register(
+        "pl",
+        "PL",
+        "parity logging: in-place data, parity deltas appended to a parity log",
+        |p| bare(p, SchemeKind::Pl),
+    );
+    reg.register(
+        "plr",
+        "PLR",
+        "parity logging with reserved space next to each parity block",
+        |p| bare(p, SchemeKind::Plr),
+    );
+    reg.register(
+        "parix",
+        "PARIX",
+        "speculative partial writes: old data fetched on first touch",
+        |p| bare(p, SchemeKind::Parix),
+    );
+    reg.register(
+        "cord",
+        "CoRD",
+        "collector-based delta combining before parity writes",
+        |p| bare(p, SchemeKind::Cord),
+    );
 }
 
 /// Which parity index (0..m) of `gstripe` lives on `osd`, if any.

@@ -1,7 +1,7 @@
 //! Behavioral tests: each baseline must exhibit the specific pathology or
 //! strength the paper attributes to it, not just converge.
 
-use tsue_ecfs::{run_workload, Cluster, ClusterConfig};
+use tsue_ecfs::{run_workload, Cluster, ClusterBuilder, ClusterConfig};
 use tsue_schemes::{Cord, Parix, Pl, SchemeKind};
 use tsue_sim::{Sim, MILLISECOND, SECOND};
 use tsue_trace::WorkloadProfile;
@@ -44,8 +44,10 @@ fn cold_profile() -> WorkloadProfile {
 }
 
 fn run(cfg: ClusterConfig, profile: &WorkloadProfile, scheme: SchemeKind, ms: u64) -> Cluster {
-    let mut world = Cluster::new(cfg, |_| scheme.build());
-    world.set_workload(profile);
+    let mut world = ClusterBuilder::from_config(cfg)
+        .workload(profile)
+        .scheme_fn(move |_| scheme.build())
+        .build();
     let mut sim: Sim<Cluster> = Sim::new();
     run_workload(&mut world, &mut sim, ms * MILLISECOND);
     world
@@ -70,12 +72,14 @@ fn pl_accumulates_backlog_fo_does_not() {
 /// continual recycling.
 #[test]
 fn pl_threshold_bounds_backlog() {
-    let mut world = Cluster::new(cluster(2, 8), |_| {
-        let mut pl = Pl::new();
-        pl.threshold = 256 << 10; // recycle every 256 KiB
-        Box::new(pl)
-    });
-    world.set_workload(&hot_profile());
+    let mut world = ClusterBuilder::from_config(cluster(2, 8))
+        .workload(&hot_profile())
+        .scheme_fn(|_| {
+            let mut pl = Pl::new();
+            pl.threshold = 256 << 10; // recycle every 256 KiB
+            Box::new(pl)
+        })
+        .build();
     let mut sim: Sim<Cluster> = Sim::new();
     run_workload(&mut world, &mut sim, SECOND / 2);
     let lazy = run(cluster(2, 8), &hot_profile(), SchemeKind::Pl, 500);
@@ -125,12 +129,14 @@ fn parix_depends_on_temporal_locality() {
 #[test]
 fn parix_speculation_budget_recurs() {
     let mk = |budget: u64| {
-        let mut world = Cluster::new(cluster(5, 8), |_| {
-            let mut p = Parix::new();
-            p.speculation_budget = budget;
-            Box::new(p)
-        });
-        world.set_workload(&hot_profile());
+        let mut world = ClusterBuilder::from_config(cluster(5, 8))
+            .workload(&hot_profile())
+            .scheme_fn(move |_| {
+                let mut p = Parix::new();
+                p.speculation_budget = budget;
+                Box::new(p)
+            })
+            .build();
         let mut sim: Sim<Cluster> = Sim::new();
         run_workload(&mut world, &mut sim, SECOND / 2);
         world.core.net.total_payload() as f64 / world.core.metrics.updates_completed.max(1) as f64
@@ -148,12 +154,14 @@ fn parix_speculation_budget_recurs() {
 #[test]
 fn cord_buffer_size_gates_throughput() {
     let mk = |capacity: u64| {
-        let mut world = Cluster::new(cluster(6, 16), |_| {
-            let mut c = Cord::new();
-            c.capacity = capacity;
-            Box::new(c)
-        });
-        world.set_workload(&hot_profile());
+        let mut world = ClusterBuilder::from_config(cluster(6, 16))
+            .workload(&hot_profile())
+            .scheme_fn(move |_| {
+                let mut c = Cord::new();
+                c.capacity = capacity;
+                Box::new(c)
+            })
+            .build();
         let mut sim: Sim<Cluster> = Sim::new();
         run_workload(&mut world, &mut sim, SECOND / 2);
         world.core.metrics.ops_completed

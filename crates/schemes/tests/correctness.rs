@@ -3,7 +3,9 @@
 //! arrival-ordered replay, parity matching a fresh encode — for any
 //! workload. Schemes differ in cost, never in state.
 
-use tsue_ecfs::{check_consistency, run_workload, Cluster, ClusterConfig, DeviceKind};
+use tsue_ecfs::{
+    check_consistency, run_workload, Cluster, ClusterBuilder, ClusterConfig, DeviceKind,
+};
 use tsue_schemes::SchemeKind;
 use tsue_sim::{Sim, SECOND};
 use tsue_trace::WorkloadProfile;
@@ -35,12 +37,11 @@ fn test_profile() -> WorkloadProfile {
 
 /// Runs `ops_per_client` ops under `kind`, drains, and checks consistency.
 fn run_and_check(kind: SchemeKind, k: usize, m: usize, seed: u64, ops: u64) {
-    let cfg = small_config(k, m, seed);
-    let mut world = Cluster::new(cfg, |_| kind.build());
-    world.set_workload(&test_profile());
-    for c in &mut world.core.clients {
-        c.max_ops = Some(ops);
-    }
+    let mut world = ClusterBuilder::from_config(small_config(k, m, seed))
+        .workload(&test_profile())
+        .ops_per_client(ops)
+        .scheme_fn(move |_| kind.build())
+        .build();
     let mut sim: Sim<Cluster> = Sim::new();
     run_workload(&mut world, &mut sim, 3600 * SECOND);
     assert!(world.core.pending.is_empty(), "ops still in flight");
@@ -102,12 +103,11 @@ fn schemes_differ_in_cost_not_state() {
     // Same workload/seed under two schemes: identical end state, different
     // device-op counts.
     let mk = |kind: SchemeKind| {
-        let cfg = small_config(4, 2, 77);
-        let mut world = Cluster::new(cfg, |_| kind.build());
-        world.set_workload(&test_profile());
-        for c in &mut world.core.clients {
-            c.max_ops = Some(50);
-        }
+        let mut world = ClusterBuilder::from_config(small_config(4, 2, 77))
+            .workload(&test_profile())
+            .ops_per_client(50)
+            .scheme_fn(move |_| kind.build())
+            .build();
         let mut sim: Sim<Cluster> = Sim::new();
         run_workload(&mut world, &mut sim, 3600 * SECOND);
         world.flush_all(&mut sim);
@@ -131,13 +131,12 @@ fn schemes_differ_in_cost_not_state() {
 
 #[test]
 fn hdd_cluster_converges() {
-    let mut cfg = small_config(4, 2, 55);
-    cfg.device = DeviceKind::Hdd;
-    let mut world = Cluster::new(cfg, |_| SchemeKind::Pl.build());
-    world.set_workload(&test_profile());
-    for c in &mut world.core.clients {
-        c.max_ops = Some(30);
-    }
+    let mut world = ClusterBuilder::from_config(small_config(4, 2, 55))
+        .device(DeviceKind::Hdd)
+        .workload(&test_profile())
+        .ops_per_client(30)
+        .scheme_fn(|_| SchemeKind::Pl.build())
+        .build();
     let mut sim: Sim<Cluster> = Sim::new();
     run_workload(&mut world, &mut sim, 3600 * SECOND);
     world.flush_all(&mut sim);

@@ -11,23 +11,25 @@
 //! cargo run --release --example failure_recovery
 //! ```
 
-use tsue_core::Tsue;
-use tsue_ecfs::{run_recovery, run_workload, Cluster, ClusterConfig, UpdateScheme};
-use tsue_schemes::{Fo, Pl};
+use tsue_bench::default_registry;
+use tsue_ecfs::{run_recovery, run_workload, Cluster, ClusterBuilder, SchemeRegistry};
 use tsue_sim::{Sim, SECOND};
 use tsue_trace::ten_cloud;
 
-fn run_case(name: &str, make: impl Fn() -> Box<dyn UpdateScheme>) {
-    let mut cfg = ClusterConfig::hdd_testbed(6, 2, 8);
-    cfg.file_size_per_client = 6 << 20;
-    let mut world = Cluster::new(cfg, |_| make());
-    world.set_workload(&ten_cloud());
+fn run_case(registry: &SchemeRegistry, name: &str) {
+    let display = registry.get(name).map(|e| e.display).unwrap_or(name);
+    let mut world = ClusterBuilder::hdd(6, 2, 8)
+        .file_size_per_client(6 << 20)
+        .workload(&ten_cloud())
+        .scheme(registry, name, serde::Value::Null)
+        .expect("scheme is registered")
+        .build();
     let mut sim: Sim<Cluster> = Sim::new();
     run_workload(&mut world, &mut sim, 6 * SECOND);
     let backlog = world.total_scheme_backlog();
     let report = run_recovery(&mut world, &mut sim, 0);
     println!(
-        "{name:<6} backlog at failure: {backlog:>6} items | log drain {:>6.2}s | \
+        "{display:<6} backlog at failure: {backlog:>6} items | log drain {:>6.2}s | \
          rebuild {:>4} blocks | recovery {:>7.1} MB/s",
         report.flush_time as f64 / 1e9,
         report.blocks_rebuilt,
@@ -39,9 +41,10 @@ fn main() {
     println!(
         "update burst (6 virtual seconds, Ten-Cloud, RS(6,2), HDD cluster), then kill OSD 0:\n"
     );
-    run_case("FO", || Box::new(Fo::new()));
-    run_case("PL", || Box::new(Pl::new()));
-    run_case("TSUE", || Box::new(Tsue::hdd()));
+    let registry = default_registry();
+    run_case(&registry, "fo");
+    run_case(&registry, "pl");
+    run_case(&registry, "tsue");
     println!(
         "\nFO has no logs to drain; PL stalls recovery behind its parity-log backlog;\n\
          TSUE's real-time recycling leaves almost nothing pending — recovery ≈ FO."

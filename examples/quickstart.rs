@@ -5,26 +5,29 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tsue_core::Tsue;
-use tsue_ecfs::{check_consistency, run_recovery, run_workload, Cluster, ClusterConfig};
+use tsue_bench::default_registry;
+use tsue_ecfs::{check_consistency, run_recovery, run_workload, Cluster, ClusterBuilder};
 use tsue_sim::{Sim, SECOND};
 use tsue_trace::ten_cloud;
 
 fn main() {
     // An RS(4,2) cluster of 8 OSDs with four closed-loop clients, running
-    // in materialized mode so we can verify every byte afterwards.
-    let mut cfg = ClusterConfig::ssd_testbed(4, 2, 4);
-    cfg.osds = 8;
-    cfg.stripe = tsue_ec::StripeConfig::new(4, 2, 256 << 10);
-    cfg.file_size_per_client = 4 << 20;
-    cfg.materialize = true;
-    cfg.record_arrivals = true;
-
+    // in materialized mode so we can verify every byte afterwards. The
+    // scheme comes from the registry by name — swap "tsue" for any of
+    // `tsuectl list`'s entries to tour a baseline instead.
     println!("building an RS(4,2) cluster with TSUE on every OSD...");
-    let mut world = Cluster::new(cfg, |_| Box::new(Tsue::ssd()));
+    let mut world = ClusterBuilder::ssd(4, 2, 4)
+        .osds(8)
+        .block_size(256 << 10)
+        .file_size_per_client(4 << 20)
+        .materialize(true)
+        .record_arrivals(true)
+        .workload(&ten_cloud())
+        .scheme(&default_registry(), "tsue", serde::Value::Null)
+        .expect("tsue is registered")
+        .build();
 
     // Replay a Ten-Cloud-shaped update workload for two virtual seconds.
-    world.set_workload(&ten_cloud());
     let mut sim: Sim<Cluster> = Sim::new();
     let end = run_workload(&mut world, &mut sim, 2 * SECOND);
     println!(

@@ -7,29 +7,21 @@
 //! cargo run --release --example scheme_shootout
 //! ```
 
-use tsue_bench::{run_many, RunConfig, SchemeSel, TraceKind};
-use tsue_schemes::SchemeKind;
+use tsue_bench::{results_of, run_scenarios, ScenarioSpec, SchemeSpec, TraceKind};
 
 fn main() {
-    let schemes: Vec<SchemeSel> = vec![
-        SchemeSel::Baseline(SchemeKind::Fo),
-        SchemeSel::Baseline(SchemeKind::Fl),
-        SchemeSel::Baseline(SchemeKind::Pl),
-        SchemeSel::Baseline(SchemeKind::Plr),
-        SchemeSel::Baseline(SchemeKind::Parix),
-        SchemeSel::Baseline(SchemeKind::Cord),
-        SchemeSel::Tsue,
-    ];
     println!("replaying Ten-Cloud on RS(6,4), 16 clients, 1.5 virtual seconds per scheme...\n");
-    let cfgs: Vec<RunConfig> = schemes
+    let specs: Vec<ScenarioSpec> = ["fo", "fl", "pl", "plr", "parix", "cord", "tsue"]
         .into_iter()
-        .map(|s| {
-            let mut c = RunConfig::ssd(TraceKind::Ten, 6, 4, 16, s);
-            c.duration_ms = 1_500;
-            c
+        .map(|name| {
+            let scheme = SchemeSpec::named(name);
+            let mut s =
+                ScenarioSpec::ssd(format!("shootout-{name}"), TraceKind::Ten, 6, 4, 16, scheme);
+            s.duration_ms = Some(1_500);
+            s
         })
         .collect();
-    let results = run_many(cfgs);
+    let results = results_of(&run_scenarios(specs).expect("shootout specs are valid"));
 
     println!(
         "{:<8} {:>10} {:>10} {:>12} {:>12} {:>10}",

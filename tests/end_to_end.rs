@@ -4,7 +4,8 @@
 use tsue_repro::core::{Tsue, TsueConfig};
 use tsue_repro::ec::RsCode;
 use tsue_repro::ecfs::{
-    check_consistency, run_recovery, run_workload, Cluster, ClusterConfig, DeviceKind,
+    check_consistency, run_recovery, run_workload, Cluster, ClusterBuilder, ClusterConfig,
+    DeviceKind,
 };
 use tsue_repro::schemes::SchemeKind;
 use tsue_repro::sim::{Sim, SECOND};
@@ -39,17 +40,16 @@ fn fine_profile() -> WorkloadProfile {
 /// drain → verify → fail → recover → verify.
 #[test]
 fn full_lifecycle_under_tsue() {
-    let cfg = correctness_cluster(4, 2, 7);
-    let mut world = Cluster::new(cfg, |_| {
-        let mut c = TsueConfig::ssd_default();
-        c.unit_size = 256 << 10;
-        c.seal_interval = SECOND / 2;
-        Box::new(Tsue::new(c))
-    });
-    world.set_workload(&fine_profile());
-    for c in &mut world.core.clients {
-        c.max_ops = Some(80);
-    }
+    let mut world = ClusterBuilder::from_config(correctness_cluster(4, 2, 7))
+        .workload(&fine_profile())
+        .ops_per_client(80)
+        .scheme_fn(|_| {
+            let mut c = TsueConfig::ssd_default();
+            c.unit_size = 256 << 10;
+            c.seal_interval = SECOND / 2;
+            Box::new(Tsue::new(c))
+        })
+        .build();
     let mut sim: Sim<Cluster> = Sim::new();
     run_workload(&mut world, &mut sim, 3600 * SECOND);
     world.flush_all(&mut sim);
@@ -69,12 +69,13 @@ fn full_lifecycle_under_tsue() {
 #[test]
 fn simulation_is_deterministic() {
     let run = |seed: u64| {
-        let mut cfg = ClusterConfig::ssd_testbed(4, 2, 4);
-        cfg.osds = 8;
-        cfg.file_size_per_client = 4 << 20;
-        cfg.seed = seed;
-        let mut world = Cluster::new(cfg, |_| SchemeKind::Pl.build());
-        world.set_workload(&ten_cloud());
+        let mut world = ClusterBuilder::ssd(4, 2, 4)
+            .osds(8)
+            .file_size_per_client(4 << 20)
+            .seed(seed)
+            .workload(&ten_cloud())
+            .scheme_fn(|_| SchemeKind::Pl.build())
+            .build();
         let mut sim: Sim<Cluster> = Sim::new();
         run_workload(&mut world, &mut sim, SECOND);
         (
@@ -111,14 +112,13 @@ fn all_schemes_and_tsue_converge_msr_style() {
         ),
     ];
     for (name, make) in schemes {
-        let cfg = correctness_cluster(3, 2, 31);
-        let mut world = Cluster::new(cfg, |_| make());
-        world.set_workload(&tsue_repro::trace::msr_volume(
-            tsue_repro::trace::MsrVolume::Hm0,
-        ));
-        for c in &mut world.core.clients {
-            c.max_ops = Some(60);
-        }
+        let mut world = ClusterBuilder::from_config(correctness_cluster(3, 2, 31))
+            .workload(&tsue_repro::trace::msr_volume(
+                tsue_repro::trace::MsrVolume::Hm0,
+            ))
+            .ops_per_client(60)
+            .scheme_fn(move |_| make())
+            .build();
         let mut sim: Sim<Cluster> = Sim::new();
         run_workload(&mut world, &mut sim, 3600 * SECOND);
         world.flush_all(&mut sim);
@@ -130,18 +130,17 @@ fn all_schemes_and_tsue_converge_msr_style() {
 /// HDD cluster with TSUE's HDD profile (3-copy data log, no delta log).
 #[test]
 fn hdd_tsue_lifecycle() {
-    let mut cfg = correctness_cluster(4, 2, 44);
-    cfg.device = DeviceKind::Hdd;
-    let mut world = Cluster::new(cfg, |_| {
-        let mut c = TsueConfig::hdd_default();
-        c.unit_size = 128 << 10;
-        c.seal_interval = SECOND / 2;
-        Box::new(Tsue::new(c))
-    });
-    world.set_workload(&fine_profile());
-    for c in &mut world.core.clients {
-        c.max_ops = Some(40);
-    }
+    let mut world = ClusterBuilder::from_config(correctness_cluster(4, 2, 44))
+        .device(DeviceKind::Hdd)
+        .workload(&fine_profile())
+        .ops_per_client(40)
+        .scheme_fn(|_| {
+            let mut c = TsueConfig::hdd_default();
+            c.unit_size = 128 << 10;
+            c.seal_interval = SECOND / 2;
+            Box::new(Tsue::new(c))
+        })
+        .build();
     let mut sim: Sim<Cluster> = Sim::new();
     run_workload(&mut world, &mut sim, 3600 * SECOND);
     world.flush_all(&mut sim);
@@ -187,11 +186,12 @@ fn trace_calibration_via_umbrella() {
 /// serve some reads from its data log on a hot workload.
 #[test]
 fn tsue_read_cache_serves_hot_reads() {
-    let mut cfg = ClusterConfig::ssd_testbed(4, 2, 4);
-    cfg.osds = 8;
-    cfg.file_size_per_client = 4 << 20;
-    let mut world = Cluster::new(cfg, |_| Box::new(Tsue::ssd()));
-    world.set_workload(&ten_cloud());
+    let mut world = ClusterBuilder::ssd(4, 2, 4)
+        .osds(8)
+        .file_size_per_client(4 << 20)
+        .workload(&ten_cloud())
+        .scheme_fn(|_| Box::new(Tsue::ssd()))
+        .build();
     let mut sim: Sim<Cluster> = Sim::new();
     run_workload(&mut world, &mut sim, SECOND);
     let m = &world.core.metrics;
@@ -207,18 +207,17 @@ fn tsue_read_cache_serves_hot_reads() {
 /// reads, at a visible latency premium.
 #[test]
 fn degraded_reads_survive_node_failure() {
-    let mut cfg = ClusterConfig::ssd_testbed(4, 2, 4);
-    cfg.osds = 8;
-    cfg.file_size_per_client = 4 << 20;
-    let mut world = Cluster::new(cfg, |_| SchemeKind::Fo.build());
     // Read-only workload.
     let mut profile = fine_profile();
     profile.update_fraction = 0.0;
-    world.set_workload(&profile);
+    let mut world = ClusterBuilder::ssd(4, 2, 4)
+        .osds(8)
+        .file_size_per_client(4 << 20)
+        .workload(&profile)
+        .ops_per_client(50)
+        .scheme_fn(|_| SchemeKind::Fo.build())
+        .build();
     tsue_repro::ecfs::fail_node(&mut world, 1);
-    for c in &mut world.core.clients {
-        c.max_ops = Some(50);
-    }
     let mut sim: Sim<Cluster> = Sim::new();
     run_workload(&mut world, &mut sim, 3600 * SECOND);
     let m = &world.core.metrics;

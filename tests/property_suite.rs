@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use tsue_repro::core::{Tsue, TsueConfig};
-use tsue_repro::ecfs::{check_consistency, run_workload, Cluster, ClusterConfig};
+use tsue_repro::ecfs::{check_consistency, run_workload, Cluster, ClusterBuilder, ClusterConfig};
 use tsue_repro::schemes::SchemeKind;
 use tsue_repro::sim::{Sim, SECOND};
 use tsue_repro::trace::WorkloadProfile;
@@ -24,7 +24,7 @@ fn profile_from(update_frac: f64, hot: f64, repeat: f64, seq: f64) -> WorkloadPr
 
 fn converge_check(
     scheme: &str,
-    make: impl Fn() -> Box<dyn tsue_repro::ecfs::UpdateScheme>,
+    make: impl Fn() -> Box<dyn tsue_repro::ecfs::UpdateScheme> + 'static,
     k: usize,
     m: usize,
     seed: u64,
@@ -38,11 +38,11 @@ fn converge_check(
     cfg.materialize = true;
     cfg.record_arrivals = true;
     cfg.seed = seed;
-    let mut world = Cluster::new(cfg, |_| make());
-    world.set_workload(profile);
-    for c in &mut world.core.clients {
-        c.max_ops = Some(ops);
-    }
+    let mut world = ClusterBuilder::from_config(cfg)
+        .workload(profile)
+        .ops_per_client(ops)
+        .scheme_fn(move |_| make())
+        .build();
     let mut sim: Sim<Cluster> = Sim::new();
     run_workload(&mut world, &mut sim, 3600 * SECOND);
     world.flush_all(&mut sim);
@@ -78,7 +78,7 @@ proptest! {
         ];
         let kind = schemes[scheme_idx];
         let profile = profile_from(update_frac, hot, repeat, seq);
-        converge_check(kind.name(), || kind.build(), 3, 2, seed, &profile, 40)?;
+        converge_check(kind.name(), move || kind.build(), 3, 2, seed, &profile, 40)?;
     }
 
     /// TSUE under random workload shapes and random ablation levels.
@@ -93,7 +93,7 @@ proptest! {
         let profile = profile_from(update_frac, hot, repeat, 0.1);
         converge_check(
             "TSUE",
-            || {
+            move || {
                 let mut c = TsueConfig::breakdown(level);
                 c.unit_size = 128 << 10;
                 c.seal_interval = SECOND / 2;

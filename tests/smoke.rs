@@ -5,7 +5,7 @@
 
 use tsue_repro::core::{Tsue, TsueConfig};
 use tsue_repro::ec::{data_delta, RsCode, StripeConfig};
-use tsue_repro::ecfs::{check_consistency, run_workload, Cluster, ClusterConfig};
+use tsue_repro::ecfs::{check_consistency, run_workload, Cluster, ClusterBuilder, ClusterConfig};
 use tsue_repro::gf;
 use tsue_repro::sim::{Sim, SECOND};
 use tsue_repro::trace::WorkloadProfile;
@@ -67,12 +67,14 @@ fn two_stage_tsue_update_leaves_cluster_consistent() {
     cfg.record_arrivals = true;
     cfg.seed = 0xEC;
 
-    let mut world = Cluster::new(cfg, |_| {
-        let mut c = TsueConfig::ssd_default();
-        c.unit_size = 128 << 10;
-        c.seal_interval = SECOND / 2;
-        Box::new(Tsue::new(c))
-    });
+    let mut world = ClusterBuilder::from_config(cfg)
+        .scheme_fn(|_| {
+            let mut c = TsueConfig::ssd_default();
+            c.unit_size = 128 << 10;
+            c.seal_interval = SECOND / 2;
+            Box::new(Tsue::new(c))
+        })
+        .build();
     world.set_workload(&WorkloadProfile {
         name: "smoke".into(),
         update_fraction: 0.8,

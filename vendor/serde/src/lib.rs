@@ -2,9 +2,19 @@
 //!
 //! Real serde is a zero-copy serializer framework; this shim collapses
 //! it to a value tree: [`Serialize`] renders `self` into a [`Value`],
-//! which `serde_json` then prints. That is exactly the surface the
-//! experiment harness needs (derive + `to_string_pretty`), with no
-//! external dependencies.
+//! which `serde_json` then prints, and [`Deserialize`] rebuilds `Self`
+//! from a [`Value`] that `serde_json` parsed. That is exactly the
+//! surface the experiment harness needs (derive + `to_string_pretty` +
+//! `from_str` for scenario files), with no external dependencies.
+//!
+//! Divergences from real serde, deliberately accepted:
+//!
+//! * Unknown object fields are **rejected** during deserialization
+//!   (real serde ignores them unless `deny_unknown_fields` is set).
+//!   Scenario files are written by hand; a typo'd knob must fail loudly
+//!   rather than silently fall back to a default.
+//! * Missing fields error unless the target field is an `Option`
+//!   (which deserializes as `None`, mirroring `#[serde(default)]`).
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -31,21 +41,125 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// One-word description of the value's JSON type (error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Looks up `key` in an object value; `None` for absent keys or
+    /// non-object values.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
 /// Types renderable into a [`Value`].
 pub trait Serialize {
     /// Renders `self` as a value tree.
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait accepted by `#[derive(Deserialize)]`.
-///
-/// The workspace only ever writes results (never reads them back), so
-/// deserialization is intentionally not implemented.
-pub trait Deserialize {}
+/// Types rebuildable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when the value's shape or type does not match
+    /// `Self` (wrong JSON type, missing/unknown field, unknown variant).
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// The value to use when a struct field of this type is absent from
+    /// the serialized object. `None` (the default) makes absence an
+    /// error; `Option<T>` overrides this to deserialize as `None`.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+/// Deserialization error: a message plus a coarse `where` breadcrumb.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// A free-form error message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+
+    /// "expected X, found Y" for a mismatched value shape.
+    pub fn mismatch(ty: &str, expected: &str, found: &Value) -> Self {
+        DeError(format!("{ty}: expected {expected}, found {}", found.kind()))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        DeError(format!("{ty}: missing field `{field}`"))
+    }
+
+    /// An object carried a field the target type does not define.
+    pub fn unknown_field(ty: &str, field: &str, known: &[&str]) -> Self {
+        DeError(format!(
+            "{ty}: unknown field `{field}` (expected one of: {})",
+            known.join(", ")
+        ))
+    }
+
+    /// An enum tag did not name any variant.
+    pub fn unknown_variant(ty: &str, tag: &str, known: &[&str]) -> Self {
+        DeError(format!(
+            "{ty}: unknown variant `{tag}` (expected one of: {})",
+            known.join(", ")
+        ))
+    }
+
+    /// Wraps the error with the field it occurred under.
+    pub fn in_field(self, ty: &str, field: &str) -> Self {
+        DeError(format!("{ty}.{field}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Derive helper: deserializes struct field `field` of `ty` from the
+/// object entries, falling back to [`Deserialize::absent`] when missing.
+pub fn de_field<T: Deserialize>(
+    entries: &[(String, Value)],
+    ty: &str,
+    field: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == field) {
+        Some((_, v)) => T::from_value(v).map_err(|e| e.in_field(ty, field)),
+        None => T::absent().ok_or_else(|| DeError::missing_field(ty, field)),
+    }
+}
 
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
     }
 }
 
@@ -54,6 +168,24 @@ macro_rules! impl_serialize_uint {
         impl Serialize for $t {
             fn to_value(&self) -> Value {
                 Value::UInt(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    other => {
+                        return Err(DeError::mismatch(
+                            stringify!($t),
+                            "non-negative integer",
+                            other,
+                        ))
+                    }
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::msg(format!("{n} overflows {}", stringify!($t))))
             }
         }
     )*};
@@ -68,6 +200,19 @@ macro_rules! impl_serialize_int {
                 Value::Int(*self as i64)
             }
         }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} overflows i64")))?,
+                    other => return Err(DeError::mismatch(stringify!($t), "integer", other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::msg(format!("{n} overflows {}", stringify!($t))))
+            }
+        }
     )*};
 }
 
@@ -79,15 +224,41 @@ impl Serialize for f64 {
     }
 }
 
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(DeError::mismatch("f64", "number", other)),
+        }
+    }
+}
+
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::Float(*self as f64)
     }
 }
 
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::mismatch("bool", "bool", other)),
+        }
     }
 }
 
@@ -100,6 +271,15 @@ impl Serialize for str {
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::mismatch("String", "string", other)),
+        }
     }
 }
 
@@ -118,9 +298,31 @@ impl<T: Serialize> Serialize for Option<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::mismatch("Vec", "array", other)),
+        }
     }
 }
 
@@ -146,6 +348,18 @@ impl<V: Serialize> Serialize for BTreeMap<String, V> {
     }
 }
 
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::mismatch("BTreeMap", "object", other)),
+        }
+    }
+}
+
 impl<V: Serialize> Serialize for HashMap<String, V> {
     fn to_value(&self) -> Value {
         let mut entries: Vec<(String, Value)> = self
@@ -157,19 +371,46 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
     }
 }
 
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::mismatch("HashMap", "object", other)),
+        }
+    }
+}
+
 macro_rules! impl_serialize_tuple {
-    ($($name:ident : $idx:tt),+) => {
+    ($len:literal ; $($name:ident : $idx:tt),+) => {
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
             fn to_value(&self) -> Value {
                 Value::Array(vec![$(self.$idx.to_value()),+])
             }
         }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::mismatch(
+                        "tuple",
+                        concat!("array of length ", $len),
+                        other,
+                    )),
+                }
+            }
+        }
     };
 }
 
-impl_serialize_tuple!(A: 0);
-impl_serialize_tuple!(A: 0, B: 1);
-impl_serialize_tuple!(A: 0, B: 1, C: 2);
-impl_serialize_tuple!(A: 0, B: 1, C: 2, D: 3);
-impl_serialize_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
-impl_serialize_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_serialize_tuple!(1 ; A: 0);
+impl_serialize_tuple!(2 ; A: 0, B: 1);
+impl_serialize_tuple!(3 ; A: 0, B: 1, C: 2);
+impl_serialize_tuple!(4 ; A: 0, B: 1, C: 2, D: 3);
+impl_serialize_tuple!(5 ; A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_serialize_tuple!(6 ; A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);

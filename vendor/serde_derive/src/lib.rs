@@ -18,7 +18,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, true)
 }
 
-/// Derives the shim `serde::Deserialize` marker.
+/// Derives the shim `serde::Deserialize` (value-tree rebuilding).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, false)
@@ -44,7 +44,7 @@ fn expand(input: TokenStream, serialize: bool) -> TokenStream {
         Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
     };
     if !serialize {
-        return format!("impl serde::Deserialize for {name} {{}}")
+        return expand_deserialize(&item)
             .parse()
             .expect("generated Deserialize impl parses");
     }
@@ -91,6 +91,116 @@ fn expand(input: TokenStream, serialize: bool) -> TokenStream {
     )
     .parse()
     .expect("generated Serialize impl parses")
+}
+
+/// Generates a real `serde::Deserialize` impl: structs rebuild from an
+/// object (missing fields fall back to `Deserialize::absent`, unknown
+/// fields are rejected), enums from a variant-name string (unit) or a
+/// single-key `{variant: payload}` object (tuple).
+fn expand_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => {
+            let known: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::de_field(entries, \"{name}\", \"{f}\")?,"))
+                .collect();
+            format!(
+                "const KNOWN: &[&str] = &[{known}];\n\
+                 let entries = match v {{\n\
+                 \tserde::Value::Object(entries) => entries,\n\
+                 \tother => return ::core::result::Result::Err(\
+                 serde::DeError::mismatch(\"{name}\", \"object\", other)),\n\
+                 }};\n\
+                 for (key, _) in entries.iter() {{\n\
+                 \tif !KNOWN.contains(&key.as_str()) {{\n\
+                 \t\treturn ::core::result::Result::Err(\
+                 serde::DeError::unknown_field(\"{name}\", key, KNOWN));\n\
+                 \t}}\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name} {{ {inits} }})",
+                known = known.join(", "),
+                inits = inits.join(" "),
+            )
+        }
+        Item::Enum { name, variants } => {
+            let known: Vec<String> = variants.iter().map(|(v, _)| format!("\"{v}\"")).collect();
+            let units: Vec<&(String, usize)> = variants.iter().filter(|(_, a)| *a == 0).collect();
+            let tuples: Vec<&(String, usize)> = variants.iter().filter(|(_, a)| *a > 0).collect();
+            let unknown = format!(
+                "::core::result::Result::Err(\
+                 serde::DeError::unknown_variant(\"{name}\", tag, VARIANTS))"
+            );
+            let str_arm = if units.is_empty() {
+                unknown.clone()
+            } else {
+                let arms: Vec<String> = units
+                    .iter()
+                    .map(|(v, _)| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),"))
+                    .collect();
+                format!("match tag.as_str() {{ {} _ => {unknown} }}", arms.join(" "))
+            };
+            let obj_arm = if tuples.is_empty() {
+                format!("{{ let (tag, _inner) = &entries[0]; {unknown} }}")
+            } else {
+                let arms: Vec<String> = tuples
+                    .iter()
+                    .map(|(v, arity)| {
+                        if *arity == 1 {
+                            format!(
+                                "\"{v}\" => ::core::result::Result::Ok({name}::{v}(\
+                                 serde::Deserialize::from_value(inner)\
+                                 .map_err(|e| e.in_field(\"{name}\", \"{v}\"))?,)),"
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "serde::Deserialize::from_value(&items[{i}])\
+                                         .map_err(|e| e.in_field(\"{name}\", \"{v}\"))?,"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{v}\" => match inner {{\n\
+                                 \tserde::Value::Array(items) if items.len() == {arity} => \
+                                 ::core::result::Result::Ok({name}::{v}({elems})),\n\
+                                 \tother => ::core::result::Result::Err(serde::DeError::mismatch(\
+                                 \"{name}::{v}\", \"array of length {arity}\", other)),\n\
+                                 }},",
+                                elems = elems.join(" "),
+                            )
+                        }
+                    })
+                    .collect();
+                format!(
+                    "{{ let (tag, inner) = &entries[0]; \
+                     match tag.as_str() {{ {} _ => {unknown} }} }}",
+                    arms.join(" ")
+                )
+            };
+            format!(
+                "const VARIANTS: &[&str] = &[{known}];\n\
+                 match v {{\n\
+                 \tserde::Value::Str(tag) => {str_arm},\n\
+                 \tserde::Value::Object(entries) if entries.len() == 1 => {obj_arm},\n\
+                 \tother => ::core::result::Result::Err(serde::DeError::mismatch(\
+                 \"{name}\", \"string or single-key object\", other)),\n\
+                 }}",
+                known = known.join(", "),
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         \tfn from_value(v: &serde::Value) -> ::core::result::Result<Self, serde::DeError> {{\n\
+         {body}\n\
+         \t}}\n\
+         }}"
+    )
 }
 
 fn compile_error(msg: &str) -> TokenStream {

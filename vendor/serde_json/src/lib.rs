@@ -1,9 +1,260 @@
 //! Offline stand-in for `serde_json`: prints the shim `serde` value tree
-//! as (pretty) JSON.
+//! as (pretty) JSON and parses JSON text back into it.
 
 pub use serde::Value;
 
 use std::fmt::Write as _;
+
+/// Parses JSON text into `T` via its [`serde::Deserialize`] impl.
+///
+/// # Errors
+/// Fails on malformed JSON (with byte-offset context) or when the parsed
+/// value tree does not match `T`'s shape.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = value_from_str(s)?;
+    T::from_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+/// Parses JSON text into a raw [`Value`] tree.
+///
+/// # Errors
+/// Fails on malformed JSON, reporting the byte offset of the problem.
+pub fn value_from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Recursive-descent JSON parser over raw bytes (strings are re-checked
+/// as UTF-8 on extraction).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(self.err(&format!("unexpected character '{}'", c as char))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate object key \"{key}\"")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a \uXXXX low half must follow.
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(self.err("unpaired surrogate escape"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (1–4 bytes) verbatim.
+                    let start = self.pos;
+                    let rest = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.err("invalid integer"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| self.err("invalid integer"))
+        }
+    }
+}
 
 /// Serialization error.
 ///
@@ -182,5 +433,56 @@ mod tests {
     #[test]
     fn whole_floats_keep_a_decimal_point() {
         assert_eq!(to_string(&Value::Float(3.0)).unwrap(), "3.0");
+    }
+
+    #[test]
+    fn parses_every_value_shape() {
+        let v: Value =
+            from_str(r#"{"a": [1, -2, 3.5, true, false, null], "b": {"nested": "sA\n"}}"#).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Value::Array(vec![
+                Value::UInt(1),
+                Value::Int(-2),
+                Value::Float(3.5),
+                Value::Bool(true),
+                Value::Bool(false),
+                Value::Null,
+            ]))
+        );
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("nested")),
+            Some(&Value::Str("sA\n".into()))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(value_from_str("{").is_err());
+        assert!(value_from_str("[1,]").is_err());
+        assert!(value_from_str("1 2").is_err());
+        assert!(value_from_str(r#"{"a": 1, "a": 2}"#).is_err(), "dup keys");
+        assert!(value_from_str("nul").is_err());
+    }
+
+    #[test]
+    fn print_parse_round_trips() {
+        let v = Value::Object(vec![
+            ("s".into(), Value::Str("q\"\\\u{1F600}".into())),
+            ("n".into(), Value::Float(1.25)),
+            ("i".into(), Value::Int(-7)),
+            ("u".into(), Value::UInt(u64::MAX)),
+            ("arr".into(), Value::Array(vec![Value::Null])),
+        ]);
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(value_from_str(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_from_str_reports_shape_errors() {
+        assert_eq!(from_str::<u64>("17").unwrap(), 17);
+        assert!(from_str::<u64>("-1").is_err());
+        assert_eq!(from_str::<Vec<f64>>("[1, 2.5]").unwrap(), vec![1.0, 2.5]);
+        assert!(from_str::<String>("42").is_err());
     }
 }
