@@ -37,6 +37,83 @@ fn bench_parity_delta(c: &mut Criterion) {
                 .collect::<Vec<_>>()
         })
     });
+    // The scratch-reusing twin — the zero-copy small-write delta path.
+    let mut scratch = vec![0u8; 4096];
+    let mut parity = vec![vec![0u8; 4096]; 4];
+    c.bench_function("incremental_parity_delta_4k_m4_into", |b| {
+        b.iter(|| {
+            tsue_ec::data_delta_into(&old, &new, &mut scratch);
+            for (j, p) in parity.iter_mut().enumerate() {
+                rs.parity_delta_into(j, 2, &scratch, p);
+            }
+        })
+    });
+}
+
+fn bench_stripe_replay(c: &mut Criterion) {
+    let rs = RsCode::new(6, 4).unwrap();
+    let deltas: Vec<Vec<u8>> = (0..6)
+        .map(|i| (0..4096).map(|j| (i * 13 + j * 7 + 1) as u8).collect())
+        .collect();
+    let pairs: Vec<(usize, &[u8])> = deltas
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (i, d.as_slice()))
+        .collect();
+    c.bench_function("combined_parity_delta_4k_k6_m4", |b| {
+        b.iter(|| {
+            (0..4)
+                .map(|j| rs.combined_parity_delta(j, &pairs))
+                .collect::<Vec<_>>()
+        })
+    });
+    let mut accs = vec![vec![0u8; 4096]; 4];
+    c.bench_function("combined_parity_delta_4k_k6_m4_into", |b| {
+        b.iter(|| {
+            for (j, acc) in accs.iter_mut().enumerate() {
+                acc.fill(0);
+                rs.combined_parity_delta_into(j, &pairs, acc);
+            }
+        })
+    });
+    // Stripe-batched replay over scattered ranges: one GF multiply per
+    // contributing block, regardless of how many ranges it logged.
+    let ranges: Vec<Vec<(u64, &[u8])>> = deltas
+        .iter()
+        .map(|d| {
+            vec![
+                (0u64, &d[..1024]),
+                (1024, &d[1024..2048]),
+                (3072, &d[3072..]),
+            ]
+        })
+        .collect();
+    let roles: Vec<tsue_ec::RoleRanges> = ranges
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i, r.as_slice()))
+        .collect();
+    let mut scratch = Vec::new();
+    let mut acc = vec![0u8; 4096];
+    c.bench_function("stripe_replay_4k_3ranges_k6", |b| {
+        b.iter(|| {
+            for j in 0..4 {
+                acc.fill(0);
+                rs.stripe_replay_into(j, 0, &roles, &mut scratch, &mut acc);
+            }
+        })
+    });
+}
+
+fn bench_bytes_plane(c: &mut Criterion) {
+    // The data-plane currency: chunk clone + slice must stay O(1).
+    let payload = Chunk::real(tsue_buf::Bytes::from(vec![0x5Au8; 1 << 20]));
+    c.bench_function("chunk_clone_slice_1mib", |b| {
+        b.iter(|| {
+            let c2 = payload.clone();
+            criterion::black_box(c2.slice(4096, 64 << 10))
+        })
+    });
 }
 
 fn bench_two_level_index(c: &mut Criterion) {
@@ -65,6 +142,8 @@ criterion_group!(
     benches,
     bench_encode,
     bench_parity_delta,
+    bench_stripe_replay,
+    bench_bytes_plane,
     bench_two_level_index
 );
 criterion_main!(benches);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! tsuectl run <scenario.json> [--out DIR]     execute a scenario file
+//! tsuectl bench [--quick] [--out FILE]        perf-regression report (BENCH_NN.json)
 //! tsuectl list                                registered schemes + bundled scenarios
 //! tsuectl [flags...]                          ad-hoc single run (see --help)
 //! ```
@@ -24,6 +25,9 @@ use tsue_sim::{Sim, MILLISECOND};
 const HELP: &str = "tsuectl — run TSUE cluster simulations\n\n\
 subcommands:\n\
   run <scenario.json> [--out DIR]         execute a scenario file\n\
+  bench [--quick] [--out FILE]            zero-copy perf-regression report\n\
+                                          (micro kernels + materialized cluster runs;\n\
+                                          default output BENCH_03.json)\n\
   list                                    print registered schemes and bundled scenarios\n\n\
 ad-hoc flags (assembled into a scenario spec):\n\
   --scheme NAME                           update scheme by registry name (default tsue)\n\
@@ -56,8 +60,46 @@ fn main() {
             list();
         }
         Some("run") => run_file(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         Some("--help") | Some("-h") => println!("{HELP}"),
         _ => adhoc(&args),
+    }
+}
+
+/// `tsuectl bench` — the perf-regression harness: kernel baselines vs
+/// zero-copy entry points plus materialized cluster runs, persisted as a
+/// `BENCH_NN.json` stake for the trajectory.
+fn bench(rest: &[String]) {
+    let mut quick = false;
+    let mut out = String::from("BENCH_03.json");
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = rest
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| fail("missing value after --out"));
+            }
+            other => fail(&format!("unknown flag '{other}' after 'bench'")),
+        }
+        i += 1;
+    }
+    // The stake id is the output filename's stem, so `--out BENCH_04.json`
+    // (the next PR's stake) self-identifies without a source edit.
+    let bench_id = std::path::Path::new(&out)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("BENCH")
+        .to_string();
+    let report = tsue_bench::bench_report(&bench_id, quick);
+    print!("{}", tsue_bench::render_bench(&report));
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    match std::fs::write(&out, json + "\n") {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => fail(&format!("cannot write '{out}': {e}")),
     }
 }
 

@@ -13,10 +13,12 @@
 //! should construct [`ScenarioSpec`]s (or JSON scenario files) directly.
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod scenario;
 
 pub use experiments::*;
+pub use perf::*;
 pub use report::*;
 pub use scenario::*;
 

@@ -1,0 +1,467 @@
+//! The perf-regression harness behind `tsuectl bench` and `BENCH_*.json`.
+//!
+//! Every PR that touches the hot path appends a `BENCH_NN.json` stake:
+//! a machine-readable report pairing the **zero-copy** kernels and cluster
+//! runs with a **baseline** measured in the same process via the legacy
+//! allocating codec entry points (`data_delta`, `parity_delta`,
+//! `combined_parity_delta`, `encode`) — the pre-refactor small-write path,
+//! which the crate keeps precisely so the comparison cannot rot.
+//!
+//! Schema (`schema: "tsue-bench/v1"`):
+//!
+//! * `micro` — kernel rows: ops/sec for baseline vs zero-copy, speedup,
+//!   and per-op allocation/copy traffic for both paths.
+//! * `cluster` — materialized end-to-end runs (fig5/table1 shapes at
+//!   bench scale): IOPS, mean latency, payload copies/op, bytes copied
+//!   per op, buffer-pool hit rate.
+
+use crate::{default_registry, ScenarioSpec, SchemeSpec, TraceKind};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+use tsue_ec::RsCode;
+use tsue_ecfs::{run_workload, Cluster};
+use tsue_sim::{Sim, MILLISECOND};
+
+/// One microbenchmark row: the same kernel, allocating vs scratch-reusing.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MicroRow {
+    /// Kernel name.
+    pub name: String,
+    /// Payload length per op, bytes.
+    pub len: u64,
+    /// Legacy allocating path, operations per second.
+    pub baseline_ops_per_sec: f64,
+    /// Zero-copy path, operations per second.
+    pub zero_copy_ops_per_sec: f64,
+    /// `zero_copy / baseline`.
+    pub speedup: f64,
+    /// Fresh buffers the baseline allocates per op.
+    pub baseline_allocs_per_op: u64,
+    /// Bytes of fresh-buffer traffic (alloc + fill) per baseline op.
+    pub baseline_alloc_bytes_per_op: u64,
+    /// Fresh buffers the zero-copy path allocates per op (steady state).
+    pub zero_copy_allocs_per_op: u64,
+}
+
+/// One materialized cluster-run row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scheme display name.
+    pub scheme: String,
+    /// Completed operations per second over the window.
+    pub iops: f64,
+    /// Mean op latency, µs.
+    pub mean_latency_us: f64,
+    /// Completed client ops.
+    pub ops: u64,
+    /// Deep payload copies per completed op.
+    pub copies_per_op: f64,
+    /// Bytes deep-copied per completed op.
+    pub bytes_copied_per_op: f64,
+    /// Buffer-pool hit rate over the run, `[0, 1]`.
+    pub pool_hit_rate: f64,
+    /// Pool misses (fresh allocations) per completed op.
+    pub allocs_per_op: f64,
+}
+
+/// The full report persisted as `BENCH_NN.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Report schema identifier.
+    pub schema: String,
+    /// Which stake in the trajectory this is (`"BENCH_03"`, …).
+    pub bench_id: String,
+    /// `--quick` runs trim windows and the scheme lineup.
+    pub quick: bool,
+    /// Kernel comparisons.
+    pub micro: Vec<MicroRow>,
+    /// End-to-end materialized runs.
+    pub cluster: Vec<ClusterRow>,
+}
+
+/// Calibrates a batch of `f` that fills `floor`; returns the batch size.
+fn calibrate(floor: Duration, f: &mut dyn FnMut()) -> u64 {
+    let mut n: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        if t.elapsed() >= floor || n >= 1 << 28 {
+            return n;
+        }
+        n *= 2;
+    }
+}
+
+/// Paired ops/sec of two variants of one kernel: trials alternate
+/// baseline/zero-copy batches so scheduler noise lands on both sides, and
+/// each side reports its minimum-time (best) trial — the conventional
+/// noise-robust estimator.
+fn measure_pair(
+    floor: Duration,
+    mut baseline: impl FnMut(),
+    mut zero_copy: impl FnMut(),
+) -> (f64, f64) {
+    let nb = calibrate(floor, &mut baseline);
+    let nz = calibrate(floor, &mut zero_copy);
+    let (mut best_b, mut best_z) = (f64::MIN, f64::MIN);
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..nb {
+            baseline();
+        }
+        best_b = best_b.max(nb as f64 / t.elapsed().as_secs_f64().max(1e-9));
+        let t = Instant::now();
+        for _ in 0..nz {
+            zero_copy();
+        }
+        best_z = best_z.max(nz as f64 / t.elapsed().as_secs_f64().max(1e-9));
+    }
+    (best_b, best_z)
+}
+
+/// The small-write delta path as TSUE's two-stage pipeline runs it, per
+/// client write: payload lands → DataLog append → replica forward →
+/// recycle captures `new ⊕ old` and installs the new content → the raw
+/// delta forwards to the DeltaLog and folds into the hot range (Eq. 3).
+/// Deliberately **no GF multiply** — in the three-layer design, parity
+/// scaling happens later, batched per stripe in the DeltaLog replay (the
+/// `stripe_replay` row), which is exactly why the front end must not be
+/// dominated by allocator traffic.
+///
+/// The baseline reproduces the **pre-refactor** data plane step for step:
+/// `Vec`-backed chunks deep-copied at each hop (the clones the refactor
+/// removed at `tsue.rs` append/forward/collect and `peek_block_range`)
+/// and an allocating `data_delta`. The zero-copy path is the shipped one:
+/// the payload enters a pool-recycled buffer once and every later hop is
+/// a refcount bump; the delta is captured into pooled scratch in one
+/// fused pass.
+fn micro_small_write_delta(floor: Duration, len: usize) -> MicroRow {
+    let incoming: Vec<u8> = (0..len).map(|i| (i * 17 + 3) as u8).collect();
+    let mut store_b: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+    let mut store_z = store_b.clone();
+    let mut folded_b = vec![0u8; len];
+    let mut folded_z = vec![0u8; len];
+    let mut scratch = vec![0u8; len];
+
+    let (baseline, zero_copy) = measure_pair(
+        floor,
+        || {
+            // Wire receive materializes a fresh Vec…
+            let payload = incoming.clone();
+            // …cloned into the DataLog index (pre-refactor tsue.rs:344)…
+            let logged = payload.clone();
+            // …cloned again when recycle collects jobs (tsue.rs:1006).
+            let newest = logged.clone();
+            // peek_block_range copied the old content out of the store.
+            let old_copy = store_b.clone();
+            let d = tsue_ec::data_delta(&old_copy, &newest);
+            store_b.copy_from_slice(&newest);
+            // DeltaForward cloned the delta payload (tsue.rs:631).
+            let fwd = d.clone();
+            // DeltaLog same-offset fold (Eq. 3).
+            tsue_ec::merge_deltas(&mut folded_b, &fwd);
+            std::hint::black_box(&folded_b);
+        },
+        || {
+            // Wire receive into a pool-recycled buffer; every later hop
+            // is a refcount bump.
+            let payload = tsue_buf::BytesMut::copy_of(&incoming).freeze();
+            let logged = payload.clone();
+            let newest = logged.clone();
+            // One pass captures new ⊕ old and installs the new content.
+            tsue_ec::data_delta_into(&store_z, &newest, &mut scratch);
+            store_z.copy_from_slice(&newest);
+            // DeltaLog same-offset fold (Eq. 3), in place on the scratch.
+            tsue_ec::merge_deltas(&mut folded_z, &scratch);
+            std::hint::black_box(&folded_z);
+        },
+    );
+
+    MicroRow {
+        name: format!("small_write_delta_{len}"),
+        len: len as u64,
+        baseline_ops_per_sec: baseline,
+        zero_copy_ops_per_sec: zero_copy,
+        speedup: zero_copy / baseline,
+        // Per client write: payload, append clone, collect clone, old
+        // peek, delta, forward clone.
+        baseline_allocs_per_op: 6,
+        baseline_alloc_bytes_per_op: (6 * len) as u64,
+        zero_copy_allocs_per_op: 0,
+    }
+}
+
+/// The stripe-batched DeltaLog replay (paper Eq. 5): same-offset deltas
+/// from `k` data blocks of one stripe fold into one combined parity delta
+/// per parity block.
+///
+/// The baseline reproduces the **pre-refactor** `recycle_delta_unit` step
+/// for step: every logged range was cloned out of the index, GF-scaled
+/// into a fresh zero-initialized buffer (`gf_scaled`), and XOR-folded into
+/// the combined map in a separate pass — `k` clones plus `k` zeroed
+/// temporaries plus `2k` passes per parity. The zero-copy path is the
+/// shipped one: borrowed ranges, one fused multiply-accumulate per block
+/// into a reused accumulator.
+fn micro_stripe_replay(floor: Duration, len: usize) -> MicroRow {
+    let (k, m) = (6usize, 4usize);
+    let rs = RsCode::new(k, m).unwrap();
+    let deltas: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..len).map(|j| (i * 13 + j * 7 + 1) as u8).collect())
+        .collect();
+    let pairs: Vec<(usize, &[u8])> = deltas
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (i, d.as_slice()))
+        .collect();
+
+    let mut accs: Vec<Vec<u8>> = vec![vec![0u8; len]; m];
+    let (baseline, zero_copy) = measure_pair(
+        floor,
+        || {
+            for j in 0..m {
+                let mut combined = vec![0u8; len];
+                for (role, d) in &pairs {
+                    // Pre-refactor shape: clone the range out of the
+                    // borrowed index (tsue.rs:705), gf_scaled into a fresh
+                    // zeroed buffer, then a separate XOR fold into the
+                    // combined map.
+                    let owned = d.to_vec();
+                    let mut scaled = vec![0u8; len];
+                    tsue_gf::mul_slice(rs.coefficient(j, *role), &owned, &mut scaled);
+                    tsue_ec::merge_deltas(&mut combined, &scaled);
+                }
+                std::hint::black_box(&combined);
+            }
+        },
+        || {
+            for (j, acc) in accs.iter_mut().enumerate() {
+                rs.fill_combined_parity_delta(j, &pairs, acc);
+                std::hint::black_box(&acc);
+            }
+        },
+    );
+
+    MicroRow {
+        name: "stripe_replay".into(),
+        len: len as u64,
+        baseline_ops_per_sec: baseline,
+        zero_copy_ops_per_sec: zero_copy,
+        speedup: zero_copy / baseline,
+        baseline_allocs_per_op: (m * (2 * k + 1)) as u64,
+        baseline_alloc_bytes_per_op: (m * (2 * k + 1) * len) as u64,
+        zero_copy_allocs_per_op: 0,
+    }
+}
+
+/// Full-stripe encode: allocating `encode` vs buffer-reusing `encode_into`.
+fn micro_encode(floor: Duration, len: usize) -> MicroRow {
+    let (k, m) = (6usize, 4usize);
+    let rs = RsCode::new(k, m).unwrap();
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..len).map(|j| (i * 31 + j) as u8).collect())
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+    let mut parity: Vec<Vec<u8>> = vec![vec![0u8; len]; m];
+
+    let (baseline, zero_copy) = measure_pair(
+        floor,
+        || {
+            std::hint::black_box(rs.encode(&refs).unwrap());
+        },
+        || {
+            rs.encode_into(&refs, &mut parity).unwrap();
+            std::hint::black_box(&parity);
+        },
+    );
+
+    MicroRow {
+        name: "rs_encode".into(),
+        len: len as u64,
+        baseline_ops_per_sec: baseline,
+        zero_copy_ops_per_sec: zero_copy,
+        speedup: zero_copy / baseline,
+        baseline_allocs_per_op: m as u64,
+        baseline_alloc_bytes_per_op: (m * len) as u64,
+        zero_copy_allocs_per_op: 0,
+    }
+}
+
+/// Runs one scenario **materialized** (payload bytes flow end to end) and
+/// harvests the zero-copy counters alongside throughput.
+fn cluster_row(mut spec: ScenarioSpec, quick: bool) -> ClusterRow {
+    if quick {
+        spec.duration_ms = Some(150);
+        spec.file_mb = Some(4);
+    }
+    let registry = default_registry();
+    let scheme = spec.scheme_display(&registry);
+    let builder = spec
+        .builder(&registry)
+        .expect("bench scenarios are valid")
+        .materialize(true);
+    let mut world = builder.build();
+    let mut sim: Sim<Cluster> = Sim::new();
+    // Setup traffic (file provisioning) must not pollute the counters.
+    let start = tsue_buf::stats();
+    run_workload(&mut world, &mut sim, spec.duration_ms() * MILLISECOND);
+    let window_end = world.core.stop_at.expect("window set").max(sim.now());
+    if spec.flush_after() {
+        world.flush_all(&mut sim);
+    }
+    world
+        .core
+        .metrics
+        .absorb_buf_stats(tsue_buf::stats().since(&start));
+    let met = &world.core.metrics;
+    let ops = met.ops_completed.max(1);
+    ClusterRow {
+        scenario: spec.name.clone(),
+        scheme,
+        iops: met.iops(window_end),
+        mean_latency_us: met.mean_latency() / 1000.0,
+        ops: met.ops_completed,
+        copies_per_op: met.payload_copies as f64 / ops as f64,
+        bytes_copied_per_op: met.payload_bytes_copied as f64 / ops as f64,
+        pool_hit_rate: met.buf_pool_hit_rate(),
+        allocs_per_op: met.buf_pool_misses as f64 / ops as f64,
+    }
+}
+
+/// Assembles the full report: the kernel rows plus fig5/table1-shaped
+/// materialized runs (`--quick` trims windows and the scheme lineup).
+/// `bench_id` names the stake (derived from the output filename by
+/// `tsuectl bench`, so `--out BENCH_04.json` self-identifies correctly).
+pub fn bench_report(bench_id: &str, quick: bool) -> BenchReport {
+    let floor = if quick {
+        Duration::from_millis(40)
+    } else {
+        Duration::from_millis(250)
+    };
+    let micro = vec![
+        micro_small_write_delta(floor, 512),
+        micro_small_write_delta(floor, 1024),
+        micro_small_write_delta(floor, 4096),
+        micro_stripe_replay(floor, 4096),
+        micro_encode(floor, 64 << 10),
+    ];
+
+    // Fig. 5 shape: the update-throughput lineup on one RS(6,4) cell.
+    let lineup: Vec<SchemeSpec> = if quick {
+        ["fo", "cord", "tsue"]
+            .into_iter()
+            .map(SchemeSpec::named)
+            .collect()
+    } else {
+        SchemeSpec::fig5_lineup()
+    };
+    let mut cluster = Vec::new();
+    for scheme in lineup {
+        let name = format!("fig5-{}", scheme.name);
+        let mut s = ScenarioSpec::ssd(name, TraceKind::Ten, 6, 4, 8, scheme);
+        s.duration_ms = Some(400);
+        s.file_mb = Some(6);
+        cluster.push(cluster_row(s, quick));
+    }
+    // Table 1 shape: fixed work, drained logs (recycle I/O included).
+    let mut t1 = ScenarioSpec::ssd(
+        "table1-tsue-flush",
+        TraceKind::Ali,
+        6,
+        4,
+        8,
+        SchemeSpec::tsue(),
+    );
+    t1.duration_ms = Some(400);
+    t1.file_mb = Some(6);
+    t1.flush_after = Some(true);
+    cluster.push(cluster_row(t1, quick));
+
+    BenchReport {
+        schema: "tsue-bench/v1".into(),
+        bench_id: bench_id.to_string(),
+        quick,
+        micro,
+        cluster,
+    }
+}
+
+/// Renders the human summary printed after a bench run.
+pub fn render_bench(r: &BenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{} (quick={})", r.bench_id, r.quick);
+    let _ = writeln!(
+        out,
+        "{:<20} {:>6} {:>14} {:>14} {:>8} {:>14}",
+        "kernel", "len", "baseline op/s", "zero-copy op/s", "speedup", "allocs/op 0->"
+    );
+    for m in &r.micro {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>6} {:>14.0} {:>14.0} {:>7.2}x {:>7} -> {}",
+            m.name,
+            m.len,
+            m.baseline_ops_per_sec,
+            m.zero_copy_ops_per_sec,
+            m.speedup,
+            m.baseline_allocs_per_op,
+            m.zero_copy_allocs_per_op
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n{:<16} {:<8} {:>10} {:>12} {:>10} {:>12} {:>9}",
+        "scenario", "scheme", "iops", "latency_us", "copies/op", "bytes/op", "pool_hit"
+    );
+    for c in &r.cluster {
+        let _ = writeln!(
+            out,
+            "{:<16} {:<8} {:>10.0} {:>12.1} {:>10.2} {:>12.0} {:>8.1}%",
+            c.scenario,
+            c.scheme,
+            c.iops,
+            c.mean_latency_us,
+            c.copies_per_op,
+            c.bytes_copied_per_op,
+            c.pool_hit_rate * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_rows_report_sane_numbers() {
+        let floor = Duration::from_millis(5);
+        let row = micro_small_write_delta(floor, 1024);
+        assert!(row.baseline_ops_per_sec > 0.0);
+        assert!(row.zero_copy_ops_per_sec > 0.0);
+        assert!(row.speedup > 0.0);
+        assert_eq!(row.zero_copy_allocs_per_op, 0);
+        assert_eq!(row.baseline_allocs_per_op, 6, "one buffer per hop");
+    }
+
+    #[test]
+    fn cluster_row_counts_zero_copies_on_the_write_path() {
+        let mut s = ScenarioSpec::ssd(
+            "bench-test",
+            TraceKind::Ten,
+            4,
+            2,
+            2,
+            SchemeSpec::named("fo"),
+        );
+        s.duration_ms = Some(50);
+        s.file_mb = Some(2);
+        let row = cluster_row(s, true);
+        assert!(row.ops > 0, "run must complete ops");
+        assert!(row.pool_hit_rate >= 0.0 && row.pool_hit_rate <= 1.0);
+    }
+}

@@ -348,6 +348,8 @@ pub fn run_scenario_with(
 ) -> Result<RunResult, String> {
     let mut world = spec.build_cluster(registry)?;
     let mut sim: Sim<Cluster> = Sim::new();
+    // Window the zero-copy counters to the run itself (setup excluded).
+    let buf_start = tsue_buf::stats();
     mem_probe_start(&mut sim);
     let duration = match spec.ops_per_client {
         // Effectively unbounded window; clients stop on their budget.
@@ -372,6 +374,10 @@ pub fn run_scenario_with(
         flush_s = (sim.now() - t0) as f64 / SECOND as f64;
     }
 
+    world
+        .core
+        .metrics
+        .absorb_buf_stats(tsue_buf::stats().since(&buf_start));
     let (mem_now, _) = world.scheme_memory();
     let mem_peak = world.core.metrics.mem_peak.max(mem_now);
     const GIB: f64 = (1u64 << 30) as f64;

@@ -74,7 +74,9 @@ impl Default for LivePoolConfig {
 struct Job {
     key: u64,
     off: u64,
-    data: Vec<u8>,
+    /// Shared view of the unit's merged range — the worker borrows it,
+    /// never copies it.
+    data: tsue_buf::Bytes,
 }
 
 struct Shared {
@@ -162,10 +164,12 @@ impl LiveLogPool {
                 "live pool exhausted: recycled units unavailable"
             );
         }
+        // Into a pool-recycled buffer (the caller's slice is borrowed, so
+        // this boundary copy is inherent — and counted).
         pool.active_mut().append(
             key,
             off,
-            Chunk::real(data.to_vec()),
+            Chunk::real(tsue_buf::Bytes::copy_from_slice(data)),
             Discipline::Overwrite,
             true,
             0,

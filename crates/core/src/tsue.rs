@@ -33,10 +33,9 @@ use tsue_sim::{MultiResource, Sim, Time, SECOND};
 /// DeltaLog key: (global stripe, data-block role).
 pub type DeltaKey = (u64, usize);
 
-/// Recycle batches grouped per stripe: `stripe -> [(role, [(off, chunk)])]`.
-/// Ordered map so recycle I/O replays in stripe order regardless of the
-/// level-one index's hash order (determinism across identical runs).
-type StripeGroups = std::collections::BTreeMap<u64, Vec<(usize, Vec<(u64, Chunk)>)>>;
+/// Same-span delta contributions grouped for Eq. 5 combining:
+/// `(offset, length)` → `[(role, delta bytes)]`.
+type SpanGroups<'a> = std::collections::BTreeMap<(u64, u64), Vec<(usize, &'a [u8])>>;
 
 /// Message-tag values on `DeltaForward { kind: DataDelta, .. }`.
 const TAG_DELTA: u64 = 2;
@@ -332,16 +331,20 @@ impl Tsue {
     ) {
         let now = sim.now();
         let pool = pool_hash(block_key(req.block), self.data.pools.len());
-        let need = req.data.len + RECORD_HEADER;
+        let len = req.data.len;
+        let need = len + RECORD_HEADER;
         if !self.ensure_room(core, sim, osd, LayerKind::Data, pool, need) {
             self.data.queues[pool].push_back(QueuedWork::Update(req));
             return;
         }
+        let (block, off, op_id) = (req.block, req.off, req.op_id);
         let unit = self.data.pools[pool].active_mut();
+        // The payload moves into the log index — the client's buffer is
+        // shared by refcount the whole way, never duplicated.
         unit.append(
-            req.block,
-            req.off,
-            req.data.clone(),
+            block,
+            off,
+            req.data,
             Discipline::Overwrite,
             self.cfg.datalog_locality,
             now,
@@ -356,7 +359,7 @@ impl Tsue {
             .data_replicas
             .saturating_sub(1)
             .min(core.cfg.osds - 1);
-        let tag = self.acks.register(req.op_id, 1 + copies as u32);
+        let tag = self.acks.register(op_id, 1 + copies as u32);
         sim.schedule_at(t_persist, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
             tsue_ecfs::scheme::deliver_msg(w, sim, osd, SchemeMsg::Ack { tag });
         });
@@ -364,12 +367,12 @@ impl Tsue {
             let peer = (osd + r) % core.cfg.osds;
             let msg = SchemeMsg::DataForward {
                 from: osd,
-                block: req.block,
-                off: req.off,
-                data: Chunk::ghost(req.data.len),
+                block,
+                off,
+                data: Chunk::ghost(len),
                 tag,
             };
-            core.send_to_scheme(sim, osd, peer, req.data.len, msg);
+            core.send_to_scheme(sim, osd, peer, len, msg);
         }
     }
 
@@ -515,11 +518,12 @@ impl Tsue {
             .map(|(block, off, newest)| {
                 let delta = match &newest.bytes {
                     Some(new) => {
-                        let old = core.osds[osd]
-                            .peek_block_range(block, off, newest.len)
+                        // One pass over the store: capture new ⊕ old into a
+                        // pooled buffer and install the new content, with
+                        // no intermediate materialization of the old data.
+                        let d = core.osds[osd]
+                            .delta_poke_range(block, off, new)
                             .expect("materialized block");
-                        let d = tsue_ec::data_delta(&old, new);
-                        core.osds[osd].poke_block_range(block, off, Some(new));
                         Chunk::real(d)
                     }
                     None => Chunk::ghost(newest.len),
@@ -628,7 +632,7 @@ impl Tsue {
                 from: osd,
                 block,
                 off,
-                data: delta.clone(),
+                data: delta,
                 kind: DeltaKind::DataDelta,
                 parity_index: 0,
                 tag: TAG_DELTA,
@@ -683,6 +687,12 @@ impl Tsue {
 
     /// DeltaLog recycle: purely in-memory Eq. 3/5 combination, then
     /// combined parity deltas to every ParityLog.
+    ///
+    /// The unit's two-level index is read **in place** (no per-range
+    /// clones), and same-span deltas from different data blocks of a
+    /// stripe fold through [`tsue_ec::RsCode::combined_parity_delta_into`]
+    /// — one scratch buffer and one fused multiply-accumulate pass per
+    /// contributing block, instead of a scaled temporary per range.
     fn recycle_delta_unit(
         &mut self,
         core: &mut ClusterCore,
@@ -692,49 +702,68 @@ impl Tsue {
         uid: UnitId,
     ) {
         let now = sim.now();
-        let by_stripe: StripeGroups = {
+        let k = core.cfg.stripe.k;
+        let m = core.cfg.stripe.m;
+        let mut cpu: Time = 0;
+        let mut sends: Vec<(usize, BlockId, u64, Chunk, usize)> = Vec::new();
+        {
             let unit = self.delta.pools[pool].unit_mut(uid).expect("unit exists");
             unit.state = UnitState::Recycling;
             unit.recycle_started = Some(now);
             if let Some(fa) = unit.first_append {
                 self.residency.delta.buffer.add(now.saturating_sub(fa));
             }
-            let mut grouped: StripeGroups = StripeGroups::new();
+            // Stripe → [(role, ranges)] view over the index, borrowed; the
+            // hash index yields roles in arbitrary order, so pin it.
+            let mut grouped: std::collections::BTreeMap<u64, Vec<(usize, &RangeMap)>> =
+                std::collections::BTreeMap::new();
             for (&(gstripe, role), entry) in unit.index.iter() {
-                let items: Vec<(u64, Chunk)> =
-                    entry.ranges.iter().map(|(o, c)| (o, c.clone())).collect();
-                grouped.entry(gstripe).or_default().push((role, items));
+                grouped
+                    .entry(gstripe)
+                    .or_default()
+                    .push((role, &entry.ranges));
             }
-            // The hash index yields roles in arbitrary order; pin it.
             for roles in grouped.values_mut() {
                 roles.sort_by_key(|(role, _)| *role);
             }
-            grouped
-        };
-        let k = core.cfg.stripe.k;
-        let m = core.cfg.stripe.m;
-        let mut cpu: Time = 0;
-        let mut sends: Vec<(usize, BlockId, u64, Chunk, usize)> = Vec::new();
-        for (gstripe, roles) in by_stripe {
-            let (file, stripe) = core.mds.locate_stripe(gstripe);
-            for j in 0..m {
-                // Eq. (5): one combined parity delta stream per parity.
-                let mut combined = RangeMap::new();
-                for (role, items) in &roles {
-                    let coeff = core.rs.coefficient(j, *role);
-                    for (off, c) in items {
-                        cpu += core.gf_time(c.len);
-                        combined.insert_xor(*off, c.gf_scaled(coeff));
+            for (&gstripe, roles) in &grouped {
+                let (file, stripe) = core.mds.locate_stripe(gstripe);
+                for j in 0..m {
+                    // Eq. (5): one combined parity delta stream per parity.
+                    // Same-(offset, length) ranges across roles — the common
+                    // case under stripe-wide locality — combine through one
+                    // shared accumulator; everything else scales into its
+                    // own pooled buffer. XOR associativity makes the final
+                    // map identical either way.
+                    let mut combined = RangeMap::new();
+                    let mut spans: SpanGroups<'_> = SpanGroups::new();
+                    for (role, ranges) in roles {
+                        for (off, c) in ranges.iter() {
+                            cpu += core.gf_time(c.len);
+                            match &c.bytes {
+                                Some(b) => spans
+                                    .entry((off, c.len))
+                                    .or_default()
+                                    .push((*role, b.as_slice())),
+                                None => combined.insert_xor(off, Chunk::ghost(c.len)),
+                            }
+                        }
                     }
-                }
-                let peer = core.owner_of(gstripe, k + j);
-                let carrier = BlockId {
-                    file,
-                    stripe,
-                    role: 0,
-                };
-                for (off, chunk) in combined.drain() {
-                    sends.push((peer, carrier, off, chunk, j));
+                    for ((off, len), contribs) in spans {
+                        let mut acc = tsue_buf::BytesMut::take(len as usize);
+                        core.rs
+                            .fill_combined_parity_delta(j, &contribs, acc.as_mut());
+                        combined.insert_xor(off, Chunk::real(acc.freeze()));
+                    }
+                    let peer = core.owner_of(gstripe, k + j);
+                    let carrier = BlockId {
+                        file,
+                        stripe,
+                        role: 0,
+                    };
+                    for (off, chunk) in combined.drain() {
+                        sends.push((peer, carrier, off, chunk, j));
+                    }
                 }
             }
         }
@@ -800,10 +829,8 @@ impl Tsue {
             .into_iter()
             .map(|(pblock, off, delta)| {
                 if let Some(d) = delta.bytes.as_ref() {
-                    if let Some(mut old) = core.osds[osd].peek_block_range(pblock, off, delta.len) {
-                        tsue_gf::xor_slice(d, &mut old);
-                        core.osds[osd].poke_block_range(pblock, off, Some(&old));
-                    }
+                    // In-place XOR into the store — no peek/poke round trip.
+                    core.osds[osd].xor_poke_range(pblock, off, d);
                 }
                 RecycleJob::Parity(pblock, off, delta.len)
             })

@@ -48,6 +48,13 @@ impl std::fmt::Display for EcError {
 
 impl std::error::Error for EcError {}
 
+/// One logged delta range for replay: `(absolute offset, delta bytes)`.
+pub type DeltaRange<'a> = (u64, &'a [u8]);
+
+/// One data block's contribution to a stripe replay: the block's index
+/// paired with its logged ranges.
+pub type RoleRanges<'a> = (usize, &'a [DeltaRange<'a>]);
+
 /// A systematic Reed–Solomon code RS(k, m).
 ///
 /// The generator matrix is `[ I_k ; C ]` where `C` is a `m × k` Cauchy
@@ -126,11 +133,49 @@ impl RsCode {
             return Err(EcError::ShardSizeMismatch);
         }
         let mut parity = vec![Vec::new(); self.m];
-        let parity_rows = self
-            .generator
-            .select_rows(&(self.k..self.n()).collect::<Vec<_>>());
-        parity_rows.apply(data, &mut parity);
+        self.encode_into(data, &mut parity)?;
         Ok(parity)
+    }
+
+    /// Scratch-reusing variant of [`Self::encode`]: writes the `m` parity
+    /// blocks into caller-provided buffers (resized in place), so repeated
+    /// encodes of same-size stripes perform zero allocations after the
+    /// first call.
+    ///
+    /// # Errors
+    /// Fails if the input count is not `k`, the output count is not `m`,
+    /// or the data buffers differ in length.
+    pub fn encode_into(&self, data: &[&[u8]], parity: &mut [Vec<u8>]) -> Result<(), EcError> {
+        if data.len() != self.k {
+            return Err(EcError::InvalidParameters(format!(
+                "expected {} data blocks, got {}",
+                self.k,
+                data.len()
+            )));
+        }
+        if parity.len() != self.m {
+            return Err(EcError::InvalidParameters(format!(
+                "expected {} parity buffers, got {}",
+                self.m,
+                parity.len()
+            )));
+        }
+        let len = data[0].len();
+        if data.iter().any(|d| d.len() != len) {
+            return Err(EcError::ShardSizeMismatch);
+        }
+        for (j, out) in parity.iter_mut().enumerate() {
+            out.resize(len, 0);
+            for (i, &input) in data.iter().enumerate() {
+                let c = self.coefficient(j, i);
+                if i == 0 {
+                    tsue_gf::mul_slice(c, input, out);
+                } else {
+                    tsue_gf::mul_add_slice(c, input, out);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Reconstructs all missing shards in place. `shards` must have length
@@ -271,13 +316,96 @@ impl RsCode {
     /// Panics if deltas have inconsistent lengths.
     pub fn combined_parity_delta(&self, parity_index: usize, deltas: &[(usize, &[u8])]) -> Vec<u8> {
         assert!(!deltas.is_empty(), "need at least one delta");
-        let len = deltas[0].1.len();
-        let mut acc = vec![0u8; len];
-        for &(data_index, delta) in deltas {
-            assert_eq!(delta.len(), len, "delta length mismatch");
-            self.parity_delta_into(parity_index, data_index, delta, &mut acc);
-        }
+        let mut acc = vec![0u8; deltas[0].1.len()];
+        self.combined_parity_delta_into(parity_index, deltas, &mut acc);
         acc
+    }
+
+    /// Scratch-reusing variant of [`Self::combined_parity_delta`]:
+    /// XOR-accumulates `∂_{j,i} · Δ_i` for every `(i, Δ_i)` pair into
+    /// `acc` (one fused multiply-accumulate pass per contributing block,
+    /// no intermediate buffers). `acc` is *accumulated into*, not
+    /// overwritten — zero it first for a fresh combined delta.
+    ///
+    /// # Panics
+    /// Panics if any delta's length differs from `acc`'s.
+    pub fn combined_parity_delta_into(
+        &self,
+        parity_index: usize,
+        deltas: &[(usize, &[u8])],
+        acc: &mut [u8],
+    ) {
+        for &(data_index, delta) in deltas {
+            assert_eq!(delta.len(), acc.len(), "delta length mismatch");
+            self.parity_delta_into(parity_index, data_index, delta, acc);
+        }
+    }
+
+    /// Overwriting variant of [`Self::combined_parity_delta_into`]: writes
+    /// the combined delta into `out` (the first block multiplies straight
+    /// into the buffer — no zero-fill, no read-modify on the first pass),
+    /// so a recycled scratch buffer needs no clearing between uses.
+    ///
+    /// # Panics
+    /// Panics if `deltas` is empty or any delta's length differs from
+    /// `out`'s.
+    pub fn fill_combined_parity_delta(
+        &self,
+        parity_index: usize,
+        deltas: &[(usize, &[u8])],
+        out: &mut [u8],
+    ) {
+        assert!(!deltas.is_empty(), "need at least one delta");
+        let (first_index, first) = deltas[0];
+        assert_eq!(first.len(), out.len(), "delta length mismatch");
+        tsue_gf::mul_slice(self.coefficient(parity_index, first_index), first, out);
+        self.combined_parity_delta_into(parity_index, &deltas[1..], out);
+    }
+
+    /// Stripe-batched replay (the recycle-path kernel): merges **all** of a
+    /// stripe's logged data-delta ranges into the parity delta for
+    /// `parity_index` covering `[base, base + acc.len())`, performing a
+    /// single GF multiply per contributing data block instead of one per
+    /// logged range.
+    ///
+    /// `roles` pairs each data-block index with its `(offset, delta)`
+    /// ranges (absolute offsets; every range must fall inside the span).
+    /// Per role, the ranges are first folded into `scratch` with plain XOR
+    /// (Eq. 3 — cheap), then one `∂_{j,i} ·` multiply-accumulate folds the
+    /// whole block's contribution into `acc` (Eq. 5). `acc` is accumulated
+    /// into; zero it first for a fresh delta. `scratch` is resized and
+    /// reused across calls.
+    ///
+    /// # Panics
+    /// Panics if a range falls outside the span.
+    pub fn stripe_replay_into(
+        &self,
+        parity_index: usize,
+        base: u64,
+        roles: &[RoleRanges<'_>],
+        scratch: &mut Vec<u8>,
+        acc: &mut [u8],
+    ) {
+        let span = acc.len();
+        for &(data_index, ranges) in roles {
+            if ranges.is_empty() {
+                continue;
+            }
+            // Fast path: a single range covering the whole span skips the
+            // scratch fold entirely.
+            if ranges.len() == 1 && ranges[0].0 == base && ranges[0].1.len() == span {
+                self.parity_delta_into(parity_index, data_index, ranges[0].1, acc);
+                continue;
+            }
+            scratch.resize(span, 0);
+            scratch.fill(0);
+            for &(off, delta) in ranges {
+                let rel = (off - base) as usize;
+                assert!(rel + delta.len() <= span, "range outside replay span");
+                xor_slice(delta, &mut scratch[rel..rel + delta.len()]);
+            }
+            self.parity_delta_into(parity_index, data_index, scratch, acc);
+        }
     }
 
     /// Applies a parity delta to a parity buffer: `parity ^= delta`
@@ -307,9 +435,18 @@ pub fn merge_deltas(acc: &mut [u8], newer: &[u8]) {
 /// Panics if the buffers have different lengths.
 pub fn data_delta(old: &[u8], new: &[u8]) -> Vec<u8> {
     assert_eq!(old.len(), new.len(), "data_delta length mismatch");
-    let mut d = new.to_vec();
-    xor_slice(old, &mut d);
+    let mut d = vec![0u8; new.len()];
+    data_delta_into(old, new, &mut d);
     d
+}
+
+/// Scratch-reusing variant of [`data_delta`]: writes `new ⊕ old` into
+/// caller-provided scratch in one pass (no intermediate copy of `new`).
+///
+/// # Panics
+/// Panics if the buffers have different lengths.
+pub fn data_delta_into(old: &[u8], new: &[u8], out: &mut [u8]) {
+    tsue_gf::xor_into(old, new, out);
 }
 
 #[cfg(test)]
@@ -451,6 +588,93 @@ mod tests {
             merge_deltas(&mut expect, &rs.parity_delta(j, 3, &d3));
             assert_eq!(combined, expect, "parity {j}");
         }
+    }
+
+    #[test]
+    fn encode_into_reuses_buffers_and_matches_encode() {
+        let rs = RsCode::new(5, 3).unwrap();
+        let data = blocks(5, 96, 11);
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let expect = rs.encode(&refs).unwrap();
+        // Pre-dirtied, wrong-size buffers must come out right.
+        let mut parity = vec![vec![0xAAu8; 7]; 3];
+        rs.encode_into(&refs, &mut parity).unwrap();
+        assert_eq!(parity, expect);
+        // Second call reuses the (now correctly sized) buffers.
+        let caps: Vec<usize> = parity.iter().map(Vec::capacity).collect();
+        rs.encode_into(&refs, &mut parity).unwrap();
+        assert_eq!(parity, expect);
+        let caps2: Vec<usize> = parity.iter().map(Vec::capacity).collect();
+        assert_eq!(caps, caps2, "no reallocation on reuse");
+        // Wrong output count is rejected.
+        let mut short = vec![Vec::new(); 2];
+        assert!(rs.encode_into(&refs, &mut short).is_err());
+    }
+
+    #[test]
+    fn combined_parity_delta_into_accumulates() {
+        let rs = RsCode::new(4, 3).unwrap();
+        let d0 = vec![0x11u8; 16];
+        let d2 = vec![0x25u8; 16];
+        for j in 0..3 {
+            let expect = rs.combined_parity_delta(j, &[(0, &d0), (2, &d2)]);
+            let mut acc = vec![0u8; 16];
+            rs.combined_parity_delta_into(j, &[(0, &d0), (2, &d2)], &mut acc);
+            assert_eq!(acc, expect, "parity {j}");
+            // Accumulation semantics: a second pass cancels (XOR algebra).
+            rs.combined_parity_delta_into(j, &[(0, &d0), (2, &d2)], &mut acc);
+            assert!(acc.iter().all(|&b| b == 0), "parity {j} must cancel");
+        }
+    }
+
+    #[test]
+    fn fill_combined_parity_delta_overwrites_dirty_scratch() {
+        let rs = RsCode::new(4, 2).unwrap();
+        let d1 = vec![0x42u8; 32];
+        let d3 = vec![0x9Eu8; 32];
+        for j in 0..2 {
+            let expect = rs.combined_parity_delta(j, &[(1, &d1), (3, &d3)]);
+            let mut out = vec![0xEEu8; 32]; // dirty recycled scratch
+            rs.fill_combined_parity_delta(j, &[(1, &d1), (3, &d3)], &mut out);
+            assert_eq!(out, expect, "parity {j}");
+        }
+    }
+
+    #[test]
+    fn stripe_replay_matches_per_range_deltas() {
+        let rs = RsCode::new(4, 2).unwrap();
+        // Role 1 logs two disjoint ranges, role 3 one full-span range.
+        let span = 64u64;
+        let base = 128u64;
+        let r1a = vec![0x5Au8; 16];
+        let r1b = vec![0xC3u8; 8];
+        let r3 = vec![0x77u8; span as usize];
+        let role1: Vec<(u64, &[u8])> = vec![(base + 4, &r1a), (base + 40, &r1b)];
+        let role3: Vec<(u64, &[u8])> = vec![(base, &r3)];
+        let mut scratch = Vec::new();
+        for j in 0..2 {
+            let mut acc = vec![0u8; span as usize];
+            rs.stripe_replay_into(j, base, &[(1, &role1), (3, &role3)], &mut scratch, &mut acc);
+            // Reference: per-range parity deltas XORed at their offsets.
+            let mut expect = vec![0u8; span as usize];
+            for (role, ranges) in [(1usize, &role1), (3, &role3)] {
+                for &(off, d) in ranges.iter() {
+                    let pd = rs.parity_delta(j, role, d);
+                    let rel = (off - base) as usize;
+                    merge_deltas(&mut expect[rel..rel + d.len()], &pd);
+                }
+            }
+            assert_eq!(acc, expect, "parity {j}");
+        }
+    }
+
+    #[test]
+    fn data_delta_into_matches_allocating_form() {
+        let old: Vec<u8> = (0..50u8).collect();
+        let new: Vec<u8> = (100..150u8).collect();
+        let mut out = vec![0u8; 50];
+        data_delta_into(&old, &new, &mut out);
+        assert_eq!(out, data_delta(&old, &new));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::osd::BlockId;
 use crate::scheme::{deliver_read, deliver_update, Chunk, UpdateReq};
-use crate::{payload_for, Cluster, FileId};
+use crate::{payload_into, Cluster, FileId};
 use tsue_net::NodeId;
 use tsue_sim::Sim;
 use tsue_trace::{OpKind, TraceGen, WorkloadProfile};
@@ -127,10 +127,17 @@ pub fn client_issue(world: &mut Cluster, sim: &mut Sim<Cluster>, cid: usize) {
         };
         if is_write {
             let data = if core.cfg.materialize {
-                Chunk::real(payload_for(op_id, ext_idx, e.len as usize))
+                // Generate straight into a pool-recycled buffer: the
+                // payload is born zero-copy and travels by refcount from
+                // here to the data log.
+                let mut buf = tsue_buf::BytesMut::take(e.len as usize);
+                payload_into(op_id, ext_idx, buf.as_mut());
+                Chunk::real(buf.freeze())
             } else {
                 Chunk::ghost(e.len)
             };
+            // The fabric model accounts lengths only — the payload buffer
+            // itself moves by refcount, never serialized into a copy.
             let arrival = core.net.transfer(now, client_node, owner_node, e.len);
             let req = UpdateReq {
                 op_id,

@@ -555,18 +555,24 @@ impl PendingTable {
 /// Deterministic payload bytes for extent `ext` of op `op_id` — pure
 /// function so correctness tests can regenerate the exact stream.
 pub fn payload_for(op_id: u64, ext: usize, len: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; len];
+    payload_into(op_id, ext, &mut buf);
+    buf
+}
+
+/// Generates the same deterministic stream directly into `buf` — the
+/// zero-allocation form the client hot path uses with pooled buffers.
+pub fn payload_into(op_id: u64, ext: usize, buf: &mut [u8]) {
     let mut x = op_id
         .wrapping_mul(0x9e3779b97f4a7c15)
         .wrapping_add(ext as u64)
         | 1;
-    (0..len)
-        .map(|_| {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            (x >> 24) as u8
-        })
-        .collect()
+    for b in buf.iter_mut() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *b = (x >> 24) as u8;
+    }
 }
 
 /// Convenience: run a fully-configured cluster for `duration` of virtual

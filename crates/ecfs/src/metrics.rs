@@ -45,6 +45,15 @@ pub struct ClusterMetrics {
     pub mem_peak: u64,
     /// Reads served via stripe reconstruction because the owner was dead.
     pub degraded_reads: u64,
+    /// Deep copies of payload buffers during the run (zero-copy regression
+    /// counter; harvested from [`tsue_buf::stats`]).
+    pub payload_copies: u64,
+    /// Bytes moved by those deep copies.
+    pub payload_bytes_copied: u64,
+    /// Buffer-pool hits during the run (scratch served without allocating).
+    pub buf_pool_hits: u64,
+    /// Buffer-pool misses (allocations) during the run.
+    pub buf_pool_misses: u64,
 }
 
 impl ClusterMetrics {
@@ -63,6 +72,29 @@ impl ClusterMetrics {
             arrivals: record_arrivals.then(Vec::new),
             mem_peak: 0,
             degraded_reads: 0,
+            payload_copies: 0,
+            payload_bytes_copied: 0,
+            buf_pool_hits: 0,
+            buf_pool_misses: 0,
+        }
+    }
+
+    /// Folds a window of buffer statistics (`tsue_buf::stats().since(..)`
+    /// of the run's start snapshot) into the copy/allocation counters.
+    pub fn absorb_buf_stats(&mut self, window: tsue_buf::BufStats) {
+        self.payload_copies += window.deep_copies;
+        self.payload_bytes_copied += window.bytes_copied;
+        self.buf_pool_hits += window.pool_hits;
+        self.buf_pool_misses += window.pool_misses;
+    }
+
+    /// Pool hit rate over everything absorbed so far, in `[0, 1]`.
+    pub fn buf_pool_hit_rate(&self) -> f64 {
+        let total = self.buf_pool_hits + self.buf_pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.buf_pool_hits as f64 / total as f64
         }
     }
 
@@ -144,6 +176,22 @@ mod tests {
         }
         let iops = m.iops(2 * SECOND);
         assert!((iops - 100.0).abs() < 1e-6, "iops {iops}");
+    }
+
+    #[test]
+    fn buf_stats_absorb_and_hit_rate() {
+        let mut m = ClusterMetrics::new(false);
+        assert_eq!(m.buf_pool_hit_rate(), 0.0);
+        m.absorb_buf_stats(tsue_buf::BufStats {
+            pool_hits: 6,
+            pool_misses: 2,
+            recycled: 5,
+            deep_copies: 3,
+            bytes_copied: 300,
+        });
+        assert_eq!(m.payload_copies, 3);
+        assert_eq!(m.payload_bytes_copied, 300);
+        assert!((m.buf_pool_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

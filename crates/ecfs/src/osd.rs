@@ -8,6 +8,7 @@
 
 use crate::mds::FileId;
 use std::collections::HashMap;
+use tsue_buf::{Bytes, BytesMut};
 use tsue_device::{Device, IoKind, StreamId};
 use tsue_sim::Time;
 
@@ -98,7 +99,8 @@ impl Osd {
     }
 
     /// Reads `[off, off+len)` of a block: charges a device read and returns
-    /// `(completion_time, bytes-if-materialized)`.
+    /// `(completion_time, bytes-if-materialized)`. The returned bytes live
+    /// in a pool-recycled buffer, so steady-state reads allocate nothing.
     ///
     /// # Panics
     /// Panics if the block is absent or the range exceeds it.
@@ -108,12 +110,12 @@ impl Osd {
         id: BlockId,
         off: u64,
         len: u64,
-    ) -> (Time, Option<Vec<u8>>) {
+    ) -> (Time, Option<Bytes>) {
         let b = self.blocks.get(&id).expect("block not hosted here");
         let dev_off = b.dev_offset + off;
         let data = b.data.as_ref().map(|d| {
             assert!((off + len) as usize <= d.len(), "read beyond block");
-            d[off as usize..(off + len) as usize].to_vec()
+            Bytes::copy_from_slice(&d[off as usize..(off + len) as usize])
         });
         let t = self
             .device
@@ -159,25 +161,53 @@ impl Osd {
         compute: Time,
     ) -> Time {
         // Read-modify-write on the device, with the XOR cost in between.
-        let (t_read, old) = self.read_block_range(now, id, off, len);
-        let new = match (old, delta) {
-            (Some(mut buf), Some(d)) => {
-                tsue_gf::xor_slice(d, &mut buf);
-                Some(buf)
-            }
-            _ => None,
-        };
-        self.write_block_range(t_read + compute, id, off, len, new.as_deref())
+        // The XOR is applied directly into the block store — no buffer
+        // materializes on this path.
+        let b = self.blocks.get_mut(&id).expect("block not hosted here");
+        let dev_off = b.dev_offset + off;
+        let t_read = self
+            .device
+            .submit(now, IoKind::Read, dev_off, len, STREAM_BLOCK);
+        if let (Some(store), Some(d)) = (b.data.as_mut(), delta) {
+            assert_eq!(d.len() as u64, len, "delta length mismatch");
+            tsue_gf::xor_slice(d, &mut store[off as usize..(off + len) as usize]);
+        }
+        self.device
+            .submit(t_read + compute, IoKind::Write, dev_off, len, STREAM_BLOCK)
     }
 
     /// Content-only read of a block range (no device charge) — used when
-    /// content application and timing accounting are decoupled.
-    pub fn peek_block_range(&self, id: BlockId, off: u64, len: u64) -> Option<Vec<u8>> {
+    /// content application and timing accounting are decoupled. Returns a
+    /// pool-recycled buffer.
+    pub fn peek_block_range(&self, id: BlockId, off: u64, len: u64) -> Option<Bytes> {
         self.blocks.get(&id).and_then(|b| {
             b.data
                 .as_ref()
-                .map(|d| d[off as usize..(off + len) as usize].to_vec())
+                .map(|d| Bytes::copy_from_slice(&d[off as usize..(off + len) as usize]))
         })
+    }
+
+    /// Content-only XOR of `delta` into a block range (no device charge,
+    /// no intermediate buffer) — the zero-copy counterpart of peek → xor →
+    /// poke on paths that decouple content from timing.
+    pub fn xor_poke_range(&mut self, id: BlockId, off: u64, delta: &[u8]) {
+        if let Some(store) = self.blocks.get_mut(&id).and_then(|b| b.data.as_mut()) {
+            tsue_gf::xor_slice(delta, &mut store[off as usize..off as usize + delta.len()]);
+        }
+    }
+
+    /// Content-only delta capture: writes `new ⊕ current` for
+    /// `[off, off + new.len())` into a pool-recycled buffer and replaces
+    /// the stored range with `new`, in one pass over the store (no device
+    /// charge — the timed I/O is charged separately by the caller).
+    /// Returns `None` when the block is not materialized.
+    pub fn delta_poke_range(&mut self, id: BlockId, off: u64, new: &[u8]) -> Option<Bytes> {
+        let store = self.blocks.get_mut(&id).and_then(|b| b.data.as_mut())?;
+        let dst = &mut store[off as usize..off as usize + new.len()];
+        let mut d = BytesMut::take(new.len());
+        tsue_gf::xor_into(dst, new, d.as_mut());
+        dst.copy_from_slice(new);
+        Some(d.freeze())
     }
 
     /// Content-only write of a block range (no device charge).

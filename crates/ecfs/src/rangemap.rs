@@ -267,8 +267,20 @@ impl RangeMap {
             }
             let cb = self.entries.remove(&b).unwrap();
             let ca = self.entries.get_mut(&a).unwrap();
-            if let (Some(av), Some(bv)) = (ca.bytes.as_mut(), cb.bytes) {
-                av.extend_from_slice(&bv);
+            if let (Some(av), Some(bv)) = (ca.bytes.as_mut(), cb.bytes.as_ref()) {
+                // Contiguous views of one backing buffer join for free
+                // (common when an entry was split and re-merges). A run
+                // that solely owns its buffer grows in place (amortized
+                // Vec growth, copying only the new bytes — the sequential
+                // append case). Only a shared, disjoint buffer pays a full
+                // counted re-concatenation through the pool.
+                if !av.try_join(bv) && !av.try_extend_from_slice(bv) {
+                    let mut m = tsue_buf::BytesMut::take(av.len() + bv.len());
+                    m.as_mut()[..av.len()].copy_from_slice(av);
+                    m.as_mut()[av.len()..].copy_from_slice(bv);
+                    tsue_buf::count_copy((av.len() + bv.len()) as u64);
+                    *av = m.freeze();
+                }
             }
             ca.len += cb.len;
         }
@@ -321,13 +333,10 @@ fn split3(start: u64, chunk: Chunk, lo: u64, hi: u64) -> (Piece, Piece, Piece) {
     (left, mid, right)
 }
 
-/// Slices `len` bytes at relative offset `rel` out of a chunk.
+/// Slices `len` bytes at relative offset `rel` out of a chunk — O(1), the
+/// piece shares the original's backing buffer.
 fn slice_chunk(chunk: &Chunk, rel: u64, len: u64) -> Chunk {
-    debug_assert!(rel + len <= chunk.len);
-    match &chunk.bytes {
-        Some(b) => Chunk::real(b[rel as usize..(rel + len) as usize].to_vec()),
-        None => Chunk::ghost(len),
-    }
+    chunk.slice(rel, len)
 }
 
 #[cfg(test)]

@@ -130,7 +130,8 @@ fn schedule_rebuild(
             block_size,
         );
         ready = ready.max(arrive);
-        shard_data.push((role, data));
+        // Reconstruction is a cold path; decode works on owned shards.
+        shard_data.push((role, data.map(|b| b.to_vec())));
     }
 
     // Decode cost: k GF multiply-accumulates over the block.

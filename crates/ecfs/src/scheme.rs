@@ -11,16 +11,22 @@
 
 use crate::osd::BlockId;
 use crate::{client, Cluster, ClusterCore};
+use tsue_buf::{Bytes, BytesMut};
 use tsue_sim::{Sim, Time};
 
 /// A byte payload that may be timing-only. In materialized (correctness)
 /// runs chunks carry real bytes; in performance runs only the length.
+///
+/// Payload bytes are [`Bytes`] — `Arc`-backed shared buffers — so cloning
+/// a chunk (forwarding it over the network, folding it into a log index,
+/// collecting recycle jobs) bumps a refcount instead of copying, and
+/// sub-range extraction ([`Chunk::slice`]) is O(1).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Chunk {
     /// Payload length in bytes.
     pub len: u64,
     /// The bytes, when the cluster materializes data.
-    pub bytes: Option<Vec<u8>>,
+    pub bytes: Option<Bytes>,
 }
 
 impl Chunk {
@@ -33,7 +39,8 @@ impl Chunk {
     ///
     /// # Panics
     /// Panics if `bytes` is empty (zero-length extents are a bug upstream).
-    pub fn real(bytes: Vec<u8>) -> Self {
+    pub fn real(bytes: impl Into<Bytes>) -> Self {
+        let bytes = bytes.into();
         assert!(!bytes.is_empty(), "empty chunk");
         Chunk {
             len: bytes.len() as u64,
@@ -41,41 +48,66 @@ impl Chunk {
         }
     }
 
+    /// O(1) sub-chunk `[rel, rel + len)` sharing the backing buffer.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the chunk.
+    pub fn slice(&self, rel: u64, len: u64) -> Chunk {
+        debug_assert!(rel + len <= self.len, "chunk slice out of range");
+        match &self.bytes {
+            Some(b) => Chunk::real(b.slice(rel as usize, len as usize)),
+            None => Chunk::ghost(len),
+        }
+    }
+
     /// XORs `other` into this chunk (delta folding); ghost chunks fold into
-    /// ghost chunks.
+    /// ghost chunks. Folds in place when this chunk owns its buffer
+    /// uniquely; a shared buffer triggers one copy-on-write.
     ///
     /// # Panics
     /// Panics on length mismatch.
     pub fn xor_in(&mut self, other: &Chunk) {
         assert_eq!(self.len, other.len, "chunk length mismatch");
-        if let (Some(a), Some(b)) = (self.bytes.as_mut(), other.bytes.as_ref()) {
-            tsue_gf::xor_slice(b, a);
-        } else {
-            self.bytes = None;
+        match (self.bytes.as_mut(), other.bytes.as_ref()) {
+            (Some(a), Some(b)) => {
+                if let Some(buf) = a.unique_mut() {
+                    tsue_gf::xor_slice(b, buf);
+                } else {
+                    // Copy-on-write: one pooled buffer, one fused pass
+                    // (counted — the shared buffer forced a duplication).
+                    let mut m = BytesMut::take(b.len());
+                    tsue_gf::xor_into(a, b, m.as_mut());
+                    tsue_buf::count_copy(b.len() as u64);
+                    *a = m.freeze();
+                }
+            }
+            _ => self.bytes = None,
         }
     }
 
     /// Returns a GF-scaled copy: `coeff * self` (parity-delta computation).
+    /// The result lives in a pool-recycled buffer.
     pub fn gf_scaled(&self, coeff: u8) -> Chunk {
         match &self.bytes {
             Some(b) => {
-                let mut out = vec![0u8; b.len()];
-                tsue_gf::mul_slice(coeff, b, &mut out);
-                Chunk::real_or_ghost(out, true)
+                let mut out = BytesMut::take(b.len());
+                tsue_gf::mul_slice(coeff, b, out.as_mut());
+                Chunk::real(out.freeze())
             }
             None => Chunk::ghost(self.len),
         }
     }
 
-    fn real_or_ghost(bytes: Vec<u8>, real: bool) -> Chunk {
-        if real {
-            Chunk {
-                len: bytes.len() as u64,
-                bytes: Some(bytes),
+    /// Consuming GF scale: scales in place when the buffer is uniquely
+    /// owned (zero scratch), else behaves like [`Chunk::gf_scaled`].
+    pub fn into_gf_scaled(mut self, coeff: u8) -> Chunk {
+        if let Some(b) = self.bytes.as_mut() {
+            if let Some(buf) = b.unique_mut() {
+                tsue_gf::mul_slice_assign(coeff, buf);
+                return self;
             }
-        } else {
-            Chunk::ghost(bytes.len() as u64)
         }
+        self.gf_scaled(coeff)
     }
 }
 
@@ -427,7 +459,13 @@ pub fn rmw_data_delta(
 ) -> (Time, Chunk) {
     let (t_read, old) = core.osds[osd].read_block_range(now, block, off, data.len);
     let delta = match (&data.bytes, old) {
-        (Some(new), Some(old)) => Chunk::real(tsue_ec::data_delta(&old, new)),
+        (Some(new), Some(old)) => {
+            // One fused pass into a pool-recycled buffer — no intermediate
+            // copy of the new data.
+            let mut d = BytesMut::take(new.len());
+            tsue_ec::data_delta_into(&old, new, d.as_mut());
+            Chunk::real(d.freeze())
+        }
         _ => Chunk::ghost(data.len),
     };
     let t_compute = t_read + core.xor_time(data.len);

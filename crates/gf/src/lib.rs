@@ -168,6 +168,59 @@ pub fn mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
     }
 }
 
+/// `buf[i] = c * buf[i]` for all `i` — in-place scaling, for callers that
+/// own their buffer uniquely and want no scratch at all.
+pub fn mul_slice_assign(c: u8, buf: &mut [u8]) {
+    if c == 0 {
+        buf.fill(0);
+        return;
+    }
+    if c == 1 {
+        return;
+    }
+    let row = mul_row(c);
+    let mut chunks = buf.chunks_exact_mut(8);
+    for d in &mut chunks {
+        d[0] = row[d[0] as usize];
+        d[1] = row[d[1] as usize];
+        d[2] = row[d[2] as usize];
+        d[3] = row[d[3] as usize];
+        d[4] = row[d[4] as usize];
+        d[5] = row[d[5] as usize];
+        d[6] = row[d[6] as usize];
+        d[7] = row[d[7] as usize];
+    }
+    for d in chunks.into_remainder() {
+        *d = row[*d as usize];
+    }
+}
+
+/// `dst[i] = a[i] ^ b[i]` for all `i` — a one-pass delta kernel writing
+/// into caller-provided scratch (no intermediate copy of either input).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn xor_into(a: &[u8], b: &[u8], dst: &mut [u8]) {
+    assert_eq!(a.len(), b.len(), "xor_into length mismatch");
+    assert_eq!(a.len(), dst.len(), "xor_into length mismatch");
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    let mut dc = dst.chunks_exact_mut(8);
+    for ((s, t), d) in (&mut ac).zip(&mut bc).zip(&mut dc) {
+        let sv = u64::from_ne_bytes(s.try_into().unwrap());
+        let tv = u64::from_ne_bytes(t.try_into().unwrap());
+        d.copy_from_slice(&(sv ^ tv).to_ne_bytes());
+    }
+    for ((s, t), d) in ac
+        .remainder()
+        .iter()
+        .zip(bc.remainder())
+        .zip(dc.into_remainder())
+    {
+        *d = s ^ t;
+    }
+}
+
 /// `dst[i] ^= src[i]` for all `i` — field addition of two buffers.
 ///
 /// # Panics
@@ -296,6 +349,29 @@ mod tests {
             for (i, (&s, &d)) in src.iter().zip(acc.iter()).enumerate() {
                 assert_eq!(d, s ^ mul(c, s), "c={c} i={i}");
             }
+        }
+    }
+
+    #[test]
+    fn mul_slice_assign_matches_mul_slice() {
+        let src: Vec<u8> = (0..=255u8).chain(0..=12u8).collect();
+        for c in [0u8, 1, 2, 29, 255] {
+            let mut expect = vec![0u8; src.len()];
+            mul_slice(c, &src, &mut expect);
+            let mut buf = src.clone();
+            mul_slice_assign(c, &mut buf);
+            assert_eq!(buf, expect, "c={c}");
+        }
+    }
+
+    #[test]
+    fn xor_into_matches_scalar() {
+        let a: Vec<u8> = (0..103u8).collect();
+        let b: Vec<u8> = (100..203u8).collect();
+        let mut dst = vec![0xEEu8; a.len()];
+        xor_into(&a, &b, &mut dst);
+        for i in 0..a.len() {
+            assert_eq!(dst[i], a[i] ^ b[i], "i={i}");
         }
     }
 

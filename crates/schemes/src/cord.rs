@@ -4,8 +4,11 @@
 //! the same stripe at the same offset can be folded into a single parity
 //! delta per parity block before anything crosses the network to the
 //! parity side. A per-stripe *collector* (co-located with the first parity
-//! block) XOR-accumulates `coeff_{j,i} · Δ_i` per parity into interval
-//! maps, slashing update traffic.
+//! block) XOR-folds raw deltas per data block into interval maps and
+//! combines them per parity at drain time
+//! ([`tsue_ec::RsCode::combined_parity_delta_into`]), slashing update
+//! traffic — and, since scaling is linear, buffering each delta **once**
+//! instead of `m` scaled copies.
 //!
 //! The paper's critique, faithfully modeled: the collector's buffer log is
 //! a fixed-size, single structure with no read/write concurrency — when it
@@ -25,6 +28,10 @@ const CTRL_APPLIED: u64 = 3;
 /// Per-entry header bytes in the collector's buffer log.
 const ENTRY_HEADER: u64 = 32;
 
+/// Same-span delta contributions grouped for Eq. 5 combining:
+/// `(offset, length)` → `[(role, delta bytes)]`.
+type SpanGroups<'a> = std::collections::BTreeMap<(u64, u64), Vec<(usize, &'a [u8])>>;
+
 /// A delta waiting because the collector is draining.
 struct Queued {
     from: usize,
@@ -37,9 +44,10 @@ struct Queued {
 /// The CoRD scheme state (per OSD).
 pub struct Cord {
     acks: AckTable,
-    /// Collector state: per global stripe, one XOR-accumulating interval
-    /// map per parity index.
-    agg: HashMap<u64, Vec<RangeMap>>,
+    /// Collector state: per global stripe, one XOR-folding interval map
+    /// per *data block role* holding the raw (unscaled) deltas; parity
+    /// scaling happens once, at drain time (Eq. 5).
+    agg: HashMap<u64, std::collections::BTreeMap<usize, RangeMap>>,
     /// Buffer occupancy in (pre-aggregation) bytes.
     buffered: u64,
     /// The fixed buffer capacity — deliberately small (the bottleneck).
@@ -86,21 +94,21 @@ impl Cord {
     ) {
         let m = core.cfg.stripe.m;
         let gstripe = core.global_stripe(q.block.file, q.block.stripe);
-        let maps = self
-            .agg
+        // Fold the raw delta once; the payload moves in by refcount.
+        let len = q.data.len;
+        self.agg
             .entry(gstripe)
-            .or_insert_with(|| vec![RangeMap::new(); m]);
-        for (j, map) in maps.iter_mut().enumerate() {
-            let coeff = core.rs.coefficient(j, q.block.role);
-            map.insert_xor(q.off, q.data.gf_scaled(coeff));
-        }
-        self.buffered += q.data.len + ENTRY_HEADER;
+            .or_default()
+            .entry(q.block.role)
+            .or_default()
+            .insert_xor(q.off, q.data);
+        self.buffered += len + ENTRY_HEADER;
         // Persist the raw delta in the buffer log, charge the Eq. (5)
         // folding compute, then ack.
-        let compute = core.gf_time(q.data.len * m as u64);
+        let compute = core.gf_time(len * m as u64);
         let (t_persist, _) =
             self.buf_log
-                .append(core, osd, sim.now() + compute, q.data.len + ENTRY_HEADER);
+                .append(core, osd, sim.now() + compute, len + ENTRY_HEADER);
         let (from, tag) = (q.from, q.tag);
         sim.schedule_at(t_persist, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
             w.core
@@ -111,33 +119,59 @@ impl Cord {
         }
     }
 
-    /// Ships every aggregated parity delta to its parity owner and blocks
+    /// Combines the buffered per-role deltas into one parity delta stream
+    /// per parity (Eq. 5, one fused multiply-accumulate pass per
+    /// contributing block), ships them to the parity owners, and blocks
     /// further appends until all applications ack back.
     fn start_drain(&mut self, core: &mut ClusterCore, sim: &mut Sim<Cluster>, osd: usize) {
         if self.draining {
             return;
         }
         self.draining = true;
-        let stripes: Vec<u64> = self.agg.keys().copied().collect();
         let k = core.cfg.stripe.k;
-        for gstripe in stripes {
-            let maps = self.agg.get_mut(&gstripe).expect("stripe exists");
-            for (j, map) in maps.iter_mut().enumerate() {
+        let m = core.cfg.stripe.m;
+        // Drain in stripe order: the former hash-order walk made the send
+        // sequence (and thus NIC-lane timing) depend on HashMap seeding.
+        let mut stripes: Vec<(u64, std::collections::BTreeMap<usize, RangeMap>)> =
+            std::mem::take(&mut self.agg).into_iter().collect();
+        stripes.sort_unstable_by_key(|(g, _)| *g);
+        for (gstripe, roles) in stripes {
+            // Reconstruct a BlockId for the parity block: stripe
+            // coordinates are derivable from any block of the stripe;
+            // file/stripe-local index come with the entry.
+            let (file, stripe) = core.mds.locate_stripe(gstripe);
+            let carrier = BlockId {
+                file,
+                stripe,
+                role: 0,
+            };
+            for j in 0..m {
                 let peer = core.owner_of(gstripe, k + j);
-                for (off, chunk) in map.drain() {
+                let mut combined = RangeMap::new();
+                let mut spans: SpanGroups<'_> = SpanGroups::new();
+                for (role, map) in &roles {
+                    for (off, c) in map.iter() {
+                        match &c.bytes {
+                            Some(b) => spans
+                                .entry((off, c.len))
+                                .or_default()
+                                .push((*role, b.as_slice())),
+                            None => combined.insert_xor(off, Chunk::ghost(c.len)),
+                        }
+                    }
+                }
+                for ((off, len), contribs) in spans {
+                    let mut acc = tsue_buf::BytesMut::take(len as usize);
+                    core.rs
+                        .fill_combined_parity_delta(j, &contribs, acc.as_mut());
+                    combined.insert_xor(off, Chunk::real(acc.freeze()));
+                }
+                for (off, chunk) in combined.drain() {
                     self.drain_inflight += 1;
                     let len = chunk.len;
-                    // Reconstruct a BlockId for the parity block: stripe
-                    // coordinates are derivable from any block of the
-                    // stripe; file/stripe-local index come with the entry.
-                    let (file, stripe) = core.mds.locate_stripe(gstripe);
                     let msg = SchemeMsg::DeltaForward {
                         from: osd,
-                        block: BlockId {
-                            file,
-                            stripe,
-                            role: 0,
-                        },
+                        block: carrier,
                         off,
                         data: chunk,
                         kind: DeltaKind::ParityDelta,
@@ -148,8 +182,6 @@ impl Cord {
                 }
             }
         }
-        self.agg
-            .retain(|_, maps| maps.iter().any(|m| !m.is_empty()));
         self.buffered = 0;
         if self.drain_inflight == 0 {
             self.finish_drain(core, sim, osd);
@@ -285,7 +317,7 @@ impl UpdateScheme for Cord {
         let has_agg = self
             .agg
             .values()
-            .any(|maps| maps.iter().any(|m| !m.is_empty()));
+            .any(|roles| roles.values().any(|m| !m.is_empty()));
         if (has_agg || !self.queue.is_empty()) && !self.draining {
             self.start_drain(core, sim, osd);
         }
@@ -295,17 +327,18 @@ impl UpdateScheme for Cord {
         let agg_entries: u64 = self
             .agg
             .values()
-            .flat_map(|maps| maps.iter())
+            .flat_map(|roles| roles.values())
             .map(|m| m.len() as u64)
             .sum();
         agg_entries + self.queue.len() as u64 + self.drain_inflight + self.acks.outstanding() as u64
     }
 
     fn memory_usage(&self) -> u64 {
+        // Raw deltas are buffered once per role (not m scaled copies).
         let agg: u64 = self
             .agg
             .values()
-            .flat_map(|maps| maps.iter())
+            .flat_map(|roles| roles.values())
             .map(|m| m.covered_bytes())
             .sum();
         agg + self.queue.iter().map(|q| q.data.len).sum::<u64>()

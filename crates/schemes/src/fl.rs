@@ -130,7 +130,9 @@ impl Fl {
                 let (t_read, old) = core.osds[osd].read_block_range(now, block, off, len);
                 let delta = match (&newest.bytes, old) {
                     (Some(new), Some(old)) => {
-                        tsue_ecfs::Chunk::real(tsue_ec::data_delta(&old, new))
+                        let mut d = tsue_buf::BytesMut::take(new.len());
+                        tsue_ec::data_delta_into(&old, new, d.as_mut());
+                        tsue_ecfs::Chunk::real(d.freeze())
                     }
                     _ => tsue_ecfs::Chunk::ghost(len),
                 };

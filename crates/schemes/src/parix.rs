@@ -120,15 +120,23 @@ impl Parix {
                 let t2 = self
                     .log
                     .read(core, osd, t1, off.wrapping_mul(2654435761), newest.len);
-                // delta = latest ⊕ original over this range.
-                let mut delta = newest.clone();
-                if let Some(buf) = delta.bytes.as_mut() {
-                    let mut old = vec![0u8; buf.len()];
-                    let covered = log_state.original.overlay(off, delta.len, Some(&mut old));
-                    debug_assert!(covered, "original must cover latest");
-                    tsue_gf::xor_slice(&old, buf);
-                }
-                let pd = delta.gf_scaled(coeff);
+                // delta = latest ⊕ original over this range, built in one
+                // pooled scratch buffer and GF-scaled in place (the buffer
+                // is uniquely owned, so no second buffer materializes).
+                let delta = match &newest.bytes {
+                    Some(latest) => {
+                        let mut buf = tsue_buf::BytesMut::zeroed(latest.len());
+                        let covered =
+                            log_state
+                                .original
+                                .overlay(off, newest.len, Some(buf.as_mut()));
+                        debug_assert!(covered, "original must cover latest");
+                        tsue_gf::xor_slice(latest, buf.as_mut());
+                        Chunk::real(buf.freeze())
+                    }
+                    None => Chunk::ghost(newest.len),
+                };
+                let pd = delta.into_gf_scaled(coeff);
                 let compute = core.gf_time(pd.len);
                 let t_done = core.osds[osd].xor_block_range(
                     t2,

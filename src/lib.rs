@@ -7,6 +7,8 @@
 //!
 //! * [`gf`] / [`ec`] — GF(2^8) algebra and the systematic Reed–Solomon
 //!   codec with the paper's incremental-update equations.
+//! * [`buf`] — shared byte buffers (`Bytes`/`BytesMut`) and the recycling
+//!   buffer pool behind the zero-copy data plane.
 //! * [`sim`] — deterministic discrete-event kernel (virtual time).
 //! * [`device`] / [`net`] — SSD (FTL + wear) / HDD and network fabric
 //!   models that substitute for the paper's Chameleon testbed.
@@ -19,6 +21,7 @@
 //!   and table.
 
 pub use tsue_bench as bench;
+pub use tsue_buf as buf;
 pub use tsue_core as core;
 pub use tsue_device as device;
 pub use tsue_ec as ec;

@@ -1,0 +1,50 @@
+//! Golden equivalence: the zero-copy data plane must be **observationally
+//! invisible**. `tests/golden/*.json` holds the `{spec, result}` outcomes
+//! captured from the pre-refactor (`Vec`-chunk, allocating-kernel) build;
+//! re-running the same scenarios through the shared-buffer path must
+//! reproduce them byte for byte — same virtual-time behavior, same device
+//! and network accounting, same serialized output.
+//!
+//! To re-capture after an *intentional* behavior change:
+//! `tsuectl run scenarios/<name>.json --out tests/golden`.
+
+use tsue_repro::bench::{run_scenario, ScenarioOutcome, ScenarioSpec};
+
+fn assert_golden(scenario_json: &str, golden_json: &str) {
+    let spec: ScenarioSpec = serde_json::from_str(scenario_json).expect("scenario parses");
+    let result = run_scenario(&spec).expect("scenario runs");
+    let outcome = ScenarioOutcome { spec, result };
+    let got = serde_json::to_string_pretty(&outcome).expect("outcome serializes");
+    let want = golden_json;
+    assert!(
+        got == want,
+        "zero-copy run diverged from the pre-refactor golden capture.\n\
+         First differing byte at {}.\n--- golden ---\n{}\n--- got ---\n{}",
+        got.bytes()
+            .zip(want.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or(got.len().min(want.len())),
+        &want[..want.len().min(2000)],
+        &got[..got.len().min(2000)],
+    );
+}
+
+/// `scenarios/smoke.json` (TSUE, flushed — exercises all three log layers
+/// plus the recycle pipeline) is bit-identical to the pre-refactor run.
+#[test]
+fn smoke_scenario_matches_pre_refactor_golden() {
+    assert_golden(
+        include_str!("../scenarios/smoke.json"),
+        include_str!("golden/smoke.json"),
+    );
+}
+
+/// `scenarios/tsue_ablation_o3.json` (breakdown level 3: log pool on, no
+/// DeltaLog, single pool — the two-layer path) is bit-identical too.
+#[test]
+fn ablation_o3_scenario_matches_pre_refactor_golden() {
+    assert_golden(
+        include_str!("../scenarios/tsue_ablation_o3.json"),
+        include_str!("golden/tsue-ablation-o3.json"),
+    );
+}

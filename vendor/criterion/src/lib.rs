@@ -20,6 +20,9 @@ pub use std::hint::black_box;
 struct Settings {
     /// Target wall time for the measured pass.
     measure_for: Duration,
+    /// `--test` smoke mode: run every benchmark body exactly once and skip
+    /// measurement (mirrors real criterion's `cargo bench -- --test`).
+    test_mode: bool,
 }
 
 impl Settings {
@@ -31,6 +34,7 @@ impl Settings {
             .unwrap_or(500u64);
         Settings {
             measure_for: Duration::from_millis(ms),
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -187,6 +191,10 @@ fn run_bench(
         elapsed: Duration::ZERO,
     };
     f(&mut probe);
+    if settings.test_mode {
+        println!("bench {id:<40} ok (--test: one iteration)");
+        return;
+    }
     let per_iter = probe.elapsed.max(Duration::from_nanos(1));
     let iters = (settings.measure_for.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
 

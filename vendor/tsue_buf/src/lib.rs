@@ -1,0 +1,636 @@
+//! Shared byte buffers for the zero-copy data plane.
+//!
+//! Offline stand-in for the `bytes` crate (the build environment has no
+//! registry access), shaped for this workspace's hot path:
+//!
+//! * [`Bytes`] — an immutable, `Arc`-backed byte buffer with O(1)
+//!   [`Bytes::clone`], [`Bytes::slice`], and [`Bytes::split_to`]. Cloning a
+//!   payload to forward it over the simulated network or fold it into a log
+//!   index bumps a refcount instead of copying bytes.
+//! * [`BytesMut`] — a mutable build buffer that [`BytesMut::freeze`]s into a
+//!   [`Bytes`] without copying.
+//! * a thread-local **BufPool** — every `BytesMut` draws its backing `Vec`
+//!   from a per-thread free list and the `Vec` returns there when the last
+//!   `Bytes` referencing it drops, so steady-state traffic recycles a small
+//!   working set instead of hitting the allocator per record.
+//!
+//! The pool keeps hit/miss statistics and the crate counts every *deep*
+//! copy of payload bytes ([`count_copy`]); [`stats`]/[`take_stats`] expose
+//! both so harnesses can report copies-per-op and pool hit rates
+//! (`tsuectl bench`, `BENCH_*.json`).
+//!
+//! Everything is thread-local by design: each simulated cluster runs on one
+//! OS thread, so no locks sit on the hot path and per-run statistics stay
+//! isolated even when scenarios fan out across threads.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Largest buffer the pool retains; anything bigger goes back to the
+/// allocator (keeps a runaway range from pinning memory forever).
+const MAX_POOLED: usize = 8 << 20;
+/// Free-list depth per size class.
+const MAX_PER_CLASS: usize = 32;
+/// Number of power-of-two size classes (2^0 .. 2^23 = 8 MiB).
+const CLASSES: usize = 24;
+
+/// Pool and copy statistics for the current thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufStats {
+    /// `BytesMut` acquisitions served from the free list.
+    pub pool_hits: u64,
+    /// Acquisitions that had to allocate.
+    pub pool_misses: u64,
+    /// Buffers returned to the free list.
+    pub recycled: u64,
+    /// Deep copies of payload bytes (buffer-to-buffer duplication).
+    pub deep_copies: u64,
+    /// Total bytes moved by those deep copies.
+    pub bytes_copied: u64,
+}
+
+impl BufStats {
+    /// Pool hit rate in `[0, 1]`; 0 when nothing was requested.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
+    /// Field-wise difference (`self - earlier`), for windowed accounting.
+    pub fn since(&self, earlier: &BufStats) -> BufStats {
+        BufStats {
+            pool_hits: self.pool_hits - earlier.pool_hits,
+            pool_misses: self.pool_misses - earlier.pool_misses,
+            recycled: self.recycled - earlier.recycled,
+            deep_copies: self.deep_copies - earlier.deep_copies,
+            bytes_copied: self.bytes_copied - earlier.bytes_copied,
+        }
+    }
+}
+
+struct Pool {
+    classes: Vec<Vec<Vec<u8>>>,
+    stats: BufStats,
+}
+
+impl Pool {
+    fn new() -> Self {
+        Pool {
+            classes: (0..CLASSES).map(|_| Vec::new()).collect(),
+            stats: BufStats::default(),
+        }
+    }
+
+    fn class_of(n: usize) -> usize {
+        (n.max(1).next_power_of_two().trailing_zeros() as usize).min(CLASSES - 1)
+    }
+
+    fn get(&mut self, n: usize) -> Vec<u8> {
+        // A buffer's class is derived from its capacity, so the exact class
+        // (and the next one up, for near-boundary requests) always holds
+        // buffers large enough.
+        let cls = Self::class_of(n);
+        for c in cls..(cls + 2).min(CLASSES) {
+            if let Some(pos) = self.classes[c].iter().position(|v| v.capacity() >= n) {
+                self.stats.pool_hits += 1;
+                return self.classes[c].swap_remove(pos);
+            }
+        }
+        self.stats.pool_misses += 1;
+        Vec::with_capacity(n.max(1).next_power_of_two())
+    }
+
+    fn put(&mut self, v: Vec<u8>) {
+        if v.capacity() == 0 || v.capacity() > MAX_POOLED {
+            return;
+        }
+        let cls = Self::class_of(v.capacity());
+        if self.classes[cls].len() < MAX_PER_CLASS {
+            self.stats.recycled += 1;
+            self.classes[cls].push(v);
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::new());
+}
+
+/// Records a deep copy of `bytes` payload bytes in the thread's counters.
+///
+/// Called internally by every copying constructor; exposed so callers that
+/// duplicate payloads outside this crate can keep the accounting honest.
+pub fn count_copy(bytes: u64) {
+    let _ = POOL.try_with(|p| {
+        let mut p = p.borrow_mut();
+        p.stats.deep_copies += 1;
+        p.stats.bytes_copied += bytes;
+    });
+}
+
+/// Snapshot of the current thread's pool/copy statistics.
+pub fn stats() -> BufStats {
+    POOL.try_with(|p| p.borrow().stats).unwrap_or_default()
+}
+
+/// Resets the current thread's statistics to zero (the pool contents stay).
+pub fn reset_stats() {
+    let _ = POOL.try_with(|p| p.borrow_mut().stats = BufStats::default());
+}
+
+/// Returns the current statistics and resets them.
+pub fn take_stats() -> BufStats {
+    POOL.try_with(|p| std::mem::take(&mut p.borrow_mut().stats))
+        .unwrap_or_default()
+}
+
+/// Drops every buffer held by this thread's free list (tests).
+pub fn drain_pool() {
+    let _ = POOL.try_with(|p| {
+        for c in p.borrow_mut().classes.iter_mut() {
+            c.clear();
+        }
+    });
+}
+
+/// Refcounted backing storage; returns its `Vec` to the thread pool when
+/// the last reference drops.
+struct Inner {
+    buf: Vec<u8>,
+    pooled: bool,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if self.pooled {
+            let buf = std::mem::take(&mut self.buf);
+            let _ = POOL.try_with(|p| p.borrow_mut().put(buf));
+        }
+    }
+}
+
+/// An immutable, refcounted byte buffer with O(1) clone/slice/split.
+#[derive(Clone)]
+pub struct Bytes {
+    inner: Arc<Inner>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Self {
+        Bytes {
+            inner: Arc::new(Inner {
+                buf: Vec::new(),
+                pooled: false,
+            }),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Copies `src` into a pool-backed buffer (a counted deep copy).
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        BytesMut::copy_of(src).freeze()
+    }
+
+    /// Length of the view in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Borrow the viewed bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.inner.buf[self.off..self.off + self.len]
+    }
+
+    /// O(1) sub-view of `rel..rel + len` (shares the backing buffer).
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the view.
+    pub fn slice(&self, rel: usize, len: usize) -> Bytes {
+        assert!(rel + len <= self.len, "slice out of range");
+        Bytes {
+            inner: Arc::clone(&self.inner),
+            off: self.off + rel,
+            len,
+        }
+    }
+
+    /// Splits off and returns the first `n` bytes; `self` keeps the rest.
+    /// O(1) — both views share the backing buffer.
+    ///
+    /// # Panics
+    /// Panics if `n > len`.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len, "split_to out of range");
+        let head = self.slice(0, n);
+        self.off += n;
+        self.len -= n;
+        head
+    }
+
+    /// Mutable access when this is the only reference to the backing
+    /// buffer; `None` when shared (callers then copy-on-write).
+    pub fn unique_mut(&mut self) -> Option<&mut [u8]> {
+        let (off, len) = (self.off, self.len);
+        Arc::get_mut(&mut self.inner).map(|i| &mut i.buf[off..off + len])
+    }
+
+    /// Extends this view over `next` **without copying** when `next` is the
+    /// contiguous continuation of the same backing buffer; returns whether
+    /// the zero-copy join applied.
+    pub fn try_join(&mut self, next: &Bytes) -> bool {
+        if Arc::ptr_eq(&self.inner, &next.inner) && self.off + self.len == next.off {
+            self.len += next.len;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Appends a copy of `src` in place when this is the sole reference
+    /// and the view ends at the backing buffer's end — `Vec` growth, so a
+    /// run built by repeated appends costs amortized O(total), not
+    /// O(run²). Returns whether the (counted) in-place append applied.
+    pub fn try_extend_from_slice(&mut self, src: &[u8]) -> bool {
+        let (off, len) = (self.off, self.len);
+        match Arc::get_mut(&mut self.inner) {
+            Some(inner) if off + len == inner.buf.len() => {
+                inner.buf.extend_from_slice(src);
+                self.len += src.len();
+                count_copy(src.len() as u64);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Bytes(len={}, refs={})",
+            self.len,
+            Arc::strong_count(&self.inner)
+        )
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+/// Adopts an existing allocation (no copy, not pool-backed on drop — the
+/// `Vec` was never drawn from the pool, but it *is* retained by it once
+/// every reference drops, seeding the free list).
+impl From<Vec<u8>> for Bytes {
+    fn from(buf: Vec<u8>) -> Self {
+        let len = buf.len();
+        Bytes {
+            inner: Arc::new(Inner { buf, pooled: true }),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(m: BytesMut) -> Self {
+        m.freeze()
+    }
+}
+
+/// Copies a borrowed slice (counted).
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Self {
+        Bytes::copy_from_slice(src)
+    }
+}
+
+/// A mutable build buffer drawing from (and returning to) the thread pool.
+pub struct BytesMut {
+    buf: Vec<u8>,
+    /// Armed until `freeze` transfers ownership of the backing `Vec`.
+    live: bool,
+}
+
+impl BytesMut {
+    /// Acquires a buffer of exactly `n` bytes.
+    ///
+    /// Contents are unspecified when the pool serves a recycled buffer of
+    /// sufficient length (callers about to overwrite every byte skip the
+    /// zeroing); the grown region of a fresh or short buffer reads zero.
+    pub fn take(n: usize) -> Self {
+        let mut buf = POOL
+            .try_with(|p| p.borrow_mut().get(n))
+            .unwrap_or_else(|_| Vec::with_capacity(n));
+        // Shrinking never zeroes; growing zero-extends.
+        buf.resize(n, 0);
+        BytesMut { buf, live: true }
+    }
+
+    /// Acquires a buffer of `n` bytes, all zero.
+    pub fn zeroed(n: usize) -> Self {
+        let mut m = Self::take(n);
+        m.buf.fill(0);
+        m
+    }
+
+    /// Copies `src` into a fresh buffer (a counted deep copy). One pool
+    /// access covers both the acquisition and the copy accounting.
+    pub fn copy_of(src: &[u8]) -> Self {
+        let n = src.len();
+        let mut buf = POOL
+            .try_with(|p| {
+                let mut p = p.borrow_mut();
+                p.stats.deep_copies += 1;
+                p.stats.bytes_copied += n as u64;
+                p.get(n)
+            })
+            .unwrap_or_else(|_| Vec::with_capacity(n));
+        buf.resize(n, 0);
+        buf.copy_from_slice(src);
+        BytesMut { buf, live: true }
+    }
+
+    /// Current length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Resizes in place (growth zero-fills).
+    pub fn resize(&mut self, n: usize) {
+        self.buf.resize(n, 0);
+    }
+
+    /// Appends a copy of `src` (a counted deep copy).
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+        count_copy(src.len() as u64);
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying; the backing
+    /// buffer returns to the pool when the last reference drops.
+    pub fn freeze(mut self) -> Bytes {
+        self.live = false;
+        let buf = std::mem::take(&mut self.buf);
+        let len = buf.len();
+        Bytes {
+            inner: Arc::new(Inner { buf, pooled: true }),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl Drop for BytesMut {
+    fn drop(&mut self) {
+        if self.live {
+            let buf = std::mem::take(&mut self.buf);
+            let _ = POOL.try_with(|p| p.borrow_mut().put(buf));
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    #[inline]
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut(len={})", self.buf.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_and_split_share_storage() {
+        let b = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let s = b.slice(8, 8);
+        assert_eq!(s.as_slice(), &(8u8..16).collect::<Vec<u8>>()[..]);
+        let mut rest = b.clone();
+        let head = rest.split_to(4);
+        assert_eq!(head.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(rest.len(), 28);
+        assert_eq!(rest[0], 4);
+        // All views share one allocation.
+        assert!(Arc::ptr_eq(&b.inner, &s.inner));
+    }
+
+    #[test]
+    fn clone_is_refcount_only() {
+        reset_stats();
+        let b = Bytes::from(vec![7u8; 4096]);
+        let clones: Vec<Bytes> = (0..64).map(|_| b.clone()).collect();
+        assert_eq!(stats().deep_copies, 0, "clones must not copy");
+        assert!(clones.iter().all(|c| c.as_slice() == b.as_slice()));
+    }
+
+    #[test]
+    fn unique_mut_respects_sharing() {
+        let mut b = Bytes::from(vec![1u8; 8]);
+        assert!(b.unique_mut().is_some(), "sole owner gets mutable access");
+        let c = b.clone();
+        assert!(b.unique_mut().is_none(), "shared buffer must not mutate");
+        drop(c);
+        b.unique_mut().unwrap()[0] = 9;
+        assert_eq!(b[0], 9);
+    }
+
+    #[test]
+    fn try_join_is_zero_copy_for_contiguous_slices() {
+        reset_stats();
+        let whole = Bytes::from((0u8..16).collect::<Vec<u8>>());
+        let mut a = whole.slice(0, 8);
+        let b = whole.slice(8, 8);
+        assert!(a.try_join(&b));
+        assert_eq!(a.as_slice(), whole.as_slice());
+        assert_eq!(stats().deep_copies, 0);
+        // Non-contiguous or foreign buffers refuse.
+        let mut x = whole.slice(0, 4);
+        assert!(!x.try_join(&whole.slice(8, 4)));
+        assert!(!x.try_join(&Bytes::from(vec![0u8; 4])));
+    }
+
+    #[test]
+    fn try_extend_grows_unique_runs_in_place() {
+        reset_stats();
+        let mut run = Bytes::from(vec![1u8; 8]);
+        assert!(run.try_extend_from_slice(&[2u8; 8]));
+        assert_eq!(run.len(), 16);
+        assert_eq!(&run[8..], &[2u8; 8]);
+        let s = stats();
+        assert_eq!((s.deep_copies, s.bytes_copied), (1, 8), "new bytes only");
+        // Shared buffers refuse (copy-on-write is the caller's problem)…
+        let held = run.clone();
+        assert!(!run.try_extend_from_slice(&[3u8; 4]));
+        drop(held);
+        // …as do views that stop short of the buffer end.
+        let mut head = run.slice(0, 4);
+        drop(run);
+        assert!(!head.try_extend_from_slice(&[3u8; 4]));
+    }
+
+    #[test]
+    fn pool_recycles_frozen_buffers() {
+        drain_pool();
+        reset_stats();
+        let m = BytesMut::take(4096);
+        assert_eq!(stats().pool_misses, 1);
+        let b = m.freeze();
+        drop(b); // returns the Vec to the pool
+        assert_eq!(stats().recycled, 1);
+        let _m2 = BytesMut::take(4000); // same size class
+        let s = stats();
+        assert_eq!(s.pool_hits, 1, "second take must hit the free list");
+        assert_eq!(s.pool_misses, 1);
+    }
+
+    #[test]
+    fn pooled_reuse_skips_zeroing_but_fresh_growth_is_zero() {
+        drain_pool();
+        let mut m = BytesMut::take(64);
+        m.as_mut().fill(0xAA);
+        drop(m.freeze());
+        // Recycled buffer: contents unspecified — but a *grown* region of a
+        // short recycled buffer must read zero.
+        let m2 = BytesMut::take(128);
+        assert_eq!(m2.len(), 128);
+        assert!(m2[64..].iter().all(|&x| x == 0));
+        let z = BytesMut::zeroed(64);
+        assert!(z.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn copies_are_counted() {
+        reset_stats();
+        let b = Bytes::copy_from_slice(&[1u8; 100]);
+        let _c = BytesMut::copy_of(&b);
+        let s = stats();
+        assert_eq!(s.deep_copies, 2);
+        assert_eq!(s.bytes_copied, 200);
+        let d = take_stats();
+        assert_eq!(d.deep_copies, 2);
+        assert_eq!(stats(), BufStats::default());
+    }
+
+    #[test]
+    fn stats_since_and_hit_rate() {
+        let a = BufStats {
+            pool_hits: 3,
+            pool_misses: 1,
+            recycled: 2,
+            deep_copies: 5,
+            bytes_copied: 500,
+        };
+        let b = BufStats {
+            pool_hits: 7,
+            pool_misses: 1,
+            recycled: 4,
+            deep_copies: 5,
+            bytes_copied: 500,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.pool_hits, 4);
+        assert_eq!(d.deep_copies, 0);
+        assert!((b.hit_rate() - 7.0 / 8.0).abs() < 1e-12);
+        assert_eq!(BufStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        drain_pool();
+        reset_stats();
+        let m = BytesMut::take(MAX_POOLED * 2);
+        drop(m);
+        assert_eq!(stats().recycled, 0, "oversized buffer must not pool");
+    }
+}
