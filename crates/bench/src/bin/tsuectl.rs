@@ -19,7 +19,8 @@ use tsue_bench::{
     default_registry, render_listing, run_scenario, RunResult, ScenarioOutcome, ScenarioSpec,
     SchemeSpec, TraceKind,
 };
-use tsue_ecfs::{run_workload, Cluster, DeviceKind};
+use tsue_ecfs::{run_workload, Cluster, DeviceKind, PlacementKind};
+use tsue_net::{NetSpec, Topology};
 use tsue_sim::{Sim, MILLISECOND};
 
 const HELP: &str = "tsuectl — run TSUE cluster simulations\n\n\
@@ -27,7 +28,7 @@ subcommands:\n\
   run <scenario.json> [--out DIR]         execute a scenario file\n\
   bench [--quick] [--out FILE]            zero-copy perf-regression report\n\
                                           (micro kernels + materialized cluster runs;\n\
-                                          default output BENCH_03.json)\n\
+                                          default output BENCH_04.json)\n\
   list                                    print registered schemes and bundled scenarios\n\n\
 ad-hoc flags (assembled into a scenario spec):\n\
   --scheme NAME                           update scheme by registry name (default tsue)\n\
@@ -38,6 +39,8 @@ ad-hoc flags (assembled into a scenario spec):\n\
   --trace-csv FILE                        replay a real CSV trace instead\n\
   --device ssd|hdd                        device class (default ssd)\n\
   --net ethernet-25g|infiniband-40g       fabric override (default: by device)\n\
+  --topology flat|rack4|rack4-hot|rack8   fabric shape (default flat switch)\n\
+  --placement flat|rack-aware             block placement policy (default flat)\n\
   --duration-ms N                         measured window (default 2000)\n\
   --file-mb N                             per-client file size (default 12)\n\
   --seed N                                workload seed (default 42)\n\
@@ -71,7 +74,7 @@ fn main() {
 /// `BENCH_NN.json` stake for the trajectory.
 fn bench(rest: &[String]) {
     let mut quick = false;
-    let mut out = String::from("BENCH_03.json");
+    let mut out = String::from("BENCH_04.json");
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -107,6 +110,9 @@ fn bench(rest: &[String]) {
 fn list() {
     print!("{}", render_listing(&default_registry()));
     println!("\ntraces: ali ten src10 src22 proj2 prn1 hm0 usr0 mds0");
+    println!("fabrics: {}", NetSpec::names().join(" "));
+    println!("topologies: {}", Topology::names().join(" "));
+    println!("placements: {}", PlacementKind::names().join(" "));
 }
 
 /// `tsuectl run <scenario.json>` — execute one scenario file.
@@ -190,10 +196,30 @@ fn adhoc(args: &[String]) {
             }
             "--net" => {
                 let v = next(&mut i);
-                spec.net = Some(
-                    tsue_net::NetSpec::by_name(&v)
-                        .unwrap_or_else(|| fail(&format!("unknown fabric '{v}'"))),
-                );
+                spec.net = Some(NetSpec::by_name(&v).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown fabric '{v}' (valid: {})",
+                        NetSpec::names().join(", ")
+                    ))
+                }));
+            }
+            "--topology" => {
+                let v = next(&mut i);
+                spec.topology = Some(Topology::by_name(&v).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown topology '{v}' (valid: {})",
+                        Topology::names().join(", ")
+                    ))
+                }));
+            }
+            "--placement" => {
+                let v = next(&mut i);
+                spec.placement = Some(PlacementKind::parse(&v).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown placement '{v}' (valid: {})",
+                        PlacementKind::names().join(", ")
+                    ))
+                }));
             }
             "--trace" => {
                 let v = next(&mut i);
@@ -293,10 +319,44 @@ fn print_result(spec: &ScenarioSpec, result: &RunResult) {
         result.dev.seq_fraction * 100.0
     );
     println!(
-        "network: payload={:.3} GiB wire={:.3} GiB | peak scheme memory={:.1} MiB | flush={:.2}s",
+        "network: payload={:.3} GiB wire={:.3} GiB (intra-rack {:.3} / cross-rack {:.3}) | \
+         peak scheme memory={:.1} MiB | flush={:.2}s",
         result.net_payload_gib,
         result.net_wire_gib,
+        result.net_intra_gib,
+        result.net_cross_gib,
         result.mem_peak as f64 / (1 << 20) as f64,
         result.flush_s
     );
+    if result.degraded_reads + result.degraded_writes + result.failed_reads > 0 {
+        println!(
+            "degraded: reads={} writes={} | failed reads (data loss)={}",
+            result.degraded_reads, result.degraded_writes, result.failed_reads
+        );
+    }
+    if let Some(rec) = &result.recovery {
+        for p in &rec.phases {
+            println!(
+                "recovery @{}ms kill {:?}: backlog {} | drain {:.0}ms + rebuild {:.0}ms | \
+                 {}/{} blocks rebuilt ({} unrecoverable) | {:.1} MB/s | \
+                 phase traffic intra {:.1} MB / cross {:.1} MB",
+                p.at_ms,
+                p.killed,
+                p.backlog_at_failure,
+                p.drain_ms,
+                p.rebuild_ms,
+                p.blocks_rebuilt,
+                p.blocks_lost,
+                p.blocks_unrecoverable,
+                p.recovery_mb_s,
+                p.intra_rack_mb,
+                p.cross_rack_mb
+            );
+        }
+        println!(
+            "rebuild traffic: intra-rack {:.1} MB, cross-rack {:.1} MB",
+            rec.rebuild_intra_bytes as f64 / 1e6,
+            rec.rebuild_cross_bytes as f64 / 1e6
+        );
+    }
 }

@@ -549,6 +549,12 @@ mod tests {
             mem_peak: 0,
             flush_s: 0.0,
             cache_hits: 0,
+            degraded_reads: 0,
+            degraded_writes: 0,
+            failed_reads: 0,
+            net_intra_gib: 0.0,
+            net_cross_gib: 0.0,
+            recovery: None,
         };
         let rows = lifespan(&[mk("FO", 1300), mk("TSUE", 100)]);
         assert_eq!(rows[0].tsue_lifetime_multiple, 13.0);

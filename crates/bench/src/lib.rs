@@ -269,6 +269,9 @@ impl RunConfig {
             osds: None,
             block_kib: None,
             net: None,
+            topology: None,
+            placement: None,
+            faults: None,
             duration_ms: Some(self.duration_ms),
             ops_per_client: self.ops_per_client,
             file_mb: Some(self.file_mb),
@@ -309,6 +312,21 @@ pub struct RunResult {
     pub flush_s: f64,
     /// Read-cache hits.
     pub cache_hits: u64,
+    /// Reads served via stripe reconstruction while an owner was dead.
+    pub degraded_reads: u64,
+    /// Updates that failed over because their owner was dead (the
+    /// payload is dropped in this model, not replayed after rebuild).
+    pub degraded_writes: u64,
+    /// Reads that failed outright: fewer than `k` survivors remained
+    /// (the data-loss signal under rack-oblivious placement).
+    pub failed_reads: u64,
+    /// Wire traffic that stayed inside a rack, GiB (equals `net_wire_gib`
+    /// on a flat fabric).
+    pub net_intra_gib: f64,
+    /// Wire traffic that crossed racks, GiB.
+    pub net_cross_gib: f64,
+    /// Fault-engine outcome when the scenario scripted faults.
+    pub recovery: Option<tsue_fault::FaultReport>,
 }
 
 /// Serializable device-stats summary.

@@ -193,6 +193,12 @@ mod tests {
             mem_peak: 1 << 20,
             flush_s: 0.1,
             cache_hits: 3,
+            degraded_reads: 0,
+            degraded_writes: 0,
+            failed_reads: 0,
+            net_intra_gib: 0.6,
+            net_cross_gib: 0.0,
+            recovery: None,
         }
     }
 

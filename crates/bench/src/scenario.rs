@@ -29,8 +29,9 @@
 use crate::{mem_probe_start, RunResult, TraceKind};
 use serde::{Deserialize, Serialize, Value};
 use tsue_core::register_tsue;
-use tsue_ecfs::{run_workload, Cluster, ClusterBuilder, DeviceKind, SchemeRegistry};
-use tsue_net::NetSpec;
+use tsue_ecfs::{run_workload, Cluster, ClusterBuilder, DeviceKind, PlacementKind, SchemeRegistry};
+use tsue_fault::{run_plan_to_completion, EngineConfig, FaultEvent, FaultPlan};
+use tsue_net::{NetSpec, Topology};
 use tsue_schemes::register_baselines;
 use tsue_sim::{Sim, MILLISECOND, SECOND};
 
@@ -124,6 +125,14 @@ pub struct ScenarioSpec {
     /// Fabric override; default 25 Gb/s Ethernet on SSD, 40 Gb/s
     /// InfiniBand on HDD.
     pub net: Option<NetSpec>,
+    /// Fabric shape: a profile name (`"rack4"`) or a full
+    /// `{racks, oversubscription, uplink_latency}` object; default flat.
+    pub topology: Option<Topology>,
+    /// Block placement policy (`"flat"` | `"rack-aware"`); default flat.
+    pub placement: Option<PlacementKind>,
+    /// Scripted faults (timed node/rack kills, slowdowns, heals) driving
+    /// online recovery during the run; default none.
+    pub faults: Option<Vec<FaultEvent>>,
     /// Measured window in virtual ms; default 2000.
     pub duration_ms: Option<u64>,
     /// Fixed-work mode: each client issues exactly this many ops and
@@ -159,6 +168,9 @@ impl ScenarioSpec {
             osds: None,
             block_kib: None,
             net: None,
+            topology: None,
+            placement: None,
+            faults: None,
             duration_ms: None,
             ops_per_client: None,
             file_mb: None,
@@ -210,6 +222,24 @@ impl ScenarioSpec {
             DeviceKind::Ssd => NetSpec::ethernet_25g(),
             DeviceKind::Hdd => NetSpec::infiniband_40g(),
         })
+    }
+
+    /// Fabric shape with its default (flat) applied.
+    pub fn topology(&self) -> Topology {
+        self.topology.unwrap_or_default()
+    }
+
+    /// Placement policy with its default (flat) applied.
+    pub fn placement_kind(&self) -> PlacementKind {
+        self.placement.unwrap_or_default()
+    }
+
+    /// The scripted fault plan, when the scenario has one.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        match &self.faults {
+            Some(events) if !events.is_empty() => Some(FaultPlan::new(events.clone())),
+            _ => None,
+        }
     }
 
     /// Measured window in virtual ms with its default applied.
@@ -275,6 +305,30 @@ impl ScenarioSpec {
                 self.name
             ));
         }
+        let topo = self.topology();
+        if topo.racks > self.osds() {
+            return Err(format!(
+                "scenario '{}': {} racks cannot be populated by {} OSDs",
+                self.name,
+                topo.racks,
+                self.osds()
+            ));
+        }
+        if self.placement_kind() == PlacementKind::RackAware
+            && !self.osds().is_multiple_of(topo.racks)
+        {
+            return Err(format!(
+                "scenario '{}': rack-aware placement needs equal racks \
+                 ({} OSDs across {} racks does not divide evenly)",
+                self.name,
+                self.osds(),
+                topo.racks
+            ));
+        }
+        if let Some(plan) = self.fault_plan() {
+            plan.validate(self.osds(), topo.racks)
+                .map_err(|e| format!("scenario '{}': {e}", self.name))?;
+        }
         let params = tsue_ecfs::SchemeParams {
             device: self.device,
             knobs: self.scheme.knobs_value(),
@@ -301,6 +355,8 @@ impl ScenarioSpec {
             .osds(self.osds())
             .block_size(self.block_bytes())
             .net(self.net_spec())
+            .topology(self.topology())
+            .placement(self.placement_kind())
             .file_size_per_client(self.file_mb() << 20)
             .seed(self.seed())
             .workload(&self.trace.profile());
@@ -351,6 +407,11 @@ pub fn run_scenario_with(
     // Window the zero-copy counters to the run itself (setup excluded).
     let buf_start = tsue_buf::stats();
     mem_probe_start(&mut sim);
+    // Scripted faults are installed before the first client op so kill
+    // times line up with the workload clock.
+    let fault_tracker = spec
+        .fault_plan()
+        .map(|plan| tsue_fault::install(&world, &mut sim, &plan, EngineConfig::default()));
     let duration = match spec.ops_per_client {
         // Effectively unbounded window; clients stop on their budget.
         Some(_) => 3_600_000 * MILLISECOND,
@@ -367,6 +428,12 @@ pub fn run_scenario_with(
     let per_second = world.core.metrics.per_second.clone();
     let cache_hits = world.core.metrics.read_cache_hits;
 
+    // Recovery phases may outlive client traffic; run them to completion
+    // (recovery bandwidth is part of the scenario's outcome).
+    if let Some(tracker) = &fault_tracker {
+        run_plan_to_completion(&mut world, &mut sim, tracker);
+    }
+
     let mut flush_s = 0.0;
     if spec.flush_after() {
         let t0 = sim.now();
@@ -381,6 +448,7 @@ pub fn run_scenario_with(
     let (mem_now, _) = world.scheme_memory();
     let mem_peak = world.core.metrics.mem_peak.max(mem_now);
     const GIB: f64 = (1u64 << 30) as f64;
+    let tier = *world.core.net.tier_traffic();
     Ok(RunResult {
         scheme: spec.scheme_display(registry),
         trace: spec.trace.name(),
@@ -396,6 +464,12 @@ pub fn run_scenario_with(
         mem_peak,
         flush_s,
         cache_hits,
+        degraded_reads: world.core.metrics.degraded_reads,
+        degraded_writes: world.core.metrics.degraded_writes,
+        failed_reads: world.core.metrics.failed_reads,
+        net_intra_gib: tier.intra_wire as f64 / GIB,
+        net_cross_gib: tier.cross_wire as f64 / GIB,
+        recovery: fault_tracker.map(|t| t.borrow().report.clone()),
     })
 }
 
@@ -496,6 +570,10 @@ pub fn bundled_scenarios() -> &'static [(&'static str, &'static str)] {
         (
             "scenarios/hdd_msr_parix.json",
             include_str!("../../../scenarios/hdd_msr_parix.json"),
+        ),
+        (
+            "scenarios/rack_failure_online.json",
+            include_str!("../../../scenarios/rack_failure_online.json"),
         ),
     ]
 }

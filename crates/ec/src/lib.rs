@@ -178,6 +178,61 @@ impl RsCode {
         Ok(())
     }
 
+    /// Reconstructs exactly one missing block into a caller-provided
+    /// buffer, reading the surviving shards by reference — the zero-copy
+    /// recovery decode. `present` pairs each surviving shard's role index
+    /// (`0..k` data, `k..k+m` parity) with its bytes; borrowed slices mean
+    /// survivors can stay in pool-backed shared buffers end to end, and
+    /// `out` is the only buffer written.
+    ///
+    /// # Errors
+    /// Fails if fewer than `k` shards are present, `target` is out of
+    /// range or listed as present, or buffer sizes mismatch.
+    pub fn reconstruct_one(
+        &self,
+        present: &[(usize, &[u8])],
+        target: usize,
+        out: &mut [u8],
+    ) -> Result<(), EcError> {
+        if target >= self.n() {
+            return Err(EcError::BadIndex(target));
+        }
+        if present.len() < self.k {
+            return Err(EcError::TooFewShards {
+                present: present.len(),
+                needed: self.k,
+            });
+        }
+        let use_shards = &present[..self.k];
+        if use_shards
+            .iter()
+            .any(|&(role, shard)| role >= self.n() || role == target || shard.len() != out.len())
+        {
+            return Err(EcError::ShardSizeMismatch);
+        }
+        let use_rows: Vec<usize> = use_shards.iter().map(|&(role, _)| role).collect();
+        let sub = self.generator.select_rows(&use_rows);
+        let decode = sub
+            .inverse()
+            .ok_or_else(|| EcError::InvalidParameters("duplicate survivor roles".into()))?;
+        // Coefficients mapping the chosen survivors straight to `target`:
+        // a decode row for data blocks, generator-row × decode for parity.
+        let coeffs: Vec<u8> = if target < self.k {
+            decode.row(target).to_vec()
+        } else {
+            let eff = self.generator.select_rows(&[target]).mul(&decode);
+            eff.row(0).to_vec()
+        };
+        for (i, &(_, shard)) in use_shards.iter().enumerate() {
+            if i == 0 {
+                tsue_gf::mul_slice(coeffs[i], shard, out);
+            } else {
+                tsue_gf::mul_add_slice(coeffs[i], shard, out);
+            }
+        }
+        Ok(())
+    }
+
     /// Reconstructs all missing shards in place. `shards` must have length
     /// `k + m`; indices `0..k` are data, `k..k+m` parity. Present shards are
     /// `Some`, missing ones `None`.
@@ -507,6 +562,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn reconstruct_one_matches_full_reconstruct() {
+        let rs = RsCode::new(4, 2).unwrap();
+        let data = blocks(4, 32, 13);
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let mut full: Vec<Vec<u8>> = data.clone();
+        full.extend(parity);
+
+        // Rebuild every role from every window of k survivors.
+        for target in 0..6 {
+            let survivors: Vec<(usize, &[u8])> = (0..6)
+                .filter(|&r| r != target)
+                .map(|r| (r, full[r].as_slice()))
+                .collect();
+            for skip in 0..=1 {
+                let chosen: Vec<(usize, &[u8])> =
+                    survivors.iter().copied().skip(skip).take(4).collect();
+                let mut out = vec![0u8; 32];
+                rs.reconstruct_one(&chosen, target, &mut out).unwrap();
+                assert_eq!(out, full[target], "target {target} skip {skip}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_one_rejects_bad_inputs() {
+        let rs = RsCode::new(4, 2).unwrap();
+        let data = blocks(4, 16, 2);
+        let survivors: Vec<(usize, &[u8])> = data
+            .iter()
+            .enumerate()
+            .map(|(r, v)| (r, v.as_slice()))
+            .collect();
+        let mut out = vec![0u8; 16];
+        assert!(matches!(
+            rs.reconstruct_one(&survivors[..3], 5, &mut out),
+            Err(EcError::TooFewShards { .. })
+        ));
+        assert!(matches!(
+            rs.reconstruct_one(&survivors, 9, &mut out),
+            Err(EcError::BadIndex(9))
+        ));
+        // Target listed among the survivors is a caller bug.
+        assert!(rs.reconstruct_one(&survivors, 0, &mut out).is_err());
     }
 
     #[test]

@@ -19,9 +19,9 @@
 //! ```
 
 use crate::registry::{MakeScheme, SchemeError, SchemeParams, SchemeRegistry};
-use crate::{Cluster, ClusterConfig, ComputeSpec, DeviceKind, UpdateScheme};
+use crate::{Cluster, ClusterConfig, ComputeSpec, DeviceKind, PlacementKind, UpdateScheme};
 use tsue_ec::StripeConfig;
-use tsue_net::NetSpec;
+use tsue_net::{NetSpec, Topology};
 use tsue_trace::{TraceOp, WorkloadProfile};
 
 /// Workload installed right after the cluster is provisioned.
@@ -106,6 +106,19 @@ impl ClusterBuilder {
     /// Network fabric parameters.
     pub fn net(mut self, net: NetSpec) -> Self {
         self.cfg.net = net;
+        self
+    }
+
+    /// Fabric shape: flat non-blocking switch (default) or racks behind
+    /// oversubscribed ToR uplinks.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.cfg.topology = topology;
+        self
+    }
+
+    /// Block placement policy (flat round-robin vs rack-aware spread).
+    pub fn placement(mut self, placement: PlacementKind) -> Self {
+        self.cfg.placement = placement;
         self
     }
 

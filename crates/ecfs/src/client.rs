@@ -125,7 +125,16 @@ pub fn client_issue(world: &mut Cluster, sim: &mut Sim<Cluster>, cid: usize) {
             stripe: e.addr.stripe,
             role: e.addr.block,
         };
-        if is_write {
+        if is_write && !core.mds.is_alive(owner) {
+            // Degraded write: the block's home is dead and not yet
+            // rebuilt. The extent completes after the modeled failover
+            // timeout instead of wedging the closed loop; its payload is
+            // NOT applied anywhere in this model (journal-and-replay
+            // durability is a roadmap item), so materialized correctness
+            // checks do not span failure windows.
+            core.metrics.degraded_writes += 1;
+            crate::fail_over_ack(sim, op_id);
+        } else if is_write {
             let data = if core.cfg.materialize {
                 // Generate straight into a pool-recycled buffer: the
                 // payload is born zero-copy and travels by refcount from
@@ -166,6 +175,25 @@ pub fn client_issue(world: &mut Cluster, sim: &mut Sim<Cluster>, cid: usize) {
     }
 }
 
+/// Re-dispatches a read whose owner died while the request was on the
+/// wire: after the failover timeout the client retries it as a regular
+/// degraded read (survivor range-reads + decode). No-op when the op was
+/// already reaped.
+pub(crate) fn retry_degraded_read(
+    world: &mut Cluster,
+    sim: &mut Sim<Cluster>,
+    op_id: u64,
+    block: BlockId,
+    off: u64,
+    len: u64,
+) {
+    let Some(cid) = world.core.pending.client_of(op_id) else {
+        return;
+    };
+    let gstripe = world.core.global_stripe(block.file, block.stripe);
+    degraded_read(&mut world.core, sim, cid, op_id, gstripe, block, off, len);
+}
+
 /// Serves a read extent whose owner is dead: range reads from `k` live
 /// blocks of the stripe, transfers to the client, and a decode — the
 /// degraded-read path every erasure-coded file system must provide.
@@ -202,7 +230,15 @@ fn degraded_read(
         ready = ready.max(arrive);
         collected += 1;
     }
-    assert!(collected == k, "not enough survivors for degraded read");
+    if collected < k {
+        // Correlated failure beyond the code's tolerance: the range is
+        // unreadable until (unless) more nodes heal. The op completes
+        // with an error after the failover timeout — data-loss windows
+        // must not wedge the client loop.
+        core.metrics.failed_reads += 1;
+        crate::fail_over_ack(sim, op_id);
+        return;
+    }
     let done = ready + core.gf_time(len * k as u64);
     core.metrics.degraded_reads += 1;
     sim.schedule_at(done, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {

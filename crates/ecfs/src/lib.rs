@@ -25,6 +25,7 @@ pub mod logregion;
 pub mod mds;
 pub mod metrics;
 pub mod osd;
+pub mod placement;
 pub mod rangemap;
 pub mod recovery;
 pub mod registry;
@@ -36,8 +37,12 @@ pub use client::{client_issue, start_clients, ClientState};
 pub use mds::{FileId, FileMeta, Mds};
 pub use metrics::{ArrivalRecord, ClusterMetrics};
 pub use osd::{BlockId, Osd, StoredBlock};
+pub use placement::{FlatPlacement, PlacementKind, PlacementPolicy, RackAwarePlacement};
 pub use rangemap::{Discipline, RangeMap};
-pub use recovery::{fail_node, run_recovery, RecoveryReport};
+pub use recovery::{
+    fail_node, fail_rack, reap_stalled_ops, run_recovery, start_recovery, PhaseStats,
+    RecoveryReport, RecoveryState,
+};
 pub use registry::{
     MakeScheme, RegisteredScheme, SchemeError, SchemeFactory, SchemeParams, SchemeRegistry,
 };
@@ -47,8 +52,8 @@ pub use scheme::{
 pub use verify::{check_consistency, check_data_blocks, check_parity, reference_data};
 
 use tsue_device::{Device, HddModel, SsdModel};
-use tsue_ec::{RsCode, StripeConfig, StripeLayout};
-use tsue_net::{NetModel, NetSpec, NodeId};
+use tsue_ec::{RsCode, StripeConfig};
+use tsue_net::{NetModel, NetSpec, NodeId, Topology};
 use tsue_sim::{Sim, Time, MICROSECOND, MILLISECOND};
 
 /// Which device model backs each OSD.
@@ -130,6 +135,11 @@ pub struct ClusterConfig {
     pub device_capacity: u64,
     /// Network fabric parameters.
     pub net: NetSpec,
+    /// Fabric shape: flat non-blocking switch or racks behind
+    /// oversubscribed ToR uplinks.
+    pub topology: Topology,
+    /// Block placement policy (rack-oblivious vs rack-aware).
+    pub placement: PlacementKind,
     /// CPU cost model.
     pub compute: ComputeSpec,
     /// Bytes of file data owned by each client.
@@ -154,6 +164,8 @@ impl ClusterConfig {
             device: DeviceKind::Ssd,
             device_capacity: 0,
             net: NetSpec::ethernet_25g(),
+            topology: Topology::flat(),
+            placement: PlacementKind::Flat,
             compute: ComputeSpec::default(),
             file_size_per_client: 16 << 20,
             materialize: false,
@@ -183,8 +195,8 @@ pub struct ClusterCore {
     pub cfg: ClusterConfig,
     /// The Reed–Solomon code shared by all nodes.
     pub rs: RsCode,
-    /// Block placement.
-    pub layout: StripeLayout,
+    /// Block placement policy (see [`placement`]).
+    pub placement: Box<dyn PlacementPolicy>,
     /// The network fabric.
     pub net: NetModel,
     /// One OSD per storage node.
@@ -199,8 +211,8 @@ pub struct ClusterCore {
     pub pending: PendingTable,
     /// Clients stop issuing at this virtual time.
     pub stop_at: Option<Time>,
-    /// Outstanding block-rebuild jobs (recovery engine).
-    pub recovery_pending: u64,
+    /// The online recovery engine's work queue and statistics.
+    pub recovery: RecoveryState,
 }
 
 /// The DES world: core + pluggable per-OSD schemes.
@@ -222,7 +234,7 @@ impl Cluster {
         F: FnMut(usize) -> Box<dyn UpdateScheme>,
     {
         let rs = RsCode::new(cfg.stripe.k, cfg.stripe.m).expect("valid RS parameters");
-        let layout = StripeLayout::new(cfg.osds);
+        let placement = cfg.placement.build(cfg.osds, cfg.topology.racks);
         assert!(
             cfg.osds >= cfg.stripe.k + cfg.stripe.m,
             "cluster smaller than stripe width"
@@ -236,8 +248,8 @@ impl Cluster {
                 / cfg.osds as f64;
             cfg.device_capacity = (raw * 2.0) as u64 + (768 << 20);
         }
-        let total_nodes = cfg.osds + cfg.clients;
-        let net = NetModel::new(cfg.net, total_nodes);
+        let rack_map = cfg.topology.rack_map(cfg.osds, cfg.clients);
+        let net = NetModel::with_topology(cfg.net, cfg.topology, rack_map);
         let osds = (0..cfg.osds)
             .map(|n| {
                 let device = match cfg.device {
@@ -250,7 +262,7 @@ impl Cluster {
         let schemes = (0..cfg.osds).map(|i| Some(make_scheme(i))).collect();
         let core = ClusterCore {
             rs,
-            layout,
+            placement,
             net,
             osds,
             mds: Mds::new(cfg.osds),
@@ -258,7 +270,7 @@ impl Cluster {
             metrics: ClusterMetrics::new(cfg.record_arrivals),
             pending: PendingTable::default(),
             stop_at: None,
-            recovery_pending: 0,
+            recovery: RecoveryState::default(),
             cfg,
         };
         let mut world = Cluster { schemes, core };
@@ -288,11 +300,15 @@ impl Cluster {
         (&mut self.core, &mut self.schemes)
     }
 
-    /// Total pending scheme work across OSDs (0 = all logs drained).
+    /// Total pending scheme work across *live* OSDs (0 = all logs
+    /// drained). A dead node's logs are unreachable and irrelevant — its
+    /// blocks are rebuilt from survivors, not from its logs.
     pub fn total_scheme_backlog(&self) -> u64 {
         self.schemes
             .iter()
-            .map(|s| s.as_ref().map_or(0, |s| s.backlog()))
+            .enumerate()
+            .filter(|&(osd, _)| !self.core.osds[osd].dead)
+            .map(|(_, s)| s.as_ref().map_or(0, |s| s.backlog()))
             .sum()
     }
 
@@ -367,11 +383,15 @@ impl ClusterCore {
         self.cfg.osds + client
     }
 
-    /// OSD hosting `role` of global stripe `stripe`.
+    /// OSD hosting `role` of global stripe `stripe`: the placement
+    /// policy's home unless recovery rebuilt the block elsewhere (the MDS
+    /// rehome table overrides).
     #[inline]
     pub fn owner_of(&self, stripe: u64, role: usize) -> usize {
-        self.layout
-            .node_for(stripe, role, self.cfg.stripe.blocks_per_stripe())
+        let node = self
+            .placement
+            .node_for(stripe, role, self.cfg.stripe.blocks_per_stripe());
+        self.mds.rehomed(stripe, role).unwrap_or(node)
     }
 
     /// OSDs hosting the parity blocks of `stripe`, in parity order.
@@ -482,6 +502,23 @@ impl ClusterCore {
 /// Ack message size on the wire.
 pub const ACK_BYTES: u64 = 64;
 
+/// Modeled failover penalty: how long a client (or peer scheme) waits
+/// before treating a request to a dead node as failed-over — stands in
+/// for connection-refused detection plus the MDS redirect round-trip.
+pub const FAILOVER_DELAY: Time = 500 * MICROSECOND;
+
+/// Completes one extent of `op_id` after [`FAILOVER_DELAY`] — the shared
+/// "request hit a dead node, client gives up on this extent" path used
+/// by degraded writes and unservable reads.
+pub fn fail_over_ack(sim: &mut Sim<Cluster>, op_id: u64) {
+    sim.schedule(
+        FAILOVER_DELAY,
+        move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+            client::client_ack(w, sim, op_id);
+        },
+    );
+}
+
 /// Tracks in-flight client operations.
 #[derive(Default)]
 pub struct PendingTable {
@@ -549,6 +586,25 @@ impl PendingTable {
     /// True when nothing is in flight.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// Ops issued at or before `deadline`, oldest first — candidates for
+    /// the failover watchdog's forced completion.
+    pub fn stalled(&self, deadline: Time) -> Vec<u64> {
+        let mut ids: Vec<(Time, u64)> = self
+            .ops
+            .iter()
+            .filter(|(_, op)| op.issued_at <= deadline)
+            .map(|(&id, op)| (op.issued_at, id))
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Removes an op outright regardless of outstanding extents (failover
+    /// watchdog). Later extent acks for it become no-ops.
+    pub fn force_remove(&mut self, op: u64) -> Option<PendingOp> {
+        self.ops.remove(&op)
     }
 }
 

@@ -1,7 +1,9 @@
 //! The metadata server: file registry, stripe allocation, the page-level
-//! write/update bitmap (§4.3), and node liveness tracking.
+//! write/update bitmap (§4.3), node liveness tracking, and the block
+//! rehome table filled by online recovery (a rebuilt block's new home
+//! overrides the placement policy until the layout is next rebalanced).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// File identifier.
 pub type FileId = u32;
@@ -33,6 +35,8 @@ pub struct Mds {
     written_pages: HashSet<(FileId, u64)>,
     /// Liveness per OSD node.
     alive: Vec<bool>,
+    /// Recovery overrides: `(global stripe, role)` → new home OSD.
+    rehomed: HashMap<(u64, usize), usize>,
 }
 
 impl Mds {
@@ -43,6 +47,7 @@ impl Mds {
             next_stripe: 0,
             written_pages: HashSet::new(),
             alive: vec![true; osds],
+            rehomed: HashMap::new(),
         }
     }
 
@@ -126,6 +131,28 @@ impl Mds {
     /// Indices of all live nodes.
     pub fn live_nodes(&self) -> Vec<usize> {
         (0..self.alive.len()).filter(|&n| self.alive[n]).collect()
+    }
+
+    /// Records that `role` of global stripe `gstripe` now lives on
+    /// `node` (a recovery rebuild landed there).
+    pub fn rehome(&mut self, gstripe: u64, role: usize, node: usize) {
+        self.rehomed.insert((gstripe, role), node);
+    }
+
+    /// The recovery override for `(gstripe, role)`, if any. The empty-map
+    /// fast path keeps this free on the healthy hot path.
+    #[inline]
+    pub fn rehomed(&self, gstripe: u64, role: usize) -> Option<usize> {
+        if self.rehomed.is_empty() {
+            None
+        } else {
+            self.rehomed.get(&(gstripe, role)).copied()
+        }
+    }
+
+    /// Number of rehomed blocks (recovery progress / diagnostics).
+    pub fn rehomed_count(&self) -> usize {
+        self.rehomed.len()
     }
 }
 

@@ -45,6 +45,29 @@ pub struct ClusterMetrics {
     pub mem_peak: u64,
     /// Reads served via stripe reconstruction because the owner was dead.
     pub degraded_reads: u64,
+    /// Updates that failed over because their owner was dead and not yet
+    /// rebuilt: the extent completes as an error and its payload is
+    /// dropped in this model (journal-and-replay is a roadmap item).
+    pub degraded_writes: u64,
+    /// Reads that could not be served at all: the owner was dead and
+    /// fewer than `k` survivors remained (data loss window).
+    pub failed_reads: u64,
+    /// Scheme messages negatively acknowledged because the destination
+    /// OSD was dead (failure-time parity traffic given up on).
+    pub nacked_msgs: u64,
+    /// In-flight client ops force-completed by the failover watchdog
+    /// (modeled client timeout + retry during a failure window).
+    pub reaped_ops: u64,
+    /// Blocks rebuilt by the recovery engine.
+    pub blocks_rebuilt: u64,
+    /// Blocks the recovery engine could not rebuild (fewer than `k`
+    /// survivors — correlated failure exceeded the code's tolerance).
+    pub blocks_unrecoverable: u64,
+    /// Buffer copies the recovery cold path still performs (survivor
+    /// store → pooled shard per rebuild; the decode itself is zero-copy).
+    pub recovery_copies: u64,
+    /// Bytes moved by those recovery copies.
+    pub recovery_bytes_copied: u64,
     /// Deep copies of payload buffers during the run (zero-copy regression
     /// counter; harvested from [`tsue_buf::stats`]).
     pub payload_copies: u64,
@@ -72,6 +95,14 @@ impl ClusterMetrics {
             arrivals: record_arrivals.then(Vec::new),
             mem_peak: 0,
             degraded_reads: 0,
+            degraded_writes: 0,
+            failed_reads: 0,
+            nacked_msgs: 0,
+            reaped_ops: 0,
+            blocks_rebuilt: 0,
+            blocks_unrecoverable: 0,
+            recovery_copies: 0,
+            recovery_bytes_copied: 0,
             payload_copies: 0,
             payload_bytes_copied: 0,
             buf_pool_hits: 0,

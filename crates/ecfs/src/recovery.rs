@@ -1,5 +1,5 @@
 //! Failure injection and data reconstruction (the paper's §5.4 recovery
-//! test).
+//! test), online-capable.
 //!
 //! The measured quantity is recovery *bandwidth*: lost bytes divided by the
 //! wall time from the moment recovery is requested. That window includes
@@ -7,18 +7,41 @@
 //! paper's point: schemes with lazily-recycled logs (PL/PLR/PARIX) stall
 //! recovery behind a recycle storm, while TSUE's real-time recycling leaves
 //! (almost) nothing to drain and recovers at FO speed.
+//!
+//! Two entry modes share the same rebuild machinery:
+//!
+//! * **offline** — [`run_recovery`]: the seed behavior. Traffic has
+//!   stopped; drain all logs, kill the node, rebuild everything, block
+//!   until done.
+//! * **online** — [`start_recovery`] + the [`RecoveryState`] queue inside
+//!   [`crate::ClusterCore`]: rebuild jobs run *through* the simulation with
+//!   bounded concurrency while clients keep issuing (degraded) I/O. The
+//!   `tsue_fault` crate's scripted engine drives this mode, gating the
+//!   rebuild start on the scheme-log drain and reporting per-phase
+//!   bandwidth and cross-rack traffic.
+//!
+//! Rebuilt blocks are *rehomed*: the MDS override table points the block's
+//! role at its new OSD, so degraded reads shrink as the rebuild
+//! progresses. Blocks with fewer than `k` survivors (a correlated failure
+//! beyond the code's tolerance, e.g. a rack kill under rack-oblivious
+//! placement) are counted unrecoverable rather than asserted on — data
+//! loss is a reportable outcome, not a simulator bug.
 
 use crate::osd::BlockId;
 use crate::Cluster;
+use std::collections::VecDeque;
+use tsue_buf::Bytes;
 use tsue_sim::{Sim, Time};
 
-/// Outcome of a recovery run.
+/// Outcome of an offline recovery run.
 #[derive(Clone, Copy, Debug)]
 pub struct RecoveryReport {
     /// Bytes of lost blocks reconstructed.
     pub bytes_rebuilt: u64,
     /// Number of blocks reconstructed.
     pub blocks_rebuilt: u64,
+    /// Blocks that could not be rebuilt (fewer than `k` survivors).
+    pub blocks_unrecoverable: u64,
     /// Time spent draining scheme logs before rebuild could start, ns.
     pub flush_time: Time,
     /// Total recovery wall time (flush + rebuild), ns.
@@ -36,118 +59,328 @@ impl RecoveryReport {
     }
 }
 
-/// Marks a node dead (heartbeat loss). Pending messages to it are dropped.
+/// Per-phase rebuild accounting: one [`start_recovery`] call = one
+/// phase, so overlapping failures (a second kill landing before the
+/// first rebuild finishes) report exact, disjoint counts instead of
+/// global-delta approximations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Blocks this phase enqueued (already-scheduled blocks from an
+    /// overlapping earlier phase are not re-queued or re-counted).
+    pub enqueued: u64,
+    /// Blocks still waiting for a rebuild slot.
+    pub queued: u64,
+    /// Rebuild jobs currently in flight.
+    pub inflight: u64,
+    /// Blocks successfully rebuilt.
+    pub rebuilt: u64,
+    /// Blocks skipped because their home was alive again by the time
+    /// the job ran (the victim healed mid-queue).
+    pub skipped: u64,
+    /// Blocks with fewer than `k` survivors.
+    pub unrecoverable: u64,
+    /// Bytes of reconstructed blocks.
+    pub bytes_rebuilt: u64,
+}
+
+impl PhaseStats {
+    /// Outstanding work for this phase.
+    pub fn pending(&self) -> u64 {
+        self.queued + self.inflight
+    }
+}
+
+/// The online recovery engine: a bounded-concurrency queue of block
+/// rebuild jobs plus cumulative statistics, owned by [`crate::ClusterCore`].
+#[derive(Debug)]
+pub struct RecoveryState {
+    /// Blocks awaiting a rebuild slot, tagged with their phase.
+    queue: VecDeque<(BlockId, u64)>,
+    /// Rebuild jobs currently in flight.
+    inflight: usize,
+    /// Maximum concurrent rebuild jobs (throttles how hard recovery
+    /// competes with client traffic for devices and uplinks).
+    pub concurrency: usize,
+    /// Round-robin cursor for target selection.
+    rr: usize,
+    /// Next phase token handed out by [`start_recovery`].
+    next_phase: u64,
+    /// Per-phase counters, keyed by phase token.
+    phases: std::collections::HashMap<u64, PhaseStats>,
+    /// Targets of rebuilds still in flight, `(gstripe, role, node)`:
+    /// the MDS rehome table only learns a target at completion, so
+    /// concurrent rebuilds of one stripe consult this to avoid doubling
+    /// up on a node or rack. Bounded by `concurrency`.
+    inflight_targets: Vec<(u64, usize, usize)>,
+    /// Blocks currently queued or in flight — overlapping victim sets
+    /// (a rack kill followed by a kill of one of its nodes) must not
+    /// rebuild the same block twice.
+    scheduled: std::collections::HashSet<BlockId>,
+    /// Blocks rebuilt so far (all phases).
+    pub blocks_rebuilt: u64,
+    /// Blocks skipped so far (all phases; see [`PhaseStats::skipped`]).
+    pub blocks_skipped: u64,
+    /// Blocks with fewer than `k` survivors (all phases).
+    pub blocks_unrecoverable: u64,
+    /// Bytes of reconstructed blocks (all phases).
+    pub bytes_rebuilt: u64,
+    /// Rebuild wire bytes that stayed inside a rack.
+    pub intra_rack_bytes: u64,
+    /// Rebuild wire bytes that crossed racks.
+    pub cross_rack_bytes: u64,
+}
+
+impl Default for RecoveryState {
+    fn default() -> Self {
+        RecoveryState {
+            queue: VecDeque::new(),
+            inflight: 0,
+            concurrency: 8,
+            rr: 0,
+            next_phase: 0,
+            phases: std::collections::HashMap::new(),
+            inflight_targets: Vec::new(),
+            scheduled: std::collections::HashSet::new(),
+            blocks_rebuilt: 0,
+            blocks_skipped: 0,
+            blocks_unrecoverable: 0,
+            bytes_rebuilt: 0,
+            intra_rack_bytes: 0,
+            cross_rack_bytes: 0,
+        }
+    }
+}
+
+impl RecoveryState {
+    /// Outstanding work: queued plus in-flight rebuild jobs (all phases).
+    pub fn pending(&self) -> u64 {
+        self.queue.len() as u64 + self.inflight as u64
+    }
+
+    /// This phase's counters (zeroes for an unknown token).
+    pub fn phase_stats(&self, phase: u64) -> PhaseStats {
+        self.phases.get(&phase).copied().unwrap_or_default()
+    }
+
+    fn phase_mut(&mut self, phase: u64) -> &mut PhaseStats {
+        self.phases.entry(phase).or_default()
+    }
+}
+
+/// Marks a node dead (heartbeat loss). Pending messages to it bounce as
+/// failover NACKs (see [`crate::scheme::deliver_msg`]).
 pub fn fail_node(world: &mut Cluster, node: usize) {
     world.core.osds[node].dead = true;
     world.core.mds.mark_dead(node);
 }
 
-/// Runs a full recovery of `victim`'s blocks onto the surviving nodes and
-/// returns the report. Call after client traffic has stopped.
-///
-/// Sequence (mirroring §5.4): drain every scheme's logs (the consistency
-/// prerequisite — logs must merge before reconstruction), fail the node,
-/// rebuild every lost block from `k` survivors, spreading targets
-/// round-robin over live nodes.
-pub fn run_recovery(world: &mut Cluster, sim: &mut Sim<Cluster>, victim: usize) -> RecoveryReport {
-    let t0 = sim.now();
-    // 1. Drain logs so blocks+parity are authoritative.
-    let t_flush = world.flush_all(sim);
-
-    // 2. Fail the node and enumerate its blocks.
-    fail_node(world, victim);
-    let lost: Vec<BlockId> = world.core.osds[victim].blocks.keys().copied().collect();
-    let block_size = world.core.cfg.stripe.block_size;
-    let k = world.core.cfg.stripe.k;
-    let bps = world.core.cfg.stripe.blocks_per_stripe();
-
-    // 3. Schedule one rebuild job per lost block.
-    world.core.recovery_pending = lost.len() as u64;
-    let live: Vec<usize> = world.core.mds.live_nodes();
-    for (i, block) in lost.iter().copied().enumerate() {
-        let target = live[i % live.len()];
-        schedule_rebuild(world, sim, block, victim, target, k, bps, block_size);
+/// Kills every OSD in `rack` (ToR/PDU failure). Returns the victims.
+pub fn fail_rack(world: &mut Cluster, rack: usize) -> Vec<usize> {
+    let victims: Vec<usize> = (0..world.core.cfg.osds)
+        .filter(|&n| world.core.net.rack_of(n) == rack)
+        .collect();
+    for &v in &victims {
+        fail_node(world, v);
     }
-    sim.run_while(world, |w| w.core.recovery_pending > 0);
+    victims
+}
 
-    let total_time = sim.now().saturating_sub(t0);
-    RecoveryReport {
-        bytes_rebuilt: lost.len() as u64 * block_size,
-        blocks_rebuilt: lost.len() as u64,
-        flush_time: t_flush.saturating_sub(t0),
-        total_time,
+/// Failover watchdog sweep: force-completes client ops issued at or
+/// before `deadline` that are still in flight — the modeled client
+/// timeout + retry that keeps closed loops alive through failure windows
+/// no matter what scheme state died with a node. Returns the number of
+/// ops reaped.
+pub fn reap_stalled_ops(world: &mut Cluster, sim: &mut Sim<Cluster>, deadline: Time) -> u64 {
+    let stalled = world.core.pending.stalled(deadline);
+    let mut reaped = 0;
+    for op_id in stalled {
+        let Some(op) = world.core.pending.force_remove(op_id) else {
+            continue;
+        };
+        reaped += 1;
+        world.core.metrics.reaped_ops += 1;
+        world
+            .core
+            .metrics
+            .record_completion(sim.now(), op.issued_at, op.is_write);
+        crate::client::client_issue(world, sim, op.client);
+    }
+    reaped
+}
+
+/// Enqueues a rebuild job for every block homed on the (dead) `victims`
+/// and starts pumping jobs through the engine. Online-safe: client
+/// traffic may keep running; jobs respect [`RecoveryState::concurrency`].
+/// Returns the phase token identifying this batch's
+/// [`RecoveryState::phase_stats`] — overlapping failures each get their
+/// own exact accounting.
+pub fn start_recovery(world: &mut Cluster, sim: &mut Sim<Cluster>, victims: &[usize]) -> u64 {
+    let mut lost: Vec<BlockId> = victims
+        .iter()
+        .flat_map(|&v| world.core.osds[v].blocks.keys().copied())
+        .collect();
+    // Deterministic rebuild order regardless of HashMap iteration.
+    lost.sort_unstable();
+    let rec = &mut world.core.recovery;
+    let phase = rec.next_phase;
+    rec.next_phase += 1;
+    // Skip blocks an overlapping earlier phase already has queued or in
+    // flight (e.g. a rack kill followed by a kill of one of its nodes).
+    lost.retain(|b| rec.scheduled.insert(*b));
+    let stats = rec.phase_mut(phase);
+    stats.enqueued = lost.len() as u64;
+    stats.queued = lost.len() as u64;
+    rec.queue.extend(lost.into_iter().map(|b| (b, phase)));
+    pump_recovery(world, sim);
+    phase
+}
+
+/// Launches queued rebuild jobs until the concurrency limit binds.
+fn pump_recovery(world: &mut Cluster, sim: &mut Sim<Cluster>) {
+    while world.core.recovery.inflight < world.core.recovery.concurrency {
+        let Some((block, phase)) = world.core.recovery.queue.pop_front() else {
+            break;
+        };
+        spawn_rebuild(world, sim, block, phase);
     }
 }
 
-/// Rebuilds one block: k survivor reads → transfers to `target` → decode →
-/// sequential write of the reconstructed block.
-#[allow(clippy::too_many_arguments)]
-fn schedule_rebuild(
-    world: &mut Cluster,
-    sim: &mut Sim<Cluster>,
-    block: BlockId,
-    victim: usize,
-    target: usize,
-    k: usize,
-    bps: usize,
-    block_size: u64,
-) {
+/// Rebuilds one block: `k` survivor range-reads → transfers to the chosen
+/// target → zero-copy decode ([`tsue_ec::RsCode::reconstruct_one`]) →
+/// sequential write of the reconstructed block → rehome. Counts blocks
+/// with too few survivors as unrecoverable instead of panicking.
+fn spawn_rebuild(world: &mut Cluster, sim: &mut Sim<Cluster>, block: BlockId, phase: u64) {
     let now = sim.now();
     let core = &mut world.core;
     let gstripe = core.global_stripe(block.file, block.stripe);
+    let k = core.cfg.stripe.k;
+    let bps = core.cfg.stripe.blocks_per_stripe();
+    let block_size = core.cfg.stripe.block_size;
 
-    // Pick the first k live roles other than the lost one.
-    let mut sources = Vec::with_capacity(k);
+    // The victim may have healed (transient failure) while this job sat
+    // in the queue; nothing to do then.
+    let home = core.owner_of(gstripe, block.role);
+    if core.mds.is_alive(home) && core.osds[home].hosts(block) {
+        core.recovery.blocks_skipped += 1;
+        core.recovery.scheduled.remove(&block);
+        let p = core.recovery.phase_mut(phase);
+        p.queued -= 1;
+        p.skipped += 1;
+        return;
+    }
+
+    // Live peers hosting any role of this stripe are both our survivor
+    // sources and ineligible rebuild targets (one stripe block per node);
+    // in-flight rebuilds of sibling roles likewise reserve their targets.
+    let mut survivors: Vec<(usize, usize)> = Vec::with_capacity(k); // (role, owner)
+    let mut occupied = vec![false; core.cfg.osds];
+    for role in 0..bps {
+        let owner = core.owner_of(gstripe, role);
+        if role == block.role || !core.mds.is_alive(owner) {
+            continue;
+        }
+        occupied[owner] = true;
+        if survivors.len() < k {
+            survivors.push((role, owner));
+        }
+    }
+    for &(gs, _, node) in &core.recovery.inflight_targets {
+        if gs == gstripe {
+            occupied[node] = true;
+        }
+    }
+    if survivors.len() < k {
+        core.recovery.blocks_unrecoverable += 1;
+        core.metrics.blocks_unrecoverable += 1;
+        core.recovery.scheduled.remove(&block);
+        let p = core.recovery.phase_mut(phase);
+        p.queued -= 1;
+        p.unrecoverable += 1;
+        return;
+    }
+
+    // Target: among live, stripe-free nodes (round-robin tie-break),
+    // prefer the rack currently holding the fewest live blocks of this
+    // stripe — rebuilds must not erode the rack-aware spread, or a later
+    // single-rack failure could exceed the code's tolerance even though
+    // placement promised otherwise. (Rack-blind targeting would pile a
+    // dead rack's blocks onto one survivor rack.)
+    let live = core.mds.live_nodes();
+    assert!(!live.is_empty(), "no live nodes left to rebuild onto");
+    let mut rack_load = vec![0u32; core.net.racks()];
     for role in 0..bps {
         if role == block.role {
             continue;
         }
         let owner = core.owner_of(gstripe, role);
-        if owner == victim || !core.mds.is_alive(owner) {
+        if core.mds.is_alive(owner) {
+            rack_load[core.net.rack_of(core.osds[owner].node)] += 1;
+        }
+    }
+    for &(gs, _, node) in &core.recovery.inflight_targets {
+        if gs == gstripe {
+            rack_load[core.net.rack_of(core.osds[node].node)] += 1;
+        }
+    }
+    let start = core.recovery.rr % live.len();
+    let mut target: Option<usize> = None;
+    for i in 0..live.len() {
+        let n = live[(start + i) % live.len()];
+        if occupied[n] {
             continue;
         }
-        sources.push((role, owner));
-        if sources.len() == k {
-            break;
+        let load = rack_load[core.net.rack_of(core.osds[n].node)];
+        if target.is_none_or(|t| load < rack_load[core.net.rack_of(core.osds[t].node)]) {
+            target = Some(n);
         }
     }
-    assert!(
-        sources.len() == k,
-        "not enough survivors to rebuild {block:?}"
-    );
+    // Fallback (every live node already hosts a block of this stripe —
+    // only possible in clusters barely wider than the stripe): accept a
+    // doubled-up node rather than dropping the rebuild.
+    let target = target.unwrap_or(live[start]);
+    core.recovery.rr = core.recovery.rr.wrapping_add(1);
 
-    // Survivor reads + transfers; the rebuild starts when the last shard
-    // arrives at the target.
+    // Survivor reads + transfers; the decode starts when the last shard
+    // arrives at the target. Shards stay pool-backed `Bytes` end to end.
+    // The per-tier split of the rebuild traffic is read back from the
+    // fabric's own accounting (tier deltas around these transfers), so
+    // there is a single source of truth for wire-byte classification.
     let mut ready = now;
-    let mut shard_data: Vec<(usize, Option<Vec<u8>>)> = Vec::with_capacity(k);
-    for &(role, owner) in &sources {
+    let mut shards: Vec<(usize, Bytes)> = Vec::with_capacity(k);
+    let tier0 = *core.net.tier_traffic();
+    for &(role, owner) in &survivors {
         let src_block = BlockId { role, ..block };
         let (t_read, data) = core.osds[owner].read_block_range(now, src_block, 0, block_size);
-        let arrive = core.net.transfer(
-            t_read,
-            core.osds[owner].node,
-            core.osds[target].node,
-            block_size,
-        );
+        let src_node = core.osds[owner].node;
+        let arrive = core
+            .net
+            .transfer(t_read, src_node, core.osds[target].node, block_size);
         ready = ready.max(arrive);
-        // Reconstruction is a cold path; decode works on owned shards.
-        shard_data.push((role, data.map(|b| b.to_vec())));
+        if let Some(bytes) = data {
+            // The store→shard copy at read time is the cold path's one
+            // remaining copy per survivor; the decode below is in-place.
+            core.metrics.recovery_copies += 1;
+            core.metrics.recovery_bytes_copied += block_size;
+            shards.push((role, bytes));
+        }
     }
+    let moved = core.net.tier_traffic().since(&tier0);
+    core.recovery.intra_rack_bytes += moved.intra_wire;
+    core.recovery.cross_rack_bytes += moved.cross_wire;
 
     // Decode cost: k GF multiply-accumulates over the block.
     let t_decoded = ready + core.gf_time(block_size * k as u64);
 
-    // Reconstruct content when materialized.
+    // Reconstruct content when materialized — straight into the target's
+    // new block buffer, survivors borrowed in place.
     let rebuilt: Option<Box<[u8]>> = if core.cfg.materialize {
-        let n = bps;
-        let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
-        for (role, data) in shard_data {
-            shards[role] = data;
-        }
+        let mut out = vec![0u8; block_size as usize].into_boxed_slice();
+        let borrowed: Vec<(usize, &[u8])> =
+            shards.iter().map(|(r, b)| (*r, b.as_slice())).collect();
         core.rs
-            .reconstruct(&mut shards)
-            .expect("enough shards by construction");
-        shards[block.role].take().map(|v| v.into_boxed_slice())
+            .reconstruct_one(&borrowed, block.role, &mut out)
+            .expect("k survivors by construction");
+        Some(out)
     } else {
         None
     };
@@ -164,7 +397,63 @@ fn schedule_rebuild(
             crate::osd::STREAM_BLOCK,
         )
     };
-    sim.schedule_at(t_written, move |w: &mut Cluster, _: &mut Sim<Cluster>| {
-        w.core.recovery_pending -= 1;
+    core.recovery.inflight += 1;
+    core.recovery
+        .inflight_targets
+        .push((gstripe, block.role, target));
+    {
+        let p = core.recovery.phase_mut(phase);
+        p.queued -= 1;
+        p.inflight += 1;
+    }
+    sim.schedule_at(t_written, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+        let core = &mut w.core;
+        core.recovery.inflight -= 1;
+        core.recovery
+            .inflight_targets
+            .retain(|&(gs, r, _)| (gs, r) != (gstripe, block.role));
+        core.recovery.scheduled.remove(&block);
+        core.recovery.blocks_rebuilt += 1;
+        core.recovery.bytes_rebuilt += block_size;
+        core.metrics.blocks_rebuilt += 1;
+        let p = core.recovery.phase_mut(phase);
+        p.inflight -= 1;
+        p.rebuilt += 1;
+        p.bytes_rebuilt += block_size;
+        let gstripe = core.global_stripe(block.file, block.stripe);
+        core.mds.rehome(gstripe, block.role, target);
+        pump_recovery(w, sim);
     });
+}
+
+/// Runs a full **offline** recovery of `victim`'s blocks onto the
+/// surviving nodes and returns the report. Call after client traffic has
+/// stopped.
+///
+/// Sequence (mirroring §5.4): drain every scheme's logs (the consistency
+/// prerequisite — logs must merge before reconstruction), fail the node,
+/// rebuild every lost block from `k` survivors through the shared online
+/// engine with unbounded concurrency, and block until done.
+pub fn run_recovery(world: &mut Cluster, sim: &mut Sim<Cluster>, victim: usize) -> RecoveryReport {
+    let t0 = sim.now();
+    // 1. Drain logs so blocks+parity are authoritative.
+    let t_flush = world.flush_all(sim);
+
+    // 2. Fail the node and rebuild everything it hosted.
+    fail_node(world, victim);
+    world.core.recovery.concurrency = usize::MAX;
+    let phase = start_recovery(world, sim, &[victim]);
+    sim.run_while(world, move |w| {
+        w.core.recovery.phase_stats(phase).pending() > 0
+    });
+
+    let stats = world.core.recovery.phase_stats(phase);
+    let total_time = sim.now().saturating_sub(t0);
+    RecoveryReport {
+        bytes_rebuilt: stats.bytes_rebuilt,
+        blocks_rebuilt: stats.rebuilt,
+        blocks_unrecoverable: stats.unrecoverable,
+        flush_time: t_flush.saturating_sub(t0),
+        total_time,
+    }
 }

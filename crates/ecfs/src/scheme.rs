@@ -273,7 +273,13 @@ pub trait UpdateScheme {
 /// Event shim: deliver an update extent to the owning OSD's scheme.
 pub fn deliver_update(world: &mut Cluster, sim: &mut Sim<Cluster>, osd: usize, req: UpdateReq) {
     if world.core.osds[osd].dead {
-        return; // lost on the wire; failure tests stop traffic first
+        // The owner died while the extent was on the wire. The client
+        // fails over after a timeout instead of hanging the closed loop
+        // forever; the payload is dropped in this model (journal-and-
+        // replay durability is a roadmap item).
+        world.core.metrics.degraded_writes += 1;
+        crate::fail_over_ack(sim, req.op_id);
+        return;
     }
     if world.core.cfg.record_arrivals {
         world
@@ -287,9 +293,28 @@ pub fn deliver_update(world: &mut Cluster, sim: &mut Sim<Cluster>, osd: usize, r
     world.schemes[osd] = Some(s);
 }
 
-/// Event shim: deliver a peer message to an OSD's scheme.
+/// Event shim: deliver a peer message to an OSD's scheme. Tagged
+/// messages addressed to a dead OSD bounce as a NACK: the sender's ack
+/// accounting completes (the stripe simply stays degraded until rebuilt)
+/// instead of wedging the sender's in-flight state forever — the moral
+/// equivalent of a connection-refused failover in the real system.
 pub fn deliver_msg(world: &mut Cluster, sim: &mut Sim<Cluster>, osd: usize, msg: SchemeMsg) {
     if world.core.osds[osd].dead {
+        let bounce = match &msg {
+            SchemeMsg::DataForward { from, tag, .. }
+            | SchemeMsg::DeltaForward { from, tag, .. }
+            | SchemeMsg::Control { from, tag, .. } => Some((*from, *tag)),
+            SchemeMsg::Ack { .. } => None,
+        };
+        if let Some((from, tag)) = bounce {
+            world.core.metrics.nacked_msgs += 1;
+            sim.schedule(
+                crate::FAILOVER_DELAY,
+                move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                    deliver_msg(w, sim, from, SchemeMsg::Ack { tag });
+                },
+            );
+        }
         return;
     }
     let mut s = world.schemes[osd].take().expect("scheme reentrancy");
@@ -319,6 +344,15 @@ pub fn deliver_read(
     len: u64,
 ) {
     if world.core.osds[osd].dead {
+        // Owner died with the read on the wire: after the failover
+        // timeout the client retries it as a real degraded read, paying
+        // the survivor reads, transfers, and decode.
+        sim.schedule(
+            crate::FAILOVER_DELAY,
+            move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                client::retry_degraded_read(w, sim, op_id, block, off, len);
+            },
+        );
         return;
     }
     // Ask the scheme whether its logs cover the range.

@@ -1,0 +1,712 @@
+//! Scripted fault injection driving **online recovery under load**.
+//!
+//! The seed repo could only kill a node *after* traffic stopped
+//! ([`tsue_ecfs::run_recovery`]). Production failures do not wait: Rashmi
+//! et al. (arXiv:1309.0186) show recovery cost is dominated by cross-rack
+//! traffic racing with foreground I/O, and rack-aware maintenance (CNC,
+//! arXiv:1206.4175) changes the picture entirely. This crate supplies the
+//! missing machinery:
+//!
+//! * [`FaultPlan`] — a serializable script of timed [`FaultEvent`]s:
+//!   node kills, whole-rack kills, transient NIC slowdowns, heals.
+//! * [`install`] — schedules the plan into the DES. Kills trigger a
+//!   *phase*: a drain gate (schemes flush their logs while clients keep
+//!   issuing — lazily-recycled schemes pay their recycle storm here),
+//!   then online rebuild through [`tsue_ecfs::RecoveryState`] with
+//!   bounded concurrency, degraded reads shrinking as blocks rehome.
+//! * A failover **watchdog** that force-completes client ops stalled by
+//!   in-flight state lost with a dead node (modeled timeout + retry), so
+//!   every scheme's closed loop survives arbitrary kill timing.
+//! * [`FaultReport`] / [`PhaseReport`] — per-phase recovery bandwidth,
+//!   drain vs rebuild split, unrecoverable-block counts (data loss under
+//!   rack-oblivious placement), and the intra-/cross-rack traffic split.
+
+use serde::{Deserialize, Serialize, Value};
+use std::cell::RefCell;
+use std::rc::Rc;
+use tsue_ecfs::{fail_node, reap_stalled_ops, start_recovery, Cluster};
+use tsue_net::TierTraffic;
+use tsue_sim::{Sim, Time, MILLISECOND};
+
+/// One scripted fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Kill one OSD at `at_ms` (virtual milliseconds).
+    KillNode {
+        /// Trigger time, virtual ms.
+        at_ms: u64,
+        /// Victim OSD index.
+        node: usize,
+    },
+    /// Kill every OSD in a rack at `at_ms` (ToR/PDU failure).
+    KillRack {
+        /// Trigger time, virtual ms.
+        at_ms: u64,
+        /// Victim rack index.
+        rack: usize,
+    },
+    /// Degrade one OSD's NIC by `factor` for `duration_ms` (straggler).
+    SlowNode {
+        /// Trigger time, virtual ms.
+        at_ms: u64,
+        /// Affected OSD index.
+        node: usize,
+        /// Service-time multiplier (`>= 1.0`).
+        factor: f64,
+        /// How long the slowdown lasts, virtual ms.
+        duration_ms: u64,
+    },
+    /// Revive a dead OSD (transient failure over) and clear slowdowns.
+    /// Blocks already rebuilt elsewhere stay rehomed; blocks not yet
+    /// rebuilt become readable again.
+    HealNode {
+        /// Trigger time, virtual ms.
+        at_ms: u64,
+        /// Healed OSD index.
+        node: usize,
+    },
+}
+
+impl FaultEvent {
+    /// Trigger time in virtual milliseconds.
+    pub fn at_ms(&self) -> u64 {
+        match self {
+            FaultEvent::KillNode { at_ms, .. }
+            | FaultEvent::KillRack { at_ms, .. }
+            | FaultEvent::SlowNode { at_ms, .. }
+            | FaultEvent::HealNode { at_ms, .. } => *at_ms,
+        }
+    }
+
+    /// The JSON `kind` tags, for error messages.
+    pub fn kinds() -> &'static [&'static str] {
+        &["kill_node", "kill_rack", "slow_node", "heal_node"]
+    }
+}
+
+// Hand-written serde: events read as tagged objects, e.g.
+// `{"kind": "kill_rack", "at_ms": 400, "rack": 1}` — friendlier scenario
+// JSON than the derive's tuple-variant encoding.
+impl Serialize for FaultEvent {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![];
+        let kind = match self {
+            FaultEvent::KillNode { at_ms, node } => {
+                entries.push(("at_ms".to_string(), Value::UInt(*at_ms)));
+                entries.push(("node".to_string(), Value::UInt(*node as u64)));
+                "kill_node"
+            }
+            FaultEvent::KillRack { at_ms, rack } => {
+                entries.push(("at_ms".to_string(), Value::UInt(*at_ms)));
+                entries.push(("rack".to_string(), Value::UInt(*rack as u64)));
+                "kill_rack"
+            }
+            FaultEvent::SlowNode {
+                at_ms,
+                node,
+                factor,
+                duration_ms,
+            } => {
+                entries.push(("at_ms".to_string(), Value::UInt(*at_ms)));
+                entries.push(("node".to_string(), Value::UInt(*node as u64)));
+                entries.push(("factor".to_string(), Value::Float(*factor)));
+                entries.push(("duration_ms".to_string(), Value::UInt(*duration_ms)));
+                "slow_node"
+            }
+            FaultEvent::HealNode { at_ms, node } => {
+                entries.push(("at_ms".to_string(), Value::UInt(*at_ms)));
+                entries.push(("node".to_string(), Value::UInt(*node as u64)));
+                "heal_node"
+            }
+        };
+        entries.insert(0, ("kind".to_string(), Value::Str(kind.to_string())));
+        Value::Object(entries)
+    }
+}
+
+impl Deserialize for FaultEvent {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        let Value::Object(entries) = v else {
+            return Err(serde::DeError::mismatch("FaultEvent", "object", v));
+        };
+        let kind: String = serde::de_field(entries, "FaultEvent", "kind")?;
+        let known: &[&str] = match kind.as_str() {
+            "kill_node" => &["kind", "at_ms", "node"],
+            "kill_rack" => &["kind", "at_ms", "rack"],
+            "slow_node" => &["kind", "at_ms", "node", "factor", "duration_ms"],
+            "heal_node" => &["kind", "at_ms", "node"],
+            other => {
+                return Err(serde::DeError::unknown_variant(
+                    "FaultEvent",
+                    other,
+                    Self::kinds(),
+                ))
+            }
+        };
+        for (key, _) in entries.iter() {
+            if !known.contains(&key.as_str()) {
+                return Err(serde::DeError::unknown_field("FaultEvent", key, known));
+            }
+        }
+        let at_ms: u64 = serde::de_field(entries, "FaultEvent", "at_ms")?;
+        Ok(match kind.as_str() {
+            "kill_node" => FaultEvent::KillNode {
+                at_ms,
+                node: serde::de_field(entries, "FaultEvent", "node")?,
+            },
+            "kill_rack" => FaultEvent::KillRack {
+                at_ms,
+                rack: serde::de_field(entries, "FaultEvent", "rack")?,
+            },
+            "slow_node" => FaultEvent::SlowNode {
+                at_ms,
+                node: serde::de_field(entries, "FaultEvent", "node")?,
+                factor: serde::de_field(entries, "FaultEvent", "factor")?,
+                duration_ms: serde::de_field(entries, "FaultEvent", "duration_ms")?,
+            },
+            "heal_node" => FaultEvent::HealNode {
+                at_ms,
+                node: serde::de_field(entries, "FaultEvent", "node")?,
+            },
+            _ => unreachable!("kind validated above"),
+        })
+    }
+}
+
+/// A scripted fault schedule.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The timed events (any order; the DES sorts by trigger time).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan from a bare event list.
+    pub fn new(events: Vec<FaultEvent>) -> Self {
+        FaultPlan { events }
+    }
+
+    /// Checks every event against the cluster shape.
+    ///
+    /// # Errors
+    /// Returns a description of the first out-of-range node/rack or
+    /// nonsensical factor.
+    pub fn validate(&self, osds: usize, racks: usize) -> Result<(), String> {
+        for (i, e) in self.events.iter().enumerate() {
+            match *e {
+                FaultEvent::KillNode { node, .. } | FaultEvent::HealNode { node, .. } => {
+                    if node >= osds {
+                        return Err(format!(
+                            "fault #{i}: node {node} out of range (cluster has {osds} OSDs)"
+                        ));
+                    }
+                }
+                FaultEvent::KillRack { rack, .. } => {
+                    if rack >= racks {
+                        return Err(format!(
+                            "fault #{i}: rack {rack} out of range (topology has {racks} racks)"
+                        ));
+                    }
+                }
+                FaultEvent::SlowNode { node, factor, .. } => {
+                    if node >= osds {
+                        return Err(format!(
+                            "fault #{i}: node {node} out of range (cluster has {osds} OSDs)"
+                        ));
+                    }
+                    if factor.is_nan() || factor < 1.0 {
+                        return Err(format!(
+                            "fault #{i}: slowdown factor {factor} must be >= 1.0"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the plan kills anything (i.e. recovery phases will run).
+    pub fn has_kills(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::KillNode { .. } | FaultEvent::KillRack { .. }))
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Drain-gate pump interval: how often dead-node phases re-issue
+    /// `flush` to live schemes while waiting for backlogs to hit zero.
+    pub drain_stride: Time,
+    /// Drain-gate cap in strides: lazily-recycled schemes that cannot
+    /// drain under sustained load start rebuilding anyway after this many
+    /// strides (the recycle storm then competes with the rebuild, which
+    /// is exactly the §5.4 failure mode).
+    pub drain_cap_strides: u32,
+    /// Strides without a new backlog minimum before the gate opens: under
+    /// live traffic the backlog never touches zero (fresh extents keep
+    /// arriving), so the gate opens once the at-failure *storm* has
+    /// drained and the backlog has flattened at its steady-state churn.
+    pub drain_stall_strides: u32,
+    /// Concurrent block-rebuild jobs.
+    pub rebuild_concurrency: usize,
+    /// Completion-poll interval for the rebuild phase.
+    pub poll_period: Time,
+    /// Client ops older than this are force-completed by the watchdog
+    /// (modeled client timeout + retry) while failures are in play.
+    pub op_timeout: Time,
+    /// Watchdog sweep interval.
+    pub watchdog_period: Time,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            drain_stride: 20 * MILLISECOND,
+            drain_cap_strides: 250,
+            drain_stall_strides: 3,
+            rebuild_concurrency: 8,
+            poll_period: 10 * MILLISECOND,
+            op_timeout: 300 * MILLISECOND,
+            watchdog_period: 25 * MILLISECOND,
+        }
+    }
+}
+
+/// One kill event's recovery outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Trigger time, virtual ms.
+    pub at_ms: u64,
+    /// OSDs killed by this event.
+    pub killed: Vec<usize>,
+    /// Scheme-log backlog (live nodes) at the instant of failure.
+    pub backlog_at_failure: u64,
+    /// Virtual ms spent waiting on the scheme-log drain gate.
+    pub drain_ms: f64,
+    /// Virtual ms of the rebuild stage itself.
+    pub rebuild_ms: f64,
+    /// Blocks this phase enqueued for rebuild (blocks an overlapping
+    /// earlier phase already had queued or in flight are not re-counted).
+    pub blocks_lost: u64,
+    /// Blocks successfully rebuilt during this phase.
+    pub blocks_rebuilt: u64,
+    /// Blocks with fewer than `k` survivors (data loss).
+    pub blocks_unrecoverable: u64,
+    /// Blocks skipped because their home healed before rebuild.
+    pub blocks_skipped: u64,
+    /// Bytes reconstructed.
+    pub bytes_rebuilt: u64,
+    /// Recovery bandwidth over the whole phase (drain + rebuild), MB/s.
+    pub recovery_mb_s: f64,
+    /// Wire bytes that stayed intra-rack during the phase (all traffic,
+    /// foreground included).
+    pub intra_rack_mb: f64,
+    /// Wire bytes that crossed racks during the phase.
+    pub cross_rack_mb: f64,
+    /// Degraded reads served while the phase ran.
+    pub degraded_reads: u64,
+}
+
+/// Everything the fault engine observed across the run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// One entry per kill event, in trigger order.
+    pub phases: Vec<PhaseReport>,
+    /// Rebuild-attributed wire bytes that stayed intra-rack.
+    pub rebuild_intra_bytes: u64,
+    /// Rebuild-attributed wire bytes that crossed racks.
+    pub rebuild_cross_bytes: u64,
+}
+
+impl FaultReport {
+    /// Worst (smallest) per-phase recovery bandwidth, MB/s.
+    pub fn min_recovery_mb_s(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.recovery_mb_s)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total blocks the run could not rebuild.
+    pub fn total_unrecoverable(&self) -> u64 {
+        self.phases.iter().map(|p| p.blocks_unrecoverable).sum()
+    }
+}
+
+/// Shared progress state between the engine's scheduled closures and the
+/// harness (which polls [`FaultTracker::finished`]).
+#[derive(Debug, Default)]
+pub struct FaultTracker {
+    /// Kill phases not yet finalized.
+    active_phases: usize,
+    /// The accumulating report.
+    pub report: FaultReport,
+    watchdog_armed: bool,
+}
+
+impl FaultTracker {
+    /// True once every scheduled kill phase has completed its rebuild.
+    pub fn finished(&self) -> bool {
+        self.active_phases == 0
+    }
+}
+
+/// Shared handle to the engine state.
+pub type FaultHandle = Rc<RefCell<FaultTracker>>;
+
+/// Schedules `plan` into the simulation and returns the progress handle.
+/// Call before the workload starts; after the workload drains, keep the
+/// sim running until [`FaultTracker::finished`] (see
+/// [`run_plan_to_completion`]).
+///
+/// # Panics
+/// Panics if the plan fails [`FaultPlan::validate`] against the world.
+pub fn install(
+    world: &Cluster,
+    sim: &mut Sim<Cluster>,
+    plan: &FaultPlan,
+    cfg: EngineConfig,
+) -> FaultHandle {
+    plan.validate(world.core.cfg.osds, world.core.net.racks())
+        .expect("fault plan valid for this cluster");
+    let tracker: FaultHandle = Rc::new(RefCell::new(FaultTracker {
+        active_phases: plan
+            .events
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::KillNode { .. } | FaultEvent::KillRack { .. }))
+            .count(),
+        ..FaultTracker::default()
+    }));
+    for event in plan.events.iter().copied() {
+        let at = event.at_ms() * MILLISECOND;
+        let t = tracker.clone();
+        sim.schedule_at(at, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+            trigger(w, sim, event, t, cfg);
+        });
+    }
+    tracker
+}
+
+/// Runs the simulation until every kill phase has finished (no-op when
+/// the plan had no kills or everything already completed).
+pub fn run_plan_to_completion(world: &mut Cluster, sim: &mut Sim<Cluster>, tracker: &FaultHandle) {
+    let t = tracker.clone();
+    sim.run_while(world, move |_| !t.borrow().finished());
+}
+
+/// Executes one scripted event.
+fn trigger(
+    world: &mut Cluster,
+    sim: &mut Sim<Cluster>,
+    event: FaultEvent,
+    tracker: FaultHandle,
+    cfg: EngineConfig,
+) {
+    match event {
+        FaultEvent::SlowNode {
+            node,
+            factor,
+            duration_ms,
+            ..
+        } => {
+            let until = sim.now() + duration_ms * MILLISECOND;
+            world.core.net.set_slowdown(node, factor, until);
+        }
+        FaultEvent::HealNode { node, .. } => {
+            world.core.osds[node].dead = false;
+            world.core.mds.mark_alive(node);
+            world.core.net.clear_slowdown(node);
+        }
+        FaultEvent::KillNode { at_ms, node } => {
+            fail_node(world, node);
+            phase_start(world, sim, at_ms, vec![node], tracker, cfg);
+        }
+        FaultEvent::KillRack { at_ms, rack } => {
+            let victims = tsue_ecfs::fail_rack(world, rack);
+            phase_start(world, sim, at_ms, victims, tracker, cfg);
+        }
+    }
+}
+
+/// Snapshot taken at phase start, consumed at finalize. Block counts
+/// come from the recovery engine's per-phase stats (exact even when
+/// kill phases overlap); the traffic and degraded-read fields are
+/// whole-cluster deltas over the phase window.
+#[derive(Clone)]
+struct PhaseSnapshot {
+    at_ms: u64,
+    killed: Vec<usize>,
+    t_kill: Time,
+    backlog_at_failure: u64,
+    tier0: TierTraffic,
+    degraded0: u64,
+}
+
+/// Kill landed: snapshot, arm the watchdog, enter the drain gate.
+fn phase_start(
+    world: &mut Cluster,
+    sim: &mut Sim<Cluster>,
+    at_ms: u64,
+    killed: Vec<usize>,
+    tracker: FaultHandle,
+    cfg: EngineConfig,
+) {
+    let snap = PhaseSnapshot {
+        at_ms,
+        killed,
+        t_kill: sim.now(),
+        backlog_at_failure: world.total_scheme_backlog(),
+        tier0: *world.core.net.tier_traffic(),
+        degraded0: world.core.metrics.degraded_reads,
+    };
+    arm_watchdog(world, sim, tracker.clone(), cfg);
+    let best = snap.backlog_at_failure;
+    drain_gate(
+        world,
+        sim,
+        snap,
+        DrainProgress {
+            strides: 0,
+            best,
+            stalled: 0,
+        },
+        tracker,
+        cfg,
+    );
+}
+
+/// Drain-gate loop state.
+#[derive(Clone, Copy)]
+struct DrainProgress {
+    strides: u32,
+    /// Lowest live-scheme backlog observed since the kill.
+    best: u64,
+    /// Consecutive strides without a new minimum.
+    stalled: u32,
+}
+
+/// The failover watchdog: periodically force-completes client ops that
+/// have been in flight longer than `op_timeout` — state lost inside a
+/// dead node must not wedge any scheme's closed loop.
+fn arm_watchdog(
+    world: &mut Cluster,
+    sim: &mut Sim<Cluster>,
+    tracker: FaultHandle,
+    cfg: EngineConfig,
+) {
+    if tracker.borrow().watchdog_armed {
+        return;
+    }
+    tracker.borrow_mut().watchdog_armed = true;
+    let _ = world;
+    watchdog_tick(sim, tracker, cfg);
+}
+
+fn watchdog_tick(sim: &mut Sim<Cluster>, tracker: FaultHandle, cfg: EngineConfig) {
+    sim.schedule(
+        cfg.watchdog_period,
+        move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+            let any_dead = w.core.osds.iter().any(|o| o.dead);
+            // Reap only while a node is actually down: ops merely queued
+            // behind recovery congestion on a healed cluster must run to
+            // their true completion, not be clipped at the timeout.
+            // (Reaped ops are counted separately in `metrics.reaped_ops`.)
+            if any_dead {
+                let deadline = sim.now().saturating_sub(cfg.op_timeout);
+                reap_stalled_ops(w, sim, deadline);
+            }
+            let keep = !tracker.borrow().finished()
+                || (any_dead && (!w.core.pending.is_empty() || w.core.accepting(sim.now())));
+            if keep {
+                watchdog_tick(sim, tracker, cfg);
+            } else {
+                tracker.borrow_mut().watchdog_armed = false;
+            }
+        },
+    );
+}
+
+/// Drain gate: re-issue `flush` to every live scheme each stride until
+/// the at-failure log storm has drained — backlog either reaches zero
+/// (TSUE: almost immediately; traffic stopped) or flattens at its
+/// steady-state churn (live traffic keeps a small rolling backlog) — or
+/// the stride cap fires; then start the rebuild.
+fn drain_gate(
+    world: &mut Cluster,
+    sim: &mut Sim<Cluster>,
+    snap: PhaseSnapshot,
+    mut progress: DrainProgress,
+    tracker: FaultHandle,
+    cfg: EngineConfig,
+) {
+    let backlog = world.total_scheme_backlog();
+    if progress.strides > 0 {
+        if backlog < progress.best {
+            progress.best = backlog;
+            progress.stalled = 0;
+        } else {
+            progress.stalled += 1;
+        }
+    }
+    let storm_drained = backlog == 0 || progress.stalled >= cfg.drain_stall_strides;
+    if storm_drained || progress.strides >= cfg.drain_cap_strides {
+        rebuild_start(world, sim, snap, tracker, cfg);
+        return;
+    }
+    for osd in 0..world.core.cfg.osds {
+        if world.core.osds[osd].dead {
+            continue;
+        }
+        let mut s = world.schemes[osd].take().expect("scheme missing");
+        s.flush(&mut world.core, sim, osd);
+        world.schemes[osd] = Some(s);
+    }
+    progress.strides += 1;
+    sim.schedule(
+        cfg.drain_stride,
+        move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+            drain_gate(w, sim, snap, progress, tracker, cfg);
+        },
+    );
+}
+
+/// Logs drained (or the cap fired): enumerate lost blocks and rebuild
+/// them online, then poll for completion.
+fn rebuild_start(
+    world: &mut Cluster,
+    sim: &mut Sim<Cluster>,
+    snap: PhaseSnapshot,
+    tracker: FaultHandle,
+    cfg: EngineConfig,
+) {
+    let drain_ns = sim.now() - snap.t_kill;
+    world.core.recovery.concurrency = cfg.rebuild_concurrency;
+    let victims = snap.killed.clone();
+    let phase = start_recovery(world, sim, &victims);
+    poll_done(world, sim, snap, drain_ns, phase, tracker, cfg);
+}
+
+fn poll_done(
+    world: &mut Cluster,
+    sim: &mut Sim<Cluster>,
+    snap: PhaseSnapshot,
+    drain_ns: Time,
+    phase: u64,
+    tracker: FaultHandle,
+    cfg: EngineConfig,
+) {
+    if world.core.recovery.phase_stats(phase).pending() > 0 {
+        sim.schedule(
+            cfg.poll_period,
+            move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                poll_done(w, sim, snap, drain_ns, phase, tracker, cfg);
+            },
+        );
+        return;
+    }
+    finalize_phase(world, sim, snap, drain_ns, phase, tracker);
+}
+
+fn finalize_phase(
+    world: &mut Cluster,
+    sim: &mut Sim<Cluster>,
+    snap: PhaseSnapshot,
+    drain_ns: Time,
+    phase: u64,
+    tracker: FaultHandle,
+) {
+    const MB: f64 = 1e6;
+    let core = &world.core;
+    let stats = core.recovery.phase_stats(phase);
+    let total_ns = sim.now().saturating_sub(snap.t_kill).max(1);
+    let tier = core.net.tier_traffic().since(&snap.tier0);
+    let phase = PhaseReport {
+        at_ms: snap.at_ms,
+        killed: snap.killed.clone(),
+        backlog_at_failure: snap.backlog_at_failure,
+        drain_ms: drain_ns as f64 / MILLISECOND as f64,
+        rebuild_ms: (total_ns - drain_ns) as f64 / MILLISECOND as f64,
+        blocks_lost: stats.enqueued,
+        blocks_rebuilt: stats.rebuilt,
+        blocks_unrecoverable: stats.unrecoverable,
+        blocks_skipped: stats.skipped,
+        bytes_rebuilt: stats.bytes_rebuilt,
+        recovery_mb_s: stats.bytes_rebuilt as f64 * 1e9 / total_ns as f64 / MB,
+        intra_rack_mb: tier.intra_wire as f64 / MB,
+        cross_rack_mb: tier.cross_wire as f64 / MB,
+        degraded_reads: core.metrics.degraded_reads - snap.degraded0,
+    };
+    let mut t = tracker.borrow_mut();
+    t.report.phases.push(phase);
+    t.report.rebuild_intra_bytes = core.recovery.intra_rack_bytes;
+    t.report.rebuild_cross_bytes = core.recovery.cross_rack_bytes;
+    t.active_phases -= 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev_json(e: &FaultEvent) -> Value {
+        serde::Serialize::to_value(e)
+    }
+
+    #[test]
+    fn fault_events_round_trip_through_serde() {
+        let events = vec![
+            FaultEvent::KillNode { at_ms: 10, node: 3 },
+            FaultEvent::KillRack { at_ms: 20, rack: 1 },
+            FaultEvent::SlowNode {
+                at_ms: 5,
+                node: 0,
+                factor: 4.0,
+                duration_ms: 50,
+            },
+            FaultEvent::HealNode { at_ms: 90, node: 3 },
+        ];
+        for e in &events {
+            let back = <FaultEvent as serde::Deserialize>::from_value(&ev_json(e)).unwrap();
+            assert_eq!(*e, back);
+        }
+        let plan = FaultPlan::new(events);
+        let v = serde::Serialize::to_value(&plan);
+        let back = <FaultPlan as serde::Deserialize>::from_value(&v).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn unknown_kind_and_fields_fail_loudly() {
+        let bad = Value::Object(vec![
+            ("kind".into(), Value::Str("kill_everything".into())),
+            ("at_ms".into(), Value::UInt(1)),
+        ]);
+        let err = <FaultEvent as serde::Deserialize>::from_value(&bad).unwrap_err();
+        assert!(err.to_string().contains("kill_rack"), "{err}");
+
+        let typo = Value::Object(vec![
+            ("kind".into(), Value::Str("kill_node".into())),
+            ("at_ms".into(), Value::UInt(1)),
+            ("noed".into(), Value::UInt(2)),
+        ]);
+        let err = <FaultEvent as serde::Deserialize>::from_value(&typo).unwrap_err();
+        assert!(err.to_string().contains("noed"), "{err}");
+    }
+
+    #[test]
+    fn plan_validation_checks_ranges() {
+        let plan = FaultPlan::new(vec![FaultEvent::KillRack { at_ms: 1, rack: 7 }]);
+        let err = plan.validate(16, 4).unwrap_err();
+        assert!(err.contains("rack 7"), "{err}");
+        let plan = FaultPlan::new(vec![FaultEvent::SlowNode {
+            at_ms: 1,
+            node: 0,
+            factor: 0.5,
+            duration_ms: 1,
+        }]);
+        assert!(plan.validate(16, 4).is_err());
+        assert!(FaultPlan::default().validate(16, 4).is_ok());
+        assert!(!FaultPlan::default().has_kills());
+    }
+}

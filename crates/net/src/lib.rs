@@ -2,15 +2,26 @@
 //!
 //! Models the paper's testbed interconnects (25 Gb/s Ethernet for the SSD
 //! cluster, 40 Gb/s InfiniBand for the HDD cluster) as full-duplex per-node
-//! NIC resources joined by a non-blocking switch:
+//! NIC resources joined by a switch fabric. Two fabric shapes exist:
 //!
-//! * a transfer serializes on the sender's TX lane and the receiver's RX
-//!   lane (whichever frees later dominates),
-//! * every message additionally pays a fixed RPC/switch latency,
-//! * all bytes are counted globally and per node — the source of the
-//!   Table 1 "NETWORK TRAFFIC" column.
+//! * **flat** (the seed model, [`Topology::flat`]) — a single non-blocking
+//!   switch: a transfer serializes on the sender's TX lane and the
+//!   receiver's RX lane (whichever frees later dominates), plus a fixed
+//!   RPC/switch latency;
+//! * **two-tier** ([`Topology`] with `racks > 1`) — racks of nodes behind
+//!   top-of-rack (ToR) uplinks. Intra-rack transfers behave like the flat
+//!   model; cross-rack transfers additionally serialize on the source
+//!   rack's up-lane and the destination rack's down-lane, whose bandwidth
+//!   is the rack's aggregate host bandwidth divided by the
+//!   *oversubscription* ratio, and pay an extra per-hop uplink latency.
+//!
+//! All bytes are counted globally, per node, and per tier (intra- vs
+//! cross-rack) — the source of the Table 1 "NETWORK TRAFFIC" column and of
+//! the recovery experiments' cross-rack traffic split. Transient per-node
+//! slowdowns (straggler NICs) scale a node's lane service times until a
+//! deadline, for fault-injection scenarios.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use tsue_sim::{FifoResource, Time, MICROSECOND};
 
 /// Identifies a node (OSD, MDS, or client host) on the fabric.
@@ -52,6 +63,12 @@ impl NetSpec {
         }
     }
 
+    /// The canonical names [`NetSpec::by_name`] resolves — error messages
+    /// list these so an unknown `--net` flag fails with the alternatives.
+    pub fn names() -> &'static [&'static str] {
+        &["ethernet-25g", "infiniband-40g"]
+    }
+
     /// Resolves a named fabric profile (`"ethernet-25g"`,
     /// `"infiniband-40g"`); `None` for unknown names.
     pub fn by_name(name: &str) -> Option<Self> {
@@ -59,6 +76,176 @@ impl NetSpec {
             "ethernet-25g" | "ethernet_25g" => Some(Self::ethernet_25g()),
             "infiniband-40g" | "infiniband_40g" => Some(Self::infiniband_40g()),
             _ => None,
+        }
+    }
+}
+
+/// Two-tier fabric shape: racks behind oversubscribed ToR uplinks.
+///
+/// `racks == 1` degenerates to the flat non-blocking switch (no uplink
+/// resources are modeled at all, so flat clusters behave bit-for-bit like
+/// the seed model). Serializes as either a profile name string
+/// (`"flat"`, `"rack4"`, …) or the full field object, mirroring
+/// [`NetSpec`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Topology {
+    /// Number of racks (1 = flat non-blocking switch).
+    pub racks: usize,
+    /// Oversubscription ratio: a rack's aggregate host bandwidth divided
+    /// by its uplink bandwidth. 1.0 = non-blocking core.
+    pub oversubscription: f64,
+    /// Extra one-way latency per cross-rack transfer, ns.
+    pub uplink_latency: Time,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::flat()
+    }
+}
+
+impl Topology {
+    /// The flat non-blocking switch (the seed model).
+    pub fn flat() -> Self {
+        Topology {
+            racks: 1,
+            oversubscription: 1.0,
+            uplink_latency: 0,
+        }
+    }
+
+    /// A typical lightly-oversubscribed 4-rack pod (2:1 uplinks).
+    pub fn rack4() -> Self {
+        Topology {
+            racks: 4,
+            oversubscription: 2.0,
+            uplink_latency: 2 * MICROSECOND,
+        }
+    }
+
+    /// A congested 4-rack pod (8:1 uplinks) — recovery storms hurt here.
+    pub fn rack4_hot() -> Self {
+        Topology {
+            oversubscription: 8.0,
+            ..Self::rack4()
+        }
+    }
+
+    /// An 8-rack pod with 3:1 uplinks.
+    pub fn rack8() -> Self {
+        Topology {
+            racks: 8,
+            oversubscription: 3.0,
+            uplink_latency: 2 * MICROSECOND,
+        }
+    }
+
+    /// The canonical names [`Topology::by_name`] resolves — error
+    /// messages list these so an unknown `--topology` flag fails with
+    /// the alternatives.
+    pub fn names() -> &'static [&'static str] {
+        &["flat", "rack4", "rack4-hot", "rack8"]
+    }
+
+    /// Resolves a named topology profile; `None` for unknown names.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "flat" => Some(Self::flat()),
+            "rack4" => Some(Self::rack4()),
+            "rack4-hot" | "rack4_hot" => Some(Self::rack4_hot()),
+            "rack8" => Some(Self::rack8()),
+            _ => None,
+        }
+    }
+
+    /// Standard rack assignment for a cluster of `osds` storage nodes
+    /// followed by `clients` client hosts (node ids `osds..osds+clients`):
+    /// OSDs fill racks contiguously (adjacent ports on the same ToR, the
+    /// realistic cabling), clients spread round-robin so client load hits
+    /// every uplink evenly.
+    pub fn rack_map(&self, osds: usize, clients: usize) -> Vec<usize> {
+        let mut map = Vec::with_capacity(osds + clients);
+        for i in 0..osds {
+            map.push(i * self.racks / osds.max(1));
+        }
+        for c in 0..clients {
+            map.push(c % self.racks);
+        }
+        map
+    }
+}
+
+impl Serialize for Topology {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("racks".to_string(), Value::UInt(self.racks as u64)),
+            (
+                "oversubscription".to_string(),
+                Value::Float(self.oversubscription),
+            ),
+            (
+                "uplink_latency".to_string(),
+                Value::UInt(self.uplink_latency),
+            ),
+        ])
+    }
+}
+
+// Hand-written so a scenario can say `"topology": "rack4"` (profile name)
+// or pin the full `{racks, oversubscription, uplink_latency}` object.
+impl Deserialize for Topology {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        match v {
+            Value::Str(name) => Self::by_name(name).ok_or_else(|| {
+                serde::DeError::msg(format!(
+                    "unknown topology profile '{name}' (expected one of: {})",
+                    Self::names().join(", ")
+                ))
+            }),
+            Value::Object(entries) => {
+                const KNOWN: &[&str] = &["racks", "oversubscription", "uplink_latency"];
+                for (key, _) in entries.iter() {
+                    if !KNOWN.contains(&key.as_str()) {
+                        return Err(serde::DeError::unknown_field("Topology", key, KNOWN));
+                    }
+                }
+                let topo = Topology {
+                    racks: serde::de_field(entries, "Topology", "racks")?,
+                    oversubscription: serde::de_field::<f64>(
+                        entries,
+                        "Topology",
+                        "oversubscription",
+                    )
+                    .or_else(|_| {
+                        // Absent ⇒ non-blocking uplinks.
+                        match entries.iter().find(|(k, _)| k == "oversubscription") {
+                            Some(_) => Err(serde::DeError::msg(
+                                "Topology.oversubscription: expected number",
+                            )),
+                            None => Ok(1.0),
+                        }
+                    })?,
+                    uplink_latency: match entries.iter().find(|(k, _)| k == "uplink_latency") {
+                        Some((_, v)) => u64::from_value(v)
+                            .map_err(|e| e.in_field("Topology", "uplink_latency"))?,
+                        None => 0,
+                    },
+                };
+                if topo.racks == 0 {
+                    return Err(serde::DeError::msg("Topology.racks must be >= 1"));
+                }
+                if topo.oversubscription.is_nan() || topo.oversubscription < 1.0 {
+                    return Err(serde::DeError::msg(
+                        "Topology.oversubscription must be >= 1.0",
+                    ));
+                }
+                Ok(topo)
+            }
+            other => Err(serde::DeError::mismatch(
+                "Topology",
+                "profile name or object",
+                other,
+            )),
         }
     }
 }
@@ -76,29 +263,125 @@ pub struct NodeTraffic {
     pub rx_msgs: u64,
 }
 
-/// The network: NIC lanes per node plus accounting.
+/// Per-tier traffic split: where on the fabric the bytes travelled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierTraffic {
+    /// Payload bytes that stayed inside one rack.
+    pub intra_payload: u64,
+    /// Wire bytes (payload + headers) that stayed inside one rack.
+    pub intra_wire: u64,
+    /// Payload bytes that crossed the rack boundary.
+    pub cross_payload: u64,
+    /// Wire bytes (payload + headers) that crossed the rack boundary.
+    pub cross_wire: u64,
+}
+
+impl TierTraffic {
+    /// Difference against an earlier snapshot (per-phase accounting).
+    pub fn since(&self, earlier: &TierTraffic) -> TierTraffic {
+        TierTraffic {
+            intra_payload: self.intra_payload - earlier.intra_payload,
+            intra_wire: self.intra_wire - earlier.intra_wire,
+            cross_payload: self.cross_payload - earlier.cross_payload,
+            cross_wire: self.cross_wire - earlier.cross_wire,
+        }
+    }
+}
+
+/// Per-rack uplink counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RackTraffic {
+    /// Wire bytes leaving the rack through its ToR uplink.
+    pub up_bytes: u64,
+    /// Wire bytes entering the rack through its ToR uplink.
+    pub down_bytes: u64,
+}
+
+/// The network: NIC lanes per node, rack uplink lanes, plus accounting.
 #[derive(Debug)]
 pub struct NetModel {
     spec: NetSpec,
+    topo: Topology,
+    rack_of: Vec<usize>,
     tx: Vec<FifoResource>,
     rx: Vec<FifoResource>,
+    /// Per-rack up/down ToR lanes (empty when the fabric is flat).
+    up: Vec<FifoResource>,
+    down: Vec<FifoResource>,
+    /// Per-rack uplink bandwidth, bytes/s (empty when flat).
+    uplink_bw: Vec<u64>,
+    /// Transient straggler model: `(service multiplier, active until)`.
+    slow: Vec<(f64, Time)>,
     traffic: Vec<NodeTraffic>,
+    rack_traffic: Vec<RackTraffic>,
+    tier: TierTraffic,
     total_payload: u64,
     total_wire: u64,
 }
 
 impl NetModel {
-    /// Creates a fabric joining `nodes` endpoints.
+    /// Creates a flat (single non-blocking switch) fabric joining `nodes`
+    /// endpoints — the seed model.
     ///
     /// # Panics
     /// Panics if `nodes == 0`.
     pub fn new(spec: NetSpec, nodes: usize) -> Self {
         assert!(nodes > 0, "network needs at least one node");
+        Self::with_topology(spec, Topology::flat(), vec![0; nodes])
+    }
+
+    /// Creates a two-tier fabric: `rack_of[n]` is node `n`'s rack. Rack
+    /// uplink bandwidth is the rack's aggregate host bandwidth divided by
+    /// `topo.oversubscription`.
+    ///
+    /// # Panics
+    /// Panics if `rack_of` is empty, a rack index is out of range, or a
+    /// rack has no members.
+    pub fn with_topology(spec: NetSpec, topo: Topology, rack_of: Vec<usize>) -> Self {
+        assert!(!rack_of.is_empty(), "network needs at least one node");
+        assert!(topo.racks > 0, "topology needs at least one rack");
+        assert!(
+            topo.oversubscription >= 1.0,
+            "oversubscription below 1.0 would make uplinks faster than hosts"
+        );
+        let nodes = rack_of.len();
+        let mut members = vec![0u64; topo.racks];
+        for &r in &rack_of {
+            assert!(r < topo.racks, "rack index {r} out of range");
+            members[r] += 1;
+        }
+        let (up, down, uplink_bw) = if topo.racks > 1 {
+            assert!(
+                members.iter().all(|&m| m > 0),
+                "every rack needs at least one member"
+            );
+            let bw: Vec<u64> = members
+                .iter()
+                .map(|&m| {
+                    (((spec.bandwidth as f64) * m as f64 / topo.oversubscription) as u64).max(1)
+                })
+                .collect();
+            (
+                vec![FifoResource::new(); topo.racks],
+                vec![FifoResource::new(); topo.racks],
+                bw,
+            )
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
         NetModel {
             spec,
+            topo,
+            rack_of,
             tx: vec![FifoResource::new(); nodes],
             rx: vec![FifoResource::new(); nodes],
+            up,
+            down,
+            uplink_bw,
+            slow: vec![(1.0, 0); nodes],
             traffic: vec![NodeTraffic::default(); nodes],
+            rack_traffic: vec![RackTraffic::default(); topo.racks],
+            tier: TierTraffic::default(),
             total_payload: 0,
             total_wire: 0,
         }
@@ -114,9 +397,51 @@ impl NetModel {
         &self.spec
     }
 
+    /// Topology accessor.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> usize {
+        self.topo.racks
+    }
+
+    /// Rack hosting `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn rack_of(&self, node: NodeId) -> usize {
+        self.rack_of[node]
+    }
+
+    /// Marks `node`'s NIC as degraded: lane service times are multiplied
+    /// by `factor` for transfers starting before `until` (transient
+    /// straggler injection). `factor <= 1.0` (or a past deadline) heals.
+    pub fn set_slowdown(&mut self, node: NodeId, factor: f64, until: Time) {
+        self.slow[node] = (factor.max(1.0), until);
+    }
+
+    /// Clears any active slowdown on `node`.
+    pub fn clear_slowdown(&mut self, node: NodeId) {
+        self.slow[node] = (1.0, 0);
+    }
+
+    /// The slowdown multiplier in force on `node` at `now`.
+    fn slow_factor(&self, node: NodeId, now: Time) -> f64 {
+        let (factor, until) = self.slow[node];
+        if now < until {
+            factor
+        } else {
+            1.0
+        }
+    }
+
     /// Transfers `payload` bytes from `src` to `dst` starting at `now`.
     /// Returns the arrival (fully-received) time. Loopback messages are
-    /// free apart from a nominal latency tick.
+    /// free apart from a nominal latency tick. Cross-rack transfers
+    /// additionally serialize on both rack uplinks and pay the uplink
+    /// latency.
     ///
     /// # Panics
     /// Panics if either endpoint is out of range.
@@ -134,17 +459,59 @@ impl NetModel {
         self.total_payload += payload;
         self.total_wire += wire;
 
+        let (sr, dr) = (self.rack_of[src], self.rack_of[dst]);
+        let cross = sr != dr;
+        if cross {
+            self.tier.cross_payload += payload;
+            self.tier.cross_wire += wire;
+            self.rack_traffic[sr].up_bytes += wire;
+            self.rack_traffic[dr].down_bytes += wire;
+        } else {
+            self.tier.intra_payload += payload;
+            self.tier.intra_wire += wire;
+        }
+
         let service = self.serialization_time(wire);
-        // The message occupies the TX lane, then the RX lane; with a
-        // non-blocking switch the later of the two dominates.
-        let tx_done = self.tx[src].submit(now, service);
-        let rx_done = self.rx[dst].submit(tx_done.saturating_sub(service), service);
-        rx_done.max(tx_done) + self.spec.latency
+        let tx_service = Self::scaled(service, self.slow_factor(src, now));
+        let rx_service = Self::scaled(service, self.slow_factor(dst, now));
+        // The message occupies the TX lane, each rack uplink lane (when
+        // crossing racks), then the RX lane; cut-through forwarding lets
+        // each hop start as soon as the previous one starts delivering, so
+        // with uncontended lanes the slowest hop dominates.
+        let tx_done = self.tx[src].submit(now, tx_service);
+        let mut hop_done = tx_done;
+        let mut extra_latency = 0;
+        if cross {
+            let up_service = self.uplink_time(sr, wire);
+            let down_service = self.uplink_time(dr, wire);
+            let up_done = self.up[sr].submit(hop_done.saturating_sub(up_service), up_service);
+            hop_done = hop_done.max(up_done);
+            let down_done =
+                self.down[dr].submit(hop_done.saturating_sub(down_service), down_service);
+            hop_done = hop_done.max(down_done);
+            extra_latency = self.topo.uplink_latency;
+        }
+        let rx_done = self.rx[dst].submit(hop_done.saturating_sub(rx_service), rx_service);
+        rx_done.max(hop_done) + self.spec.latency + extra_latency
     }
 
-    /// Pure serialization time for `bytes` on one lane.
+    /// Pure serialization time for `bytes` on one NIC lane.
     pub fn serialization_time(&self, bytes: u64) -> Time {
         ((bytes as u128 * 1_000_000_000) / self.spec.bandwidth as u128) as Time
+    }
+
+    /// Serialization time for `bytes` on rack `r`'s uplink.
+    fn uplink_time(&self, r: usize, bytes: u64) -> Time {
+        ((bytes as u128 * 1_000_000_000) / self.uplink_bw[r] as u128) as Time
+    }
+
+    #[inline]
+    fn scaled(service: Time, factor: f64) -> Time {
+        if factor == 1.0 {
+            service
+        } else {
+            (service as f64 * factor) as Time
+        }
     }
 
     /// Total payload bytes moved (excludes headers).
@@ -162,9 +529,21 @@ impl NetModel {
         &self.traffic[node]
     }
 
+    /// Per-tier intra-/cross-rack split.
+    pub fn tier_traffic(&self) -> &TierTraffic {
+        &self.tier
+    }
+
+    /// Per-rack uplink counters.
+    pub fn rack_traffic(&self, rack: usize) -> &RackTraffic {
+        &self.rack_traffic[rack]
+    }
+
     /// Resets counters (between experiment phases) without resetting lanes.
     pub fn reset_counters(&mut self) {
         self.traffic.fill(NodeTraffic::default());
+        self.rack_traffic.fill(RackTraffic::default());
+        self.tier = TierTraffic::default();
         self.total_payload = 0;
         self.total_wire = 0;
     }
@@ -248,6 +627,7 @@ mod tests {
         net.reset_counters();
         assert_eq!(net.total_wire(), 0);
         assert_eq!(net.node_traffic(0).tx_msgs, 0);
+        assert_eq!(net.tier_traffic(), &TierTraffic::default());
     }
 
     #[test]
@@ -255,5 +635,119 @@ mod tests {
     fn out_of_range_endpoint_panics() {
         let mut net = NetModel::new(NetSpec::ethernet_25g(), 2);
         net.transfer(0, 0, 5, 1);
+    }
+
+    fn two_rack_net() -> NetModel {
+        // Nodes 0,1 in rack 0; nodes 2,3 in rack 1; 2:1 oversubscription.
+        let topo = Topology {
+            racks: 2,
+            oversubscription: 2.0,
+            uplink_latency: 3 * MICROSECOND,
+        };
+        NetModel::with_topology(NetSpec::ethernet_25g(), topo, vec![0, 0, 1, 1])
+    }
+
+    #[test]
+    fn tier_accounting_splits_intra_and_cross() {
+        let mut net = two_rack_net();
+        net.transfer(0, 0, 1, 1000); // intra rack 0
+        net.transfer(0, 0, 2, 2000); // cross
+        net.transfer(0, 3, 2, 4000); // intra rack 1
+        let hdr = net.spec().header_bytes;
+        let tier = *net.tier_traffic();
+        assert_eq!(tier.intra_payload, 5000);
+        assert_eq!(tier.cross_payload, 2000);
+        assert_eq!(tier.intra_wire + tier.cross_wire, net.total_wire());
+        assert_eq!(tier.cross_wire, 2000 + hdr);
+        assert_eq!(net.rack_traffic(0).up_bytes, 2000 + hdr);
+        assert_eq!(net.rack_traffic(1).down_bytes, 2000 + hdr);
+        assert_eq!(net.rack_traffic(1).up_bytes, 0);
+    }
+
+    #[test]
+    fn cross_rack_pays_uplink_latency() {
+        let mut a = two_rack_net();
+        let t_intra = a.transfer(0, 0, 1, 1 << 20);
+        let mut b = two_rack_net();
+        let t_cross = b.transfer(0, 0, 2, 1 << 20);
+        assert!(
+            t_cross >= t_intra + 3 * MICROSECOND,
+            "cross-rack hop must add uplink latency: {t_intra} vs {t_cross}"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_uplink_is_the_bottleneck_under_fanin() {
+        // Both rack-0 hosts blast rack 1: aggregate demand 2×NIC, uplink
+        // capacity only 1×NIC (2:1 oversub on a 2-host rack) ⇒ the uplink
+        // serializes what the flat fabric would carry in parallel.
+        let mut flat = NetModel::new(NetSpec::ethernet_25g(), 4);
+        let mut tiered = two_rack_net();
+        let msg = 8 << 20;
+        let mut flat_last = 0;
+        let mut tier_last = 0;
+        for i in 0..8u64 {
+            let src = (i % 2) as usize;
+            let dst = 2 + (i % 2) as usize;
+            flat_last = flat_last.max(flat.transfer(0, src, dst, msg));
+            tier_last = tier_last.max(tiered.transfer(0, src, dst, msg));
+        }
+        assert!(
+            tier_last > flat_last,
+            "contended uplink must be slower than non-blocking: {tier_last} vs {flat_last}"
+        );
+    }
+
+    #[test]
+    fn flat_topology_matches_seed_model_exactly() {
+        let mut seed = NetModel::new(NetSpec::ethernet_25g(), 4);
+        let mut flat =
+            NetModel::with_topology(NetSpec::ethernet_25g(), Topology::flat(), vec![0; 4]);
+        for i in 0..32u64 {
+            let (s, d) = ((i % 4) as usize, ((i + 1) % 4) as usize);
+            assert_eq!(
+                seed.transfer(i * 100, s, d, 1 << 16),
+                flat.transfer(i * 100, s, d, 1 << 16)
+            );
+        }
+    }
+
+    #[test]
+    fn slowdown_inflates_service_until_deadline() {
+        let mut net = NetModel::new(NetSpec::ethernet_25g(), 2);
+        let base = net.transfer(0, 0, 1, 1 << 20);
+        let mut slow = NetModel::new(NetSpec::ethernet_25g(), 2);
+        slow.set_slowdown(0, 4.0, 1_000_000_000);
+        let t = slow.transfer(0, 0, 1, 1 << 20);
+        assert!(t > base, "slowdown must inflate transfers: {base} vs {t}");
+        // Past the deadline the node heals.
+        let healed = slow.transfer(2_000_000_000, 0, 1, 1 << 20) - 2_000_000_000;
+        let fresh = NetModel::new(NetSpec::ethernet_25g(), 2).transfer(0, 0, 1, 1 << 20);
+        assert_eq!(healed, fresh);
+    }
+
+    #[test]
+    fn rack_map_fills_racks_contiguously_and_spreads_clients() {
+        let topo = Topology::rack4();
+        let map = topo.rack_map(16, 4);
+        assert_eq!(
+            &map[..16],
+            &[0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]
+        );
+        assert_eq!(&map[16..], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn topology_by_name_and_serde_round_trip() {
+        for name in Topology::names() {
+            let t = Topology::by_name(name).expect("named profile resolves");
+            let v = serde::Serialize::to_value(&t);
+            let back = <Topology as serde::Deserialize>::from_value(&v).unwrap();
+            assert_eq!(t, back, "{name} round-trips");
+        }
+        assert!(Topology::by_name("mesh").is_none());
+        let err = <Topology as serde::Deserialize>::from_value(&Value::Str("mesh".into()))
+            .expect_err("unknown profile");
+        assert!(err.to_string().contains("rack4"), "{err}");
     }
 }

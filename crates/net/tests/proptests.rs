@@ -1,0 +1,107 @@
+//! Property tests for the two-tier fabric: per-tier byte conservation and
+//! timing sanity across random topologies and transfer schedules.
+
+use proptest::prelude::*;
+use tsue_net::{NetModel, NetSpec, Topology};
+
+/// Normalizes raw draws into a valid topology + node→rack map: rack count
+/// in `1..=4`, oversubscription `>= 1.0`, and every rack populated (the
+/// first `racks` nodes seed one rack each).
+fn make_topology(
+    racks_raw: usize,
+    oversub_halves: u64,
+    lat: u64,
+    mut rack_of: Vec<usize>,
+) -> (Topology, Vec<usize>) {
+    let racks = 1 + racks_raw % 4;
+    let topo = Topology {
+        racks,
+        oversubscription: 1.0 + oversub_halves as f64 / 2.0,
+        uplink_latency: lat,
+    };
+    for (i, r) in rack_of.iter_mut().enumerate() {
+        *r = if i < racks { i } else { *r % racks };
+    }
+    (topo, rack_of)
+}
+
+proptest! {
+    /// Per-tier conservation: intra-rack + cross-rack wire (and payload)
+    /// bytes always sum to the fabric totals, and the totals match the
+    /// per-node TX/RX sums — no bytes appear or vanish between tiers.
+    #[test]
+    fn per_tier_traffic_conservation(
+        racks_raw in 0usize..4,
+        oversub_halves in 0u64..8,
+        lat in 0u64..5_000,
+        rack_raw in proptest::collection::vec(0usize..4, 8..9),
+        transfers in proptest::collection::vec(
+            (0usize..8, 0usize..8, 1u64..1_000_000, 0u64..10_000),
+            1..80,
+        ),
+    ) {
+        let (topo, rack_of) = make_topology(racks_raw, oversub_halves, lat, rack_raw);
+        let mut net = NetModel::with_topology(NetSpec::ethernet_25g(), topo, rack_of);
+        let mut now = 0;
+        let mut expect_payload = 0u64;
+        let mut msgs = 0u64;
+        for (src, dst, bytes, gap) in transfers {
+            now += gap;
+            net.transfer(now, src, dst, bytes);
+            if src != dst {
+                expect_payload += bytes;
+                msgs += 1;
+            }
+        }
+        let tier = *net.tier_traffic();
+        prop_assert_eq!(tier.intra_wire + tier.cross_wire, net.total_wire());
+        prop_assert_eq!(tier.intra_payload + tier.cross_payload, net.total_payload());
+        prop_assert_eq!(net.total_payload(), expect_payload);
+        prop_assert_eq!(
+            net.total_wire(),
+            expect_payload + msgs * net.spec().header_bytes
+        );
+        let tx: u64 = (0..net.nodes()).map(|n| net.node_traffic(n).tx_bytes).sum();
+        let rx: u64 = (0..net.nodes()).map(|n| net.node_traffic(n).rx_bytes).sum();
+        prop_assert_eq!(tx, net.total_wire());
+        prop_assert_eq!(rx, net.total_wire());
+        // Cross-rack wire bytes equal the sum over racks of uplink TX (and
+        // of uplink RX) — the ToR counters see exactly the cross tier.
+        let up: u64 = (0..net.racks()).map(|r| net.rack_traffic(r).up_bytes).sum();
+        let down: u64 = (0..net.racks()).map(|r| net.rack_traffic(r).down_bytes).sum();
+        prop_assert_eq!(up, tier.cross_wire);
+        prop_assert_eq!(down, tier.cross_wire);
+    }
+
+    /// A tiered fabric never beats the flat non-blocking fabric for the
+    /// same transfer schedule, and both respect causality (arrival after
+    /// submission).
+    #[test]
+    fn tiered_fabric_is_never_faster_than_flat(
+        racks_raw in 0usize..4,
+        oversub_halves in 0u64..8,
+        lat in 0u64..5_000,
+        rack_raw in proptest::collection::vec(0usize..4, 6..7),
+        transfers in proptest::collection::vec(
+            (0usize..6, 0usize..6, 1u64..2_000_000, 0u64..20_000),
+            1..60,
+        ),
+    ) {
+        let (topo, rack_of) = make_topology(racks_raw, oversub_halves, lat, rack_raw);
+        let mut flat = NetModel::new(NetSpec::ethernet_25g(), 6);
+        let mut tiered = NetModel::with_topology(NetSpec::ethernet_25g(), topo, rack_of);
+        let mut now = 0;
+        for (src, dst, bytes, gap) in transfers {
+            now += gap;
+            let t_flat = flat.transfer(now, src, dst, bytes);
+            let t_tier = tiered.transfer(now, src, dst, bytes);
+            prop_assert!(t_flat >= now && t_tier >= now, "arrival before submission");
+            prop_assert!(
+                t_tier >= t_flat,
+                "tiered fabric beat the non-blocking switch: {} < {}",
+                t_tier,
+                t_flat
+            );
+        }
+    }
+}

@@ -14,6 +14,8 @@
 //!   models that substitute for the paper's Chameleon testbed.
 //! * [`trace`] — synthetic Ali-Cloud / Ten-Cloud / MSR workload generators.
 //! * [`ecfs`] — the erasure-coded cluster file system (MDS, OSD, Client).
+//! * [`fault`] — scripted fault injection (node/rack kills, stragglers,
+//!   heals) driving online recovery under load.
 //! * [`schemes`] — baseline update schemes: FO, FL, PL, PLR, PARIX, CoRD.
 //! * [`core`] — **TSUE itself**: two-stage update with the three-layer,
 //!   real-time-recycled log-pool structure.
@@ -26,6 +28,7 @@ pub use tsue_core as core;
 pub use tsue_device as device;
 pub use tsue_ec as ec;
 pub use tsue_ecfs as ecfs;
+pub use tsue_fault as fault;
 pub use tsue_gf as gf;
 pub use tsue_net as net;
 pub use tsue_schemes as schemes;

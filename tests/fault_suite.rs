@@ -1,0 +1,180 @@
+//! The fault & topology subsystem, end to end: rack kills under both
+//! placement policies, the §5.4 recovery-bandwidth trend under online
+//! load, and per-tier traffic accounting through the scenario API.
+
+use tsue_repro::bench::{bundled_scenarios, run_scenario, ScenarioSpec, SchemeSpec};
+use tsue_repro::ecfs::PlacementKind;
+
+/// The bundled rack-failure scenario, parsed fresh.
+fn rack_failure_spec() -> ScenarioSpec {
+    let (_, json) = bundled_scenarios()
+        .iter()
+        .find(|(p, _)| p.ends_with("rack_failure_online.json"))
+        .expect("rack failure scenario is bundled");
+    serde_json::from_str(json).expect("bundled scenario parses")
+}
+
+/// Rack-aware placement keeps every stripe within the code's tolerance:
+/// a whole-rack kill rebuilds everything online, with zero unrecoverable
+/// blocks, while degraded reads and the cross-rack split are reported.
+#[test]
+fn rack_kill_under_rack_aware_placement_recovers_everything() {
+    let spec = rack_failure_spec();
+    assert_eq!(spec.placement_kind(), PlacementKind::RackAware);
+    let result = run_scenario(&spec).expect("scenario runs");
+
+    let rec = result.recovery.as_ref().expect("fault plan ran");
+    assert_eq!(rec.phases.len(), 1, "one kill event, one phase");
+    let p = &rec.phases[0];
+    assert_eq!(p.killed.len(), 4, "rack 1 holds 4 of the 16 OSDs");
+    assert!(p.blocks_lost > 0, "the rack hosted blocks");
+    assert_eq!(p.blocks_unrecoverable, 0, "rack-aware survives a rack kill");
+    assert_eq!(
+        p.blocks_rebuilt + p.blocks_skipped,
+        p.blocks_lost,
+        "every lost block is accounted for"
+    );
+    assert!(p.recovery_mb_s > 0.0);
+    assert!(
+        result.degraded_reads > 0,
+        "reads during the outage had to reconstruct"
+    );
+    // Rebuilding across racks necessarily moves cross-rack bytes.
+    assert!(rec.rebuild_cross_bytes > 0);
+    // Tier conservation surfaces in the result: intra + cross == wire.
+    let sum = result.net_intra_gib + result.net_cross_gib;
+    assert!(
+        (sum - result.net_wire_gib).abs() < 1e-9,
+        "tier split must conserve wire bytes: {sum} vs {}",
+        result.net_wire_gib
+    );
+}
+
+/// The same rack kill under rack-oblivious (flat) placement piles more
+/// than `m` blocks of some stripes onto the dead rack: recovery must
+/// report unrecoverable blocks (data loss) instead of crashing, and the
+/// surviving blocks still rebuild.
+#[test]
+fn rack_kill_under_flat_placement_reports_data_loss() {
+    let mut spec = rack_failure_spec();
+    spec.name = "rack-failure-flat".into();
+    spec.placement = Some(PlacementKind::Flat);
+    let result = run_scenario(&spec).expect("scenario runs");
+
+    let rec = result.recovery.as_ref().expect("fault plan ran");
+    let p = &rec.phases[0];
+    assert!(
+        p.blocks_unrecoverable > 0,
+        "flat placement must lose data on a rack kill"
+    );
+    assert!(
+        p.blocks_rebuilt > 0,
+        "stripes within tolerance still rebuild"
+    );
+    assert_eq!(
+        p.blocks_rebuilt + p.blocks_unrecoverable + p.blocks_skipped,
+        p.blocks_lost
+    );
+    assert!(
+        result.failed_reads > 0,
+        "reads of lost ranges must surface as failed reads"
+    );
+}
+
+/// Overlapping kill phases keep exact, disjoint accounting: two node
+/// kills in quick succession (the second lands while the first phase is
+/// still draining/rebuilding) each report their own block set, and the
+/// per-phase identity `rebuilt + skipped + unrecoverable == lost` holds
+/// for both.
+#[test]
+fn overlapping_kill_phases_account_exactly() {
+    let mut spec = rack_failure_spec();
+    spec.name = "double-node-kill".into();
+    // Nodes 0 (rack 0) and 12 (rack 3): two failures stay within m = 2
+    // under rack-aware placement.
+    spec.faults = Some(
+        serde_json::from_str(
+            r#"[
+                {"kind": "kill_node", "at_ms": 300, "node": 0},
+                {"kind": "kill_node", "at_ms": 330, "node": 12}
+            ]"#,
+        )
+        .expect("fault list parses"),
+    );
+    let result = run_scenario(&spec).expect("scenario runs");
+    let rec = result.recovery.as_ref().expect("fault plan ran");
+    assert_eq!(rec.phases.len(), 2, "two kills, two phases");
+    for p in &rec.phases {
+        assert!(p.blocks_lost > 0, "phase {:?} lost blocks", p.killed);
+        assert_eq!(
+            p.blocks_rebuilt + p.blocks_skipped + p.blocks_unrecoverable,
+            p.blocks_lost,
+            "phase {:?} accounting identity",
+            p.killed
+        );
+        assert_eq!(p.blocks_unrecoverable, 0, "two failures within m = 2");
+    }
+}
+
+/// Rebuild targeting preserves the rack-aware spread: after a full rack
+/// dies and rebuilds, a *second* rack failure must still be survivable
+/// (the rebuilt blocks were spread by least-loaded rack, not piled onto
+/// one rack by round-robin).
+#[test]
+fn sequential_rack_kills_stay_survivable_after_rebuild() {
+    let mut spec = rack_failure_spec();
+    spec.name = "double-rack-kill".into();
+    spec.faults = Some(
+        serde_json::from_str(
+            r#"[
+                {"kind": "kill_rack", "at_ms": 300, "rack": 1},
+                {"kind": "kill_rack", "at_ms": 850, "rack": 0}
+            ]"#,
+        )
+        .expect("fault list parses"),
+    );
+    let result = run_scenario(&spec).expect("scenario runs");
+    let rec = result.recovery.as_ref().expect("fault plan ran");
+    assert_eq!(rec.phases.len(), 2);
+    for p in &rec.phases {
+        assert_eq!(
+            p.blocks_unrecoverable, 0,
+            "phase {:?}: rebuilt blocks must keep every stripe within m per rack",
+            p.killed
+        );
+        assert_eq!(
+            p.blocks_rebuilt + p.blocks_skipped,
+            p.blocks_lost,
+            "phase {:?} accounting identity",
+            p.killed
+        );
+    }
+}
+
+/// The §5.4 trend, online: TSUE's real-time recycling leaves (almost)
+/// nothing to drain when the rack dies, so its recovery bandwidth is at
+/// least PL's, whose lazily-recycled parity logs stall the rebuild
+/// behind a recycle storm.
+#[test]
+fn tsue_online_recovery_bandwidth_at_least_pl() {
+    let run = |scheme: &str| {
+        let mut spec = rack_failure_spec();
+        spec.name = format!("rack-failure-{scheme}");
+        spec.scheme = SchemeSpec::named(scheme);
+        let result = run_scenario(&spec).expect("scenario runs");
+        let rec = result.recovery.expect("fault plan ran");
+        let p = &rec.phases[0];
+        assert_eq!(p.blocks_unrecoverable, 0, "{scheme}: rack-aware recovers");
+        (p.recovery_mb_s, p.drain_ms)
+    };
+    let (tsue_bw, tsue_drain) = run("tsue");
+    let (pl_bw, pl_drain) = run("pl");
+    assert!(
+        tsue_bw >= pl_bw,
+        "TSUE must not recover slower than PL: {tsue_bw:.1} vs {pl_bw:.1} MB/s"
+    );
+    assert!(
+        tsue_drain <= pl_drain,
+        "TSUE's drain gate must open no later than PL's: {tsue_drain:.0} vs {pl_drain:.0} ms"
+    );
+}
