@@ -334,6 +334,18 @@ fn print_result(spec: &ScenarioSpec, result: &RunResult) {
             result.degraded_reads, result.degraded_writes, result.failed_reads
         );
     }
+    if result.journaled_writes + result.resync_bytes + result.rehomed_residual > 0 {
+        println!(
+            "durability: journaled {} extents ({:.2} MB), replayed {:.2} MB | \
+             re-sync {:.2} MB, reclaimed {} rehomes ({} residual)",
+            result.journaled_writes,
+            result.journaled_bytes as f64 / 1e6,
+            result.replayed_bytes as f64 / 1e6,
+            result.resync_bytes as f64 / 1e6,
+            result.reclaimed_blocks,
+            result.rehomed_residual
+        );
+    }
     if let Some(rec) = &result.recovery {
         for p in &rec.phases {
             println!(
@@ -351,6 +363,24 @@ fn print_result(spec: &ScenarioSpec, result: &RunResult) {
                 p.recovery_mb_s,
                 p.intra_rack_mb,
                 p.cross_rack_mb
+            );
+        }
+        for r in &rec.resyncs {
+            println!(
+                "re-sync @{}ms heal {}: drain {:.0}ms + re-sync {:.0}ms | \
+                 replayed {} blocks ({:.2} MB) | copied back {} ({:.2} MB) | \
+                 reclaimed {} rehomes ({} residual) | parity repaired {}",
+                r.at_ms,
+                r.node,
+                r.drain_ms,
+                r.resync_ms,
+                r.blocks_replayed,
+                r.replayed_bytes as f64 / 1e6,
+                r.blocks_copied_back,
+                r.bytes_copied_back as f64 / 1e6,
+                r.blocks_reclaimed,
+                r.rehomed_residual,
+                r.parity_repaired
             );
         }
         println!(

@@ -277,6 +277,8 @@ impl RunConfig {
             file_mb: Some(self.file_mb),
             seed: Some(self.seed),
             flush_after: Some(self.flush_after),
+            materialize: None,
+            journal: None,
         }
     }
 }
@@ -320,6 +322,21 @@ pub struct RunResult {
     /// Reads that failed outright: fewer than `k` survivors remained
     /// (the data-loss signal under rack-oblivious placement).
     pub failed_reads: u64,
+    /// Degraded-write extents journaled at the MDS (deduplicated).
+    pub journaled_writes: u64,
+    /// Bytes those journaled extents carried.
+    pub journaled_bytes: u64,
+    /// Journaled bytes replayed into rebuilt or healed blocks; equals
+    /// `journaled_bytes` once every failure window fully recovered.
+    pub replayed_bytes: u64,
+    /// Bytes written by heal-time re-sync (rehomed copy-back + dirty
+    /// parity re-encodes).
+    pub resync_bytes: u64,
+    /// Rehome-table entries reclaimed by heal-time re-sync.
+    pub reclaimed_blocks: u64,
+    /// Rehome-table entries still live at the end of the run (0 once
+    /// every healed node has been fully re-synced).
+    pub rehomed_residual: u64,
     /// Wire traffic that stayed inside a rack, GiB (equals `net_wire_gib`
     /// on a flat fabric).
     pub net_intra_gib: f64,

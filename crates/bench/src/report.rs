@@ -196,6 +196,12 @@ mod tests {
             degraded_reads: 0,
             degraded_writes: 0,
             failed_reads: 0,
+            journaled_writes: 0,
+            journaled_bytes: 0,
+            replayed_bytes: 0,
+            resync_bytes: 0,
+            reclaimed_blocks: 0,
+            rehomed_residual: 0,
             net_intra_gib: 0.6,
             net_cross_gib: 0.0,
             recovery: None,

@@ -145,6 +145,12 @@ pub struct ScenarioSpec {
     /// Drain logs afterwards and include recycle I/O in the totals;
     /// default false.
     pub flush_after: Option<bool>,
+    /// Maintain real block/log bytes (correctness runs) instead of
+    /// timing-only accounting; default false.
+    pub materialize: Option<bool>,
+    /// Journal failure-window writes and replay them after rebuild/heal
+    /// (degraded-write durability); default true.
+    pub journal: Option<bool>,
 }
 
 impl ScenarioSpec {
@@ -176,6 +182,8 @@ impl ScenarioSpec {
             file_mb: None,
             seed: None,
             flush_after: None,
+            materialize: None,
+            journal: None,
         }
     }
 
@@ -260,6 +268,16 @@ impl ScenarioSpec {
     /// Whether the run drains logs afterwards.
     pub fn flush_after(&self) -> bool {
         self.flush_after.unwrap_or(false)
+    }
+
+    /// Whether the run materializes block/log content.
+    pub fn materialize(&self) -> bool {
+        self.materialize.unwrap_or(false)
+    }
+
+    /// Whether failure-window writes are journaled (default on).
+    pub fn journal(&self) -> bool {
+        self.journal.unwrap_or(true)
     }
 
     /// The scheme's display name (paper capitalization) when registered,
@@ -359,6 +377,8 @@ impl ScenarioSpec {
             .placement(self.placement_kind())
             .file_size_per_client(self.file_mb() << 20)
             .seed(self.seed())
+            .materialize(self.materialize())
+            .journal(self.journal())
             .workload(&self.trace.profile());
         if let Some(n) = self.ops_per_client {
             b = b.ops_per_client(n);
@@ -409,9 +429,13 @@ pub fn run_scenario_with(
     mem_probe_start(&mut sim);
     // Scripted faults are installed before the first client op so kill
     // times line up with the workload clock.
-    let fault_tracker = spec
-        .fault_plan()
-        .map(|plan| tsue_fault::install(&world, &mut sim, &plan, EngineConfig::default()));
+    let fault_tracker = match spec.fault_plan() {
+        Some(plan) => Some(
+            tsue_fault::install(&world, &mut sim, &plan, EngineConfig::default())
+                .map_err(|e| format!("scenario '{}': {e}", spec.name))?,
+        ),
+        None => None,
+    };
     let duration = match spec.ops_per_client {
         // Effectively unbounded window; clients stop on their budget.
         Some(_) => 3_600_000 * MILLISECOND,
@@ -467,6 +491,12 @@ pub fn run_scenario_with(
         degraded_reads: world.core.metrics.degraded_reads,
         degraded_writes: world.core.metrics.degraded_writes,
         failed_reads: world.core.metrics.failed_reads,
+        journaled_writes: world.core.journal.entries_appended,
+        journaled_bytes: world.core.journal.bytes_appended,
+        replayed_bytes: world.core.journal.bytes_replayed,
+        resync_bytes: world.core.resync.bytes_copied_back + world.core.resync.parity_repair_bytes,
+        reclaimed_blocks: world.core.resync.blocks_reclaimed,
+        rehomed_residual: world.core.mds.rehomed_count() as u64,
         net_intra_gib: tier.intra_wire as f64 / GIB,
         net_cross_gib: tier.cross_wire as f64 / GIB,
         recovery: fault_tracker.map(|t| t.borrow().report.clone()),
@@ -574,6 +604,10 @@ pub fn bundled_scenarios() -> &'static [(&'static str, &'static str)] {
         (
             "scenarios/rack_failure_online.json",
             include_str!("../../../scenarios/rack_failure_online.json"),
+        ),
+        (
+            "scenarios/heal_rejoin.json",
+            include_str!("../../../scenarios/heal_rejoin.json"),
         ),
     ]
 }

@@ -147,6 +147,13 @@ impl ClusterBuilder {
         self
     }
 
+    /// Journal failure-window writes for replay after rebuild/heal
+    /// (default on); off restores the drop-the-payload failover model.
+    pub fn journal(mut self, on: bool) -> Self {
+        self.cfg.journal = on;
+        self
+    }
+
     /// Master seed for workload generation.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;

@@ -127,13 +127,21 @@ pub fn client_issue(world: &mut Cluster, sim: &mut Sim<Cluster>, cid: usize) {
         };
         if is_write && !core.mds.is_alive(owner) {
             // Degraded write: the block's home is dead and not yet
-            // rebuilt. The extent completes after the modeled failover
-            // timeout instead of wedging the closed loop; its payload is
-            // NOT applied anywhere in this model (journal-and-replay
-            // durability is a roadmap item), so materialized correctness
-            // checks do not span failure windows.
-            core.metrics.degraded_writes += 1;
-            crate::fail_over_ack(sim, op_id);
+            // rebuilt. The extent is parked in the degraded-write journal
+            // (shipped to a surviving peer) and acked once durable; the
+            // recovery/re-sync engines replay it into the rebuilt or
+            // healed block, so acked writes survive the failure window.
+            crate::journal::park_degraded_write(
+                core,
+                sim,
+                op_id,
+                ext_idx,
+                block,
+                e.addr.offset,
+                e.len,
+                None,
+                client_node,
+            );
         } else if is_write {
             let data = if core.cfg.materialize {
                 // Generate straight into a pool-recycled buffer: the

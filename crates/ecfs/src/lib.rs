@@ -21,6 +21,7 @@
 
 pub mod builder;
 pub mod client;
+pub mod journal;
 pub mod logregion;
 pub mod mds;
 pub mod metrics;
@@ -29,11 +30,13 @@ pub mod placement;
 pub mod rangemap;
 pub mod recovery;
 pub mod registry;
+pub mod resync;
 pub mod scheme;
 pub mod verify;
 
 pub use builder::ClusterBuilder;
 pub use client::{client_issue, start_clients, ClientState};
+pub use journal::{DegradedJournal, JournalEntry};
 pub use mds::{FileId, FileMeta, Mds};
 pub use metrics::{ArrivalRecord, ClusterMetrics};
 pub use osd::{BlockId, Osd, StoredBlock};
@@ -46,6 +49,7 @@ pub use recovery::{
 pub use registry::{
     MakeScheme, RegisteredScheme, SchemeError, SchemeFactory, SchemeParams, SchemeRegistry,
 };
+pub use resync::{heal_node, start_resync, HealStats, ResyncState, ResyncStats};
 pub use scheme::{
     deliver_read, deliver_update, Chunk, InstantScheme, SchemeMsg, UpdateReq, UpdateScheme,
 };
@@ -147,6 +151,11 @@ pub struct ClusterConfig {
     /// Maintain real block/log bytes (correctness runs) or timing only
     /// (performance runs).
     pub materialize: bool,
+    /// Journal failure-window writes at the MDS (via a surviving peer)
+    /// and replay them into rebuilt/healed blocks, instead of dropping
+    /// their payloads. On by default: acked writes stay durable across
+    /// kill→rebuild→heal windows.
+    pub journal: bool,
     /// Record per-extent arrival order (needed by correctness tests).
     pub record_arrivals: bool,
     /// Master seed for workload generation.
@@ -169,6 +178,7 @@ impl ClusterConfig {
             compute: ComputeSpec::default(),
             file_size_per_client: 16 << 20,
             materialize: false,
+            journal: true,
             record_arrivals: false,
             seed: 42,
         }
@@ -213,6 +223,10 @@ pub struct ClusterCore {
     pub stop_at: Option<Time>,
     /// The online recovery engine's work queue and statistics.
     pub recovery: RecoveryState,
+    /// Parked degraded-write extents awaiting replay (see [`journal`]).
+    pub journal: DegradedJournal,
+    /// Heal-time re-sync bookkeeping (see [`resync`]).
+    pub resync: ResyncState,
 }
 
 /// The DES world: core + pluggable per-OSD schemes.
@@ -271,6 +285,8 @@ impl Cluster {
             pending: PendingTable::default(),
             stop_at: None,
             recovery: RecoveryState::default(),
+            journal: DegradedJournal::default(),
+            resync: ResyncState::default(),
             cfg,
         };
         let mut world = Cluster { schemes, core };

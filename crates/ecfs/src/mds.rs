@@ -37,6 +37,10 @@ pub struct Mds {
     alive: Vec<bool>,
     /// Recovery overrides: `(global stripe, role)` → new home OSD.
     rehomed: HashMap<(u64, usize), usize>,
+    /// Parity blocks known to have missed deltas (the delta NACK-bounced
+    /// off a dead owner): `(global stripe, role)`. Cleared when recovery
+    /// re-encodes the block or a heal-time re-sync recomputes it.
+    dirty_parity: HashSet<(u64, usize)>,
 }
 
 impl Mds {
@@ -48,6 +52,7 @@ impl Mds {
             written_pages: HashSet::new(),
             alive: vec![true; osds],
             rehomed: HashMap::new(),
+            dirty_parity: HashSet::new(),
         }
     }
 
@@ -139,20 +144,55 @@ impl Mds {
         self.rehomed.insert((gstripe, role), node);
     }
 
-    /// The recovery override for `(gstripe, role)`, if any. The empty-map
-    /// fast path keeps this free on the healthy hot path.
+    /// The recovery override for `(gstripe, role)`, if any. A single map
+    /// lookup: an empty-map short-circuit would race the staleness that
+    /// reclaim introduces (an entry removed between the emptiness check
+    /// and the read), and the lookup is already free on an empty map.
     #[inline]
     pub fn rehomed(&self, gstripe: u64, role: usize) -> Option<usize> {
-        if self.rehomed.is_empty() {
-            None
-        } else {
-            self.rehomed.get(&(gstripe, role)).copied()
-        }
+        self.rehomed.get(&(gstripe, role)).copied()
+    }
+
+    /// Removes the recovery override for `(gstripe, role)` — the healed
+    /// placement home has been caught up and owns the block again.
+    /// Returns the node the block was rehomed to, if any.
+    pub fn reclaim(&mut self, gstripe: u64, role: usize) -> Option<usize> {
+        self.rehomed.remove(&(gstripe, role))
     }
 
     /// Number of rehomed blocks (recovery progress / diagnostics).
     pub fn rehomed_count(&self) -> usize {
         self.rehomed.len()
+    }
+
+    /// All rehome overrides, sorted for deterministic scheduling.
+    pub fn rehomed_entries(&self) -> Vec<((u64, usize), usize)> {
+        let mut v: Vec<_> = self.rehomed.iter().map(|(&k, &n)| (k, n)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Marks a parity block as having missed a delta (its owner was dead
+    /// when the delta arrived, so the update bounced).
+    pub fn mark_parity_dirty(&mut self, gstripe: u64, role: usize) {
+        self.dirty_parity.insert((gstripe, role));
+    }
+
+    /// Clears the missed-delta mark (the block was re-encoded from data).
+    pub fn clear_parity_dirty(&mut self, gstripe: u64, role: usize) {
+        self.dirty_parity.remove(&(gstripe, role));
+    }
+
+    /// Dirty parity blocks, sorted for deterministic scheduling.
+    pub fn dirty_parity_entries(&self) -> Vec<(u64, usize)> {
+        let mut v: Vec<_> = self.dirty_parity.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of parity blocks still missing deltas.
+    pub fn dirty_parity_count(&self) -> usize {
+        self.dirty_parity.len()
     }
 }
 
@@ -191,6 +231,35 @@ mod tests {
         m.mark_prepopulated(f);
         assert!(m.classify_write(f, 0, 32 << 10));
         assert!(m.classify_write(f, 12_288, 512));
+    }
+
+    #[test]
+    fn rehome_then_reclaim_resolves_to_the_healed_home() {
+        let mut m = Mds::new(4);
+        assert_eq!(m.rehomed(7, 1), None, "empty table resolves to placement");
+        m.rehome(7, 1, 3);
+        assert_eq!(m.rehomed(7, 1), Some(3), "override points at the rebuild");
+        assert_eq!(m.rehomed_count(), 1);
+        assert_eq!(m.reclaim(7, 1), Some(3));
+        assert_eq!(
+            m.rehomed(7, 1),
+            None,
+            "after reclaim the placement (healed) home owns the block again"
+        );
+        assert_eq!(m.rehomed_count(), 0, "the table shrinks back to empty");
+        assert_eq!(m.reclaim(7, 1), None, "reclaim is idempotent");
+    }
+
+    #[test]
+    fn dirty_parity_set_tracks_missed_deltas() {
+        let mut m = Mds::new(4);
+        m.mark_parity_dirty(3, 5);
+        m.mark_parity_dirty(1, 4);
+        m.mark_parity_dirty(3, 5);
+        assert_eq!(m.dirty_parity_count(), 2);
+        assert_eq!(m.dirty_parity_entries(), vec![(1, 4), (3, 5)]);
+        m.clear_parity_dirty(1, 4);
+        assert_eq!(m.dirty_parity_count(), 1);
     }
 
     #[test]

@@ -45,9 +45,12 @@ pub struct ClusterMetrics {
     pub mem_peak: u64,
     /// Reads served via stripe reconstruction because the owner was dead.
     pub degraded_reads: u64,
-    /// Updates that failed over because their owner was dead and not yet
-    /// rebuilt: the extent completes as an error and its payload is
-    /// dropped in this model (journal-and-replay is a roadmap item).
+    /// Updates parked because their owner was dead and not yet rebuilt.
+    /// With journaling on (the default) the payload is shipped to the
+    /// degraded-write journal and replayed after rebuild/heal; with it
+    /// off the extent completes as a failover error and the payload is
+    /// dropped. Each parked extent counts exactly once, whichever side
+    /// (client dispatch or on-wire delivery) detected the dead home.
     pub degraded_writes: u64,
     /// Reads that could not be served at all: the owner was dead and
     /// fewer than `k` survivors remained (data loss window).

@@ -36,6 +36,9 @@ pub struct StoredBlock {
 
 /// Device stream id used for in-place block I/O.
 pub const STREAM_BLOCK: StreamId = 0;
+/// Device stream id used for degraded-write journal appends on the
+/// journal peer (see [`crate::journal`]).
+pub const STREAM_JOURNAL: StreamId = 15;
 /// First stream id free for scheme-private use (log pools etc.).
 pub const STREAM_SCHEME_BASE: StreamId = 16;
 

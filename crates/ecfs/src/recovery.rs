@@ -81,6 +81,9 @@ pub struct PhaseStats {
     pub unrecoverable: u64,
     /// Bytes of reconstructed blocks.
     pub bytes_rebuilt: u64,
+    /// Journaled degraded-write bytes replayed into blocks this phase
+    /// rebuilt (applied after `reconstruct_one`, before the rehome).
+    pub journal_replayed_bytes: u64,
 }
 
 impl PhaseStats {
@@ -155,6 +158,18 @@ impl RecoveryState {
     /// Outstanding work: queued plus in-flight rebuild jobs (all phases).
     pub fn pending(&self) -> u64 {
         self.queue.len() as u64 + self.inflight as u64
+    }
+
+    /// True when any role of `block`'s stripe has a rebuild queued or in
+    /// flight. Materialized runs fence client updates to such stripes
+    /// (see [`crate::scheme::deliver_update`]): the rebuild decodes from
+    /// a consistent data/parity cut at completion, and a sibling write
+    /// admitted mid-rebuild whose parity delta is still on the wire
+    /// would tear that cut.
+    pub fn stripe_fenced(&self, block: &BlockId, blocks_per_stripe: usize) -> bool {
+        !self.scheduled.is_empty()
+            && (0..blocks_per_stripe)
+                .any(|role| self.scheduled.contains(&BlockId { role, ..*block }))
     }
 
     /// This phase's counters (zeroes for an unknown token).
@@ -341,28 +356,31 @@ fn spawn_rebuild(world: &mut Cluster, sim: &mut Sim<Cluster>, block: BlockId, ph
     core.recovery.rr = core.recovery.rr.wrapping_add(1);
 
     // Survivor reads + transfers; the decode starts when the last shard
-    // arrives at the target. Shards stay pool-backed `Bytes` end to end.
-    // The per-tier split of the rebuild traffic is read back from the
-    // fabric's own accounting (tier deltas around these transfers), so
-    // there is a single source of truth for wire-byte classification.
+    // arrives at the target. The per-tier split of the rebuild traffic
+    // is read back from the fabric's own accounting (tier deltas around
+    // these transfers), so there is a single source of truth for
+    // wire-byte classification. The timing is charged here; the *content*
+    // cut is taken at completion (below), when every parity delta that
+    // was on the wire at failure time has landed — a spawn-time snapshot
+    // could tear a data write from its in-flight parity update and
+    // decode garbage.
     let mut ready = now;
-    let mut shards: Vec<(usize, Bytes)> = Vec::with_capacity(k);
     let tier0 = *core.net.tier_traffic();
     for &(role, owner) in &survivors {
         let src_block = BlockId { role, ..block };
-        let (t_read, data) = core.osds[owner].read_block_range(now, src_block, 0, block_size);
+        let dev_off = core.osds[owner].block_offset(src_block);
+        let t_read = core.osds[owner].device.submit(
+            now,
+            tsue_device::IoKind::Read,
+            dev_off,
+            block_size,
+            crate::osd::STREAM_BLOCK,
+        );
         let src_node = core.osds[owner].node;
         let arrive = core
             .net
             .transfer(t_read, src_node, core.osds[target].node, block_size);
         ready = ready.max(arrive);
-        if let Some(bytes) = data {
-            // The store→shard copy at read time is the cold path's one
-            // remaining copy per survivor; the decode below is in-place.
-            core.metrics.recovery_copies += 1;
-            core.metrics.recovery_bytes_copied += block_size;
-            shards.push((role, bytes));
-        }
     }
     let moved = core.net.tier_traffic().since(&tier0);
     core.recovery.intra_rack_bytes += moved.intra_wire;
@@ -371,21 +389,11 @@ fn spawn_rebuild(world: &mut Cluster, sim: &mut Sim<Cluster>, block: BlockId, ph
     // Decode cost: k GF multiply-accumulates over the block.
     let t_decoded = ready + core.gf_time(block_size * k as u64);
 
-    // Reconstruct content when materialized — straight into the target's
-    // new block buffer, survivors borrowed in place.
-    let rebuilt: Option<Box<[u8]>> = if core.cfg.materialize {
-        let mut out = vec![0u8; block_size as usize].into_boxed_slice();
-        let borrowed: Vec<(usize, &[u8])> =
-            shards.iter().map(|(r, b)| (*r, b.as_slice())).collect();
-        core.rs
-            .reconstruct_one(&borrowed, block.role, &mut out)
-            .expect("k survivors by construction");
-        Some(out)
-    } else {
-        None
-    };
-
-    core.osds[target].install_block(block, block_size, rebuilt);
+    let placeholder = core
+        .cfg
+        .materialize
+        .then(|| vec![0u8; block_size as usize].into_boxed_slice());
+    core.osds[target].install_block(block, block_size, placeholder);
     let t_written = {
         // Sequential write of the freshly installed block.
         let dev_off = core.osds[target].block_offset(block);
@@ -413,14 +421,63 @@ fn spawn_rebuild(world: &mut Cluster, sim: &mut Sim<Cluster>, block: BlockId, ph
             .inflight_targets
             .retain(|&(gs, r, _)| (gs, r) != (gstripe, block.role));
         core.recovery.scheduled.remove(&block);
+        let home = core.owner_of(gstripe, block.role);
+        if core.mds.is_alive(home) && home != target && core.osds[home].hosts(block) {
+            // The home healed while this job was in flight: the heal-time
+            // re-sync already caught its copy up (journal replay), so the
+            // freshly rebuilt copy is redundant. Discard it and keep the
+            // home authoritative — rehoming now would shadow the healed
+            // copy and leak a rehome entry past the re-sync.
+            core.osds[target].evict_block(block);
+            core.recovery.blocks_skipped += 1;
+            let p = core.recovery.phase_mut(phase);
+            p.inflight -= 1;
+            p.skipped += 1;
+            pump_recovery(w, sim);
+            return;
+        }
         core.recovery.blocks_rebuilt += 1;
         core.recovery.bytes_rebuilt += block_size;
         core.metrics.blocks_rebuilt += 1;
+        // Materialized reconstruction from the *completion-time* cut:
+        // survivors re-resolved through `owner_of` (a sibling rebuilt or
+        // replayed meanwhile hands over its current copy), peeked in one
+        // DES event so the data/parity cut is consistent — client writes
+        // to this stripe were fenced while the job was scheduled.
+        if core.cfg.materialize {
+            let mut shards: Vec<(usize, Bytes)> = Vec::with_capacity(survivors.len());
+            for &(role, _) in &survivors {
+                let src_block = BlockId { role, ..block };
+                let owner_now = core.owner_of(gstripe, role);
+                if let Some(bytes) = core.osds[owner_now].peek_block_range(src_block, 0, block_size)
+                {
+                    // The store→shard copy is the cold path's one
+                    // remaining copy per survivor; the decode is in-place.
+                    core.metrics.recovery_copies += 1;
+                    core.metrics.recovery_bytes_copied += block_size;
+                    shards.push((role, bytes));
+                }
+            }
+            let borrowed: Vec<(usize, &[u8])> =
+                shards.iter().map(|(r, b)| (*r, b.as_slice())).collect();
+            if let Some(out) = core.osds[target].block_data_mut(block) {
+                core.rs
+                    .reconstruct_one(&borrowed, block.role, out)
+                    .expect("k survivors by construction");
+            }
+        }
+        // Acked failure-window writes parked in the degraded-write
+        // journal land on the rebuilt copy now — after the reconstruct,
+        // before the rehome — so the block goes live current.
+        let replayed = crate::journal::replay_block(core, sim, target, block);
+        // The reconstruct re-encoded a parity block from current data,
+        // so any missed-delta mark is now satisfied.
+        core.mds.clear_parity_dirty(gstripe, block.role);
         let p = core.recovery.phase_mut(phase);
         p.inflight -= 1;
         p.rebuilt += 1;
         p.bytes_rebuilt += block_size;
-        let gstripe = core.global_stripe(block.file, block.stripe);
+        p.journal_replayed_bytes += replayed;
         core.mds.rehome(gstripe, block.role, target);
         pump_recovery(w, sim);
     });

@@ -272,13 +272,69 @@ pub trait UpdateScheme {
 
 /// Event shim: deliver an update extent to the owning OSD's scheme.
 pub fn deliver_update(world: &mut Cluster, sim: &mut Sim<Cluster>, osd: usize, req: UpdateReq) {
+    let gstripe = world.core.global_stripe(req.block.file, req.block.stripe);
+    let cur = world.core.owner_of(gstripe, req.block.role);
+    if cur != osd {
+        // Ownership moved while the extent was on the wire — the block
+        // was rebuilt elsewhere (rehome) or handed back to its healed
+        // home (reclaim). Forward to the current owner: one extra hop,
+        // and re-evaluated on arrival in case ownership moves again.
+        let now = sim.now();
+        let arrival = world.core.net.transfer(
+            now,
+            world.core.osds[osd].node,
+            world.core.osds[cur].node,
+            req.data.len,
+        );
+        sim.schedule_at(arrival, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+            deliver_update(w, sim, cur, req);
+        });
+        return;
+    }
+    if world.core.cfg.materialize
+        && !world.core.osds[osd].dead
+        && world
+            .core
+            .recovery
+            .stripe_fenced(&req.block, world.core.cfg.stripe.blocks_per_stripe())
+    {
+        // A sibling of this stripe is being rebuilt. Admitting the write
+        // now could tear the rebuild's data/parity cut (its parity delta
+        // might still be on the wire at decode time), so the extent waits
+        // out the rebuild — the stripe-level write fence every online
+        // reconstruction needs. Timing-only runs skip the fence: without
+        // content there is no cut to protect.
+        sim.schedule(
+            crate::FAILOVER_DELAY,
+            move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                deliver_update(w, sim, osd, req);
+            },
+        );
+        return;
+    }
     if world.core.osds[osd].dead {
         // The owner died while the extent was on the wire. The client
-        // fails over after a timeout instead of hanging the closed loop
-        // forever; the payload is dropped in this model (journal-and-
-        // replay durability is a roadmap item).
-        world.core.metrics.degraded_writes += 1;
-        crate::fail_over_ack(sim, req.op_id);
+        // re-ships the payload to the degraded-write journal (acked once
+        // durable); recovery or re-sync replays it into the block later.
+        let Some(client) = world.core.pending.client_of(req.op_id) else {
+            // Reaped by the failover watchdog meanwhile: nobody is
+            // waiting, and a reaped op was completed as a timeout error,
+            // so there is nothing durable to honor.
+            world.core.metrics.degraded_writes += 1;
+            return;
+        };
+        let client_node = world.core.client_node(client);
+        crate::journal::park_degraded_write(
+            &mut world.core,
+            sim,
+            req.op_id,
+            req.ext,
+            req.block,
+            req.off,
+            req.data.len,
+            Some(req.data),
+            client_node,
+        );
         return;
     }
     if world.core.cfg.record_arrivals {
@@ -300,6 +356,32 @@ pub fn deliver_update(world: &mut Cluster, sim: &mut Sim<Cluster>, osd: usize, r
 /// equivalent of a connection-refused failover in the real system.
 pub fn deliver_msg(world: &mut Cluster, sim: &mut Sim<Cluster>, osd: usize, msg: SchemeMsg) {
     if world.core.osds[osd].dead {
+        if let SchemeMsg::DeltaForward {
+            block,
+            kind,
+            parity_index,
+            ..
+        } = &msg
+        {
+            // A parity-bound delta died with the destination: some
+            // parity no longer reflects its data. A ParityDelta is
+            // addressed to exactly one parity role; a DataDelta feeds an
+            // aggregation stage (CoRD's collector, TSUE's DeltaLog) that
+            // fans out to every parity, so its loss may starve them all.
+            // Heal-time re-sync re-encodes dirty parity from the data.
+            let gstripe = world.core.global_stripe(block.file, block.stripe);
+            let k = world.core.cfg.stripe.k;
+            match kind {
+                DeltaKind::ParityDelta => {
+                    world.core.mds.mark_parity_dirty(gstripe, k + parity_index);
+                }
+                DeltaKind::DataDelta => {
+                    for j in 0..world.core.cfg.stripe.m {
+                        world.core.mds.mark_parity_dirty(gstripe, k + j);
+                    }
+                }
+            }
+        }
         let bounce = match &msg {
             SchemeMsg::DataForward { from, tag, .. }
             | SchemeMsg::DeltaForward { from, tag, .. }
@@ -343,6 +425,22 @@ pub fn deliver_read(
     off: u64,
     len: u64,
 ) {
+    let gstripe = world.core.global_stripe(block.file, block.stripe);
+    let cur = world.core.owner_of(gstripe, block.role);
+    if cur != osd {
+        // Ownership moved while the request was on the wire (rehome or
+        // heal-time reclaim): forward to the current owner.
+        let arrival = world.core.net.transfer(
+            sim.now(),
+            world.core.osds[osd].node,
+            world.core.osds[cur].node,
+            crate::ACK_BYTES,
+        );
+        sim.schedule_at(arrival, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+            deliver_read(w, sim, cur, op_id, block, off, len);
+        });
+        return;
+    }
     if world.core.osds[osd].dead {
         // Owner died with the read on the wire: after the failover
         // timeout the client retries it as a real degraded read, paying

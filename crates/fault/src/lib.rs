@@ -24,7 +24,7 @@
 use serde::{Deserialize, Serialize, Value};
 use std::cell::RefCell;
 use std::rc::Rc;
-use tsue_ecfs::{fail_node, reap_stalled_ops, start_recovery, Cluster};
+use tsue_ecfs::{fail_node, reap_stalled_ops, start_recovery, Cluster, HealStats};
 use tsue_net::TierTraffic;
 use tsue_sim::{Sim, Time, MILLISECOND};
 
@@ -81,6 +81,16 @@ impl FaultEvent {
     /// The JSON `kind` tags, for error messages.
     pub fn kinds() -> &'static [&'static str] {
         &["kill_node", "kill_rack", "slow_node", "heal_node"]
+    }
+
+    /// This event's JSON `kind` tag (validation error messages).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            FaultEvent::KillNode { .. } => "kill_node",
+            FaultEvent::KillRack { .. } => "kill_rack",
+            FaultEvent::SlowNode { .. } => "slow_node",
+            FaultEvent::HealNode { .. } => "heal_node",
+        }
     }
 }
 
@@ -193,31 +203,32 @@ impl FaultPlan {
     /// nonsensical factor.
     pub fn validate(&self, osds: usize, racks: usize) -> Result<(), String> {
         for (i, e) in self.events.iter().enumerate() {
+            // Errors name the offending event, not just its index, so a
+            // scenario author can find it in a long fault list.
+            let who = format!("fault #{i} ({} @{}ms)", e.kind_name(), e.at_ms());
             match *e {
                 FaultEvent::KillNode { node, .. } | FaultEvent::HealNode { node, .. } => {
                     if node >= osds {
                         return Err(format!(
-                            "fault #{i}: node {node} out of range (cluster has {osds} OSDs)"
+                            "{who}: node {node} out of range (cluster has {osds} OSDs)"
                         ));
                     }
                 }
                 FaultEvent::KillRack { rack, .. } => {
                     if rack >= racks {
                         return Err(format!(
-                            "fault #{i}: rack {rack} out of range (topology has {racks} racks)"
+                            "{who}: rack {rack} out of range (topology has {racks} racks)"
                         ));
                     }
                 }
                 FaultEvent::SlowNode { node, factor, .. } => {
                     if node >= osds {
                         return Err(format!(
-                            "fault #{i}: node {node} out of range (cluster has {osds} OSDs)"
+                            "{who}: node {node} out of range (cluster has {osds} OSDs)"
                         ));
                     }
                     if factor.is_nan() || factor < 1.0 {
-                        return Err(format!(
-                            "fault #{i}: slowdown factor {factor} must be >= 1.0"
-                        ));
+                        return Err(format!("{who}: slowdown factor {factor} must be >= 1.0"));
                     }
                 }
             }
@@ -298,6 +309,9 @@ pub struct PhaseReport {
     pub blocks_skipped: u64,
     /// Bytes reconstructed.
     pub bytes_rebuilt: u64,
+    /// Journaled degraded-write bytes replayed into blocks this phase
+    /// rebuilt (after the reconstruct, before the rehome).
+    pub journal_replayed_bytes: u64,
     /// Recovery bandwidth over the whole phase (drain + rebuild), MB/s.
     pub recovery_mb_s: f64,
     /// Wire bytes that stayed intra-rack during the phase (all traffic,
@@ -309,11 +323,42 @@ pub struct PhaseReport {
     pub degraded_reads: u64,
 }
 
+/// One heal event's rejoin & re-sync outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResyncReport {
+    /// Trigger time, virtual ms.
+    pub at_ms: u64,
+    /// The healed OSD.
+    pub node: usize,
+    /// Virtual ms spent on the pre-re-sync drain gate (scheme logs must
+    /// merge before rehomed copies are copied back).
+    pub drain_ms: f64,
+    /// Virtual ms of the re-sync I/O itself.
+    pub resync_ms: f64,
+    /// Blocks caught up in place from the degraded-write journal at the
+    /// heal instant (their rebuild had not run yet).
+    pub blocks_replayed: u64,
+    /// Journaled bytes replayed into the healed node's own copies.
+    pub replayed_bytes: u64,
+    /// Blocks copied back from their rehomed (rebuilt) copies.
+    pub blocks_copied_back: u64,
+    /// Bytes copied back.
+    pub bytes_copied_back: u64,
+    /// Rehome-table entries reclaimed (the override table shrinks).
+    pub blocks_reclaimed: u64,
+    /// Parity blocks re-encoded because they missed NACKed deltas.
+    pub parity_repaired: u64,
+    /// `Mds::rehomed_count()` after this re-sync finished.
+    pub rehomed_residual: u64,
+}
+
 /// Everything the fault engine observed across the run.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct FaultReport {
     /// One entry per kill event, in trigger order.
     pub phases: Vec<PhaseReport>,
+    /// One entry per heal event, in completion order.
+    pub resyncs: Vec<ResyncReport>,
     /// Rebuild-attributed wire bytes that stayed intra-rack.
     pub rebuild_intra_bytes: u64,
     /// Rebuild-attributed wire bytes that crossed racks.
@@ -339,7 +384,7 @@ impl FaultReport {
 /// harness (which polls [`FaultTracker::finished`]).
 #[derive(Debug, Default)]
 pub struct FaultTracker {
-    /// Kill phases not yet finalized.
+    /// Kill and heal phases not yet finalized.
     active_phases: usize,
     /// The accumulating report.
     pub report: FaultReport,
@@ -347,7 +392,8 @@ pub struct FaultTracker {
 }
 
 impl FaultTracker {
-    /// True once every scheduled kill phase has completed its rebuild.
+    /// True once every scheduled kill phase has completed its rebuild
+    /// and every heal phase has completed its re-sync.
     pub fn finished(&self) -> bool {
         self.active_phases == 0
     }
@@ -361,21 +407,24 @@ pub type FaultHandle = Rc<RefCell<FaultTracker>>;
 /// sim running until [`FaultTracker::finished`] (see
 /// [`run_plan_to_completion`]).
 ///
-/// # Panics
-/// Panics if the plan fails [`FaultPlan::validate`] against the world.
+/// # Errors
+/// Returns the [`FaultPlan::validate`] description (naming the offending
+/// event) when the plan does not fit this cluster — no events are
+/// scheduled in that case.
 pub fn install(
     world: &Cluster,
     sim: &mut Sim<Cluster>,
     plan: &FaultPlan,
     cfg: EngineConfig,
-) -> FaultHandle {
-    plan.validate(world.core.cfg.osds, world.core.net.racks())
-        .expect("fault plan valid for this cluster");
+) -> Result<FaultHandle, String> {
+    plan.validate(world.core.cfg.osds, world.core.net.racks())?;
     let tracker: FaultHandle = Rc::new(RefCell::new(FaultTracker {
+        // Kills run a rebuild phase, heals a re-sync phase; both must
+        // finalize before the plan counts as finished.
         active_phases: plan
             .events
             .iter()
-            .filter(|e| matches!(e, FaultEvent::KillNode { .. } | FaultEvent::KillRack { .. }))
+            .filter(|e| !matches!(e, FaultEvent::SlowNode { .. }))
             .count(),
         ..FaultTracker::default()
     }));
@@ -386,7 +435,7 @@ pub fn install(
             trigger(w, sim, event, t, cfg);
         });
     }
-    tracker
+    Ok(tracker)
 }
 
 /// Runs the simulation until every kill phase has finished (no-op when
@@ -414,10 +463,12 @@ fn trigger(
             let until = sim.now() + duration_ms * MILLISECOND;
             world.core.net.set_slowdown(node, factor, until);
         }
-        FaultEvent::HealNode { node, .. } => {
-            world.core.osds[node].dead = false;
-            world.core.mds.mark_alive(node);
-            world.core.net.clear_slowdown(node);
+        FaultEvent::HealNode { at_ms, node } => {
+            // Revive + in-place journal replay happen synchronously at
+            // the heal instant (nothing can interleave); the drain-gated
+            // delta re-sync and rehome reclamation follow as a phase.
+            let heal = tsue_ecfs::heal_node(world, sim, node);
+            resync_phase_start(world, sim, at_ms, node, heal, tracker, cfg);
         }
         FaultEvent::KillNode { at_ms, node } => {
             fail_node(world, node);
@@ -528,19 +579,13 @@ fn watchdog_tick(sim: &mut Sim<Cluster>, tracker: FaultHandle, cfg: EngineConfig
     );
 }
 
-/// Drain gate: re-issue `flush` to every live scheme each stride until
-/// the at-failure log storm has drained — backlog either reaches zero
-/// (TSUE: almost immediately; traffic stopped) or flattens at its
-/// steady-state churn (live traffic keeps a small rolling backlog) — or
-/// the stride cap fires; then start the rebuild.
-fn drain_gate(
-    world: &mut Cluster,
-    sim: &mut Sim<Cluster>,
-    snap: PhaseSnapshot,
-    mut progress: DrainProgress,
-    tracker: FaultHandle,
-    cfg: EngineConfig,
-) {
+/// One gate stride, shared by the kill (drain) and heal (re-sync)
+/// gates: folds the current live-scheme backlog into the progress
+/// tracker and reports whether the at-failure log storm has drained —
+/// backlog either reaches zero (TSUE: almost immediately; traffic
+/// stopped) or flattens at its steady-state churn (live traffic keeps a
+/// small rolling backlog).
+fn gate_observe(world: &Cluster, progress: &mut DrainProgress, cfg: EngineConfig) -> bool {
     let backlog = world.total_scheme_backlog();
     if progress.strides > 0 {
         if backlog < progress.best {
@@ -550,11 +595,11 @@ fn drain_gate(
             progress.stalled += 1;
         }
     }
-    let storm_drained = backlog == 0 || progress.stalled >= cfg.drain_stall_strides;
-    if storm_drained || progress.strides >= cfg.drain_cap_strides {
-        rebuild_start(world, sim, snap, tracker, cfg);
-        return;
-    }
+    backlog == 0 || progress.stalled >= cfg.drain_stall_strides
+}
+
+/// Re-issues `flush` to every live scheme (the gate's pump half).
+fn flush_live_schemes(world: &mut Cluster, sim: &mut Sim<Cluster>) {
     for osd in 0..world.core.cfg.osds {
         if world.core.osds[osd].dead {
             continue;
@@ -563,6 +608,24 @@ fn drain_gate(
         s.flush(&mut world.core, sim, osd);
         world.schemes[osd] = Some(s);
     }
+}
+
+/// Drain gate: pump flushes each stride until the storm has drained or
+/// the stride cap fires; then start the rebuild.
+fn drain_gate(
+    world: &mut Cluster,
+    sim: &mut Sim<Cluster>,
+    snap: PhaseSnapshot,
+    mut progress: DrainProgress,
+    tracker: FaultHandle,
+    cfg: EngineConfig,
+) {
+    let storm_drained = gate_observe(world, &mut progress, cfg);
+    if storm_drained || progress.strides >= cfg.drain_cap_strides {
+        rebuild_start(world, sim, snap, tracker, cfg);
+        return;
+    }
+    flush_live_schemes(world, sim);
     progress.strides += 1;
     sim.schedule(
         cfg.drain_stride,
@@ -633,6 +696,7 @@ fn finalize_phase(
         blocks_unrecoverable: stats.unrecoverable,
         blocks_skipped: stats.skipped,
         bytes_rebuilt: stats.bytes_rebuilt,
+        journal_replayed_bytes: stats.journal_replayed_bytes,
         recovery_mb_s: stats.bytes_rebuilt as f64 * 1e9 / total_ns as f64 / MB,
         intra_rack_mb: tier.intra_wire as f64 / MB,
         cross_rack_mb: tier.cross_wire as f64 / MB,
@@ -642,6 +706,135 @@ fn finalize_phase(
     t.report.phases.push(phase);
     t.report.rebuild_intra_bytes = core.recovery.intra_rack_bytes;
     t.report.rebuild_cross_bytes = core.recovery.cross_rack_bytes;
+    t.active_phases -= 1;
+}
+
+/// Heal landed: run the re-sync phase. The gate re-flushes live schemes
+/// each stride until the log storm has drained *and* the recovery engine
+/// has no queued/in-flight rebuilds (a rebuild completing after the
+/// copy-back would re-populate the rehome table the re-sync just
+/// reclaimed); then the copy-back + reclamation + parity repair run and
+/// the phase polls their modeled I/O to completion.
+fn resync_phase_start(
+    world: &mut Cluster,
+    sim: &mut Sim<Cluster>,
+    at_ms: u64,
+    node: usize,
+    heal: HealStats,
+    tracker: FaultHandle,
+    cfg: EngineConfig,
+) {
+    let t_heal = sim.now();
+    let best = world.total_scheme_backlog();
+    resync_gate(
+        world,
+        sim,
+        at_ms,
+        node,
+        heal,
+        t_heal,
+        DrainProgress {
+            strides: 0,
+            best,
+            stalled: 0,
+        },
+        tracker,
+        cfg,
+    );
+}
+
+#[allow(clippy::too_many_arguments)] // phase context threaded through the gate loop
+fn resync_gate(
+    world: &mut Cluster,
+    sim: &mut Sim<Cluster>,
+    at_ms: u64,
+    node: usize,
+    heal: HealStats,
+    t_heal: Time,
+    mut progress: DrainProgress,
+    tracker: FaultHandle,
+    cfg: EngineConfig,
+) {
+    if !world.core.mds.is_alive(node) {
+        // The node was re-killed while the gate was striding (a flapping
+        // node). Copying content onto a dead OSD and reclaiming its
+        // rehome entries would point live reads at a corpse — abandon
+        // the re-sync; the re-kill's own phase (and the next heal's
+        // re-sync) take over from here.
+        let drain_ns = sim.now() - t_heal;
+        resync_poll(
+            world,
+            sim,
+            at_ms,
+            node,
+            heal,
+            t_heal,
+            drain_ns,
+            tsue_ecfs::ResyncStats::default(),
+            tracker,
+            cfg,
+        );
+        return;
+    }
+    let storm_drained = gate_observe(world, &mut progress, cfg);
+    let rebuilds_idle = world.core.recovery.pending() == 0;
+    if (storm_drained && rebuilds_idle) || progress.strides >= cfg.drain_cap_strides {
+        let drain_ns = sim.now() - t_heal;
+        let stats = tsue_ecfs::start_resync(world, sim, node);
+        resync_poll(
+            world, sim, at_ms, node, heal, t_heal, drain_ns, stats, tracker, cfg,
+        );
+        return;
+    }
+    flush_live_schemes(world, sim);
+    progress.strides += 1;
+    sim.schedule(
+        cfg.drain_stride,
+        move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+            resync_gate(w, sim, at_ms, node, heal, t_heal, progress, tracker, cfg);
+        },
+    );
+}
+
+#[allow(clippy::too_many_arguments)] // phase context threaded through the poll loop
+fn resync_poll(
+    world: &mut Cluster,
+    sim: &mut Sim<Cluster>,
+    at_ms: u64,
+    node: usize,
+    heal: HealStats,
+    t_heal: Time,
+    drain_ns: Time,
+    stats: tsue_ecfs::ResyncStats,
+    tracker: FaultHandle,
+    cfg: EngineConfig,
+) {
+    if world.core.resync.pending() > 0 {
+        sim.schedule(
+            cfg.poll_period,
+            move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                resync_poll(
+                    w, sim, at_ms, node, heal, t_heal, drain_ns, stats, tracker, cfg,
+                );
+            },
+        );
+        return;
+    }
+    let total_ns = sim.now().saturating_sub(t_heal);
+    let mut t = tracker.borrow_mut();
+    t.report.resyncs.push(ResyncReport {
+        at_ms,
+        node,
+        drain_ms: drain_ns as f64 / MILLISECOND as f64,
+        resync_ms: total_ns.saturating_sub(drain_ns) as f64 / MILLISECOND as f64,
+        blocks_replayed: heal.blocks_replayed,
+        replayed_bytes: heal.replayed_bytes,
+        blocks_copied_back: stats.blocks_copied_back,
+        bytes_copied_back: stats.bytes_copied_back,
+        blocks_reclaimed: stats.blocks_reclaimed,
+        parity_repaired: stats.parity_repaired,
+        rehomed_residual: world.core.mds.rehomed_count() as u64,
+    });
     t.active_phases -= 1;
 }
 
@@ -692,6 +885,34 @@ mod tests {
         ]);
         let err = <FaultEvent as serde::Deserialize>::from_value(&typo).unwrap_err();
         assert!(err.to_string().contains("noed"), "{err}");
+    }
+
+    #[test]
+    fn invalid_plan_error_names_the_offending_event() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent::KillNode { at_ms: 5, node: 0 },
+            FaultEvent::HealNode {
+                at_ms: 90,
+                node: 99,
+            },
+        ]);
+        let err = plan.validate(16, 4).unwrap_err();
+        for needle in ["fault #1", "heal_node", "@90ms", "node 99"] {
+            assert!(err.contains(needle), "missing '{needle}' in: {err}");
+        }
+    }
+
+    #[test]
+    fn install_rejects_an_invalid_plan_without_scheduling() {
+        let mut cfg = tsue_ecfs::ClusterConfig::ssd_testbed(2, 1, 1);
+        cfg.osds = 4;
+        cfg.file_size_per_client = 1 << 20;
+        let world = Cluster::new(cfg, |_| Box::new(tsue_ecfs::InstantScheme::default()));
+        let mut sim: Sim<Cluster> = Sim::new();
+        let plan = FaultPlan::new(vec![FaultEvent::KillNode { at_ms: 1, node: 9 }]);
+        let err = install(&world, &mut sim, &plan, EngineConfig::default()).unwrap_err();
+        assert!(err.contains("kill_node"), "{err}");
+        assert_eq!(sim.pending(), 0, "no events scheduled from a bad plan");
     }
 
     #[test]

@@ -38,7 +38,8 @@ fn run_case(registry: &SchemeRegistry, name: &str) {
         at_ms: 300,
         rack: 1,
     }]);
-    let tracker = install(&world, &mut sim, &plan, EngineConfig::default());
+    let tracker =
+        install(&world, &mut sim, &plan, EngineConfig::default()).expect("plan fits the cluster");
     run_workload(&mut world, &mut sim, 900 * MILLISECOND);
     run_plan_to_completion(&mut world, &mut sim, &tracker);
 
