@@ -16,8 +16,8 @@
 //! reproduce, so that path prints its metrics without persisting.
 
 use tsue_bench::{
-    default_registry, render_listing, run_scenario, RunResult, ScenarioOutcome, ScenarioSpec,
-    SchemeSpec, TraceKind,
+    default_registry, render_listing, run_scenario_threads, RunResult, ScenarioOutcome,
+    ScenarioSpec, SchemeSpec, TraceKind,
 };
 use tsue_ecfs::{run_workload, Cluster, DeviceKind, PlacementKind};
 use tsue_net::{NetSpec, Topology};
@@ -25,10 +25,13 @@ use tsue_sim::{Sim, MILLISECOND};
 
 const HELP: &str = "tsuectl — run TSUE cluster simulations\n\n\
 subcommands:\n\
-  run <scenario.json> [--out DIR]         execute a scenario file\n\
-  bench [--quick] [--out FILE]            zero-copy perf-regression report\n\
+  run <scenario.json> [--out DIR] [--threads N]\n\
+                                          execute a scenario file\n\
+  bench [--quick] [--out FILE] [--threads N]\n\
+                                          zero-copy perf-regression report\n\
                                           (micro kernels + materialized cluster runs;\n\
-                                          default output BENCH_04.json)\n\
+                                          --threads N adds a wall-clock scaling ladder;\n\
+                                          default output BENCH_05.json)\n\
   list                                    print registered schemes and bundled scenarios\n\n\
 ad-hoc flags (assembled into a scenario spec):\n\
   --scheme NAME                           update scheme by registry name (default tsue)\n\
@@ -45,6 +48,8 @@ ad-hoc flags (assembled into a scenario spec):\n\
   --file-mb N                             per-client file size (default 12)\n\
   --seed N                                workload seed (default 42)\n\
   --flush                                 drain logs and include recycle I/O\n\
+  --threads N                             worker-pool width (execution knob; results are\n\
+                                          bit-identical at any value, default 1)\n\
   --out DIR                               where to persist {spec, result} (default results)\n\
   --print-spec                            print the scenario JSON and exit";
 
@@ -74,7 +79,8 @@ fn main() {
 /// `BENCH_NN.json` stake for the trajectory.
 fn bench(rest: &[String]) {
     let mut quick = false;
-    let mut out = String::from("BENCH_04.json");
+    let mut out = String::from("BENCH_05.json");
+    let mut threads = 1usize;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -86,18 +92,25 @@ fn bench(rest: &[String]) {
                     .cloned()
                     .unwrap_or_else(|| fail("missing value after --out"));
             }
+            "--threads" => {
+                i += 1;
+                threads = rest
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("missing or invalid value after --threads"));
+            }
             other => fail(&format!("unknown flag '{other}' after 'bench'")),
         }
         i += 1;
     }
-    // The stake id is the output filename's stem, so `--out BENCH_04.json`
+    // The stake id is the output filename's stem, so `--out BENCH_05.json`
     // (the next PR's stake) self-identifies without a source edit.
     let bench_id = std::path::Path::new(&out)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("BENCH")
         .to_string();
-    let report = tsue_bench::bench_report(&bench_id, quick);
+    let report = tsue_bench::bench_report(&bench_id, quick, threads);
     print!("{}", tsue_bench::render_bench(&report));
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     match std::fs::write(&out, json + "\n") {
@@ -119,6 +132,7 @@ fn list() {
 fn run_file(rest: &[String]) {
     let mut path: Option<String> = None;
     let mut out = String::from("results");
+    let mut threads = 1usize;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -129,23 +143,34 @@ fn run_file(rest: &[String]) {
                     .cloned()
                     .unwrap_or_else(|| fail("missing value after --out"));
             }
+            "--threads" => {
+                i += 1;
+                threads = rest
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("missing or invalid value after --threads"));
+            }
             flag if flag.starts_with('-') => fail(&format!("unknown flag '{flag}' after 'run'")),
             p if path.is_none() => path = Some(p.to_string()),
             extra => fail(&format!("unexpected argument '{extra}'")),
         }
         i += 1;
     }
-    let path = path.unwrap_or_else(|| fail("usage: tsuectl run <scenario.json> [--out DIR]"));
+    let path = path
+        .unwrap_or_else(|| fail("usage: tsuectl run <scenario.json> [--out DIR] [--threads N]"));
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| fail(&format!("cannot read '{path}': {e}")));
     let spec: ScenarioSpec = serde_json::from_str(&text)
         .unwrap_or_else(|e| fail(&format!("cannot parse '{path}': {e}")));
-    execute(spec, &out);
+    execute(spec, &out, threads);
 }
 
 /// Runs a validated spec, prints the summary, persists `{spec, result}`.
-fn execute(spec: ScenarioSpec, out: &str) {
-    let result = run_scenario(&spec).unwrap_or_else(|e| fail(&e));
+/// `threads` is an execution knob only — the persisted `{spec, result}`
+/// is byte-identical at any value.
+fn execute(spec: ScenarioSpec, out: &str, threads: usize) {
+    let result =
+        run_scenario_threads(&spec, &default_registry(), threads).unwrap_or_else(|e| fail(&e));
     print_result(&spec, &result);
     let outcome = ScenarioOutcome {
         spec: spec.clone(),
@@ -164,6 +189,7 @@ fn adhoc(args: &[String]) {
     let mut csv: Option<String> = None;
     let mut out = String::from("results");
     let mut print_spec = false;
+    let mut threads = 1usize;
     let mut i = 0;
     let next = |i: &mut usize| -> String {
         *i += 1;
@@ -228,6 +254,7 @@ fn adhoc(args: &[String]) {
             }
             "--trace-csv" => csv = Some(next(&mut i)),
             "--flush" => spec.flush_after = Some(true),
+            "--threads" => threads = parse_num("--threads", next(&mut i)) as usize,
             "--out" => out = next(&mut i),
             "--print-spec" => print_spec = true,
             other => fail(&format!("unknown flag '{other}'")),
@@ -253,7 +280,7 @@ fn adhoc(args: &[String]) {
         replay_csv(&spec, &path);
         return;
     }
-    execute(spec, &out);
+    execute(spec, &out, threads);
 }
 
 /// Replay path: build the scenario's cluster, then install the recorded

@@ -66,6 +66,26 @@ pub struct ClusterRow {
     pub allocs_per_op: f64,
 }
 
+/// One thread-scaling row: the same materialized, flush-drained cluster
+/// run at a given worker-pool width. Virtual-time metrics (IOPS,
+/// latency) are bit-identical across rows — only the host wall clock
+/// moves, which is the whole point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Worker-pool width (`--threads`).
+    pub threads: usize,
+    /// Host wall-clock for the whole run, milliseconds.
+    pub wall_ms: f64,
+    /// Completed client ops.
+    pub ops: u64,
+    /// Completed ops per wall-clock second.
+    pub ops_per_wall_sec: f64,
+    /// `wall_ms(threads=1) / wall_ms(this row)`.
+    pub speedup: f64,
+}
+
 /// The full report persisted as `BENCH_NN.json`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -75,10 +95,16 @@ pub struct BenchReport {
     pub bench_id: String,
     /// `--quick` runs trim windows and the scheme lineup.
     pub quick: bool,
+    /// Physical cores on the host that produced the stake — scaling
+    /// rows are only meaningful relative to this.
+    pub host_cores: usize,
     /// Kernel comparisons.
     pub micro: Vec<MicroRow>,
     /// End-to-end materialized runs.
     pub cluster: Vec<ClusterRow>,
+    /// Wall-clock thread-scaling ladder (empty when `--threads` ≤ 1;
+    /// absent from pre-v2 stakes).
+    pub scaling: Vec<ScalingRow>,
 }
 
 /// Calibrates a batch of `f` that fills `floor`; returns the batch size.
@@ -331,11 +357,66 @@ fn cluster_row(mut spec: ScenarioSpec, quick: bool) -> ClusterRow {
     }
 }
 
+/// Runs the scaling scenario once at `threads` pool workers and times
+/// the host wall clock. The spec is a flush-drained materialized TSUE
+/// run, so the measured window is dominated by exactly the byte kernels
+/// the pool parallelizes (payload gen, delta capture, Eq. 5 combine,
+/// parity XOR).
+fn scaling_row(quick: bool, threads: usize) -> ScalingRow {
+    let mut spec = ScenarioSpec::ssd(
+        "scale-tsue-flush",
+        TraceKind::Ten,
+        6,
+        4,
+        8,
+        SchemeSpec::tsue(),
+    );
+    spec.duration_ms = Some(if quick { 120 } else { 400 });
+    spec.file_mb = Some(if quick { 4 } else { 8 });
+    spec.flush_after = Some(true);
+    let registry = default_registry();
+    let builder = spec
+        .builder(&registry)
+        .expect("bench scenarios are valid")
+        .materialize(true)
+        .threads(threads);
+    let t0 = Instant::now();
+    let mut world = builder.build();
+    let mut sim: Sim<Cluster> = Sim::new();
+    run_workload(&mut world, &mut sim, spec.duration_ms() * MILLISECOND);
+    world.flush_all(&mut sim);
+    let wall = t0.elapsed().as_secs_f64();
+    let ops = world.core.metrics.ops_completed;
+    ScalingRow {
+        scenario: spec.name.clone(),
+        threads,
+        wall_ms: wall * 1e3,
+        ops,
+        ops_per_wall_sec: ops as f64 / wall.max(1e-9),
+        speedup: 1.0, // filled in once the threads=1 row exists
+    }
+}
+
+/// The `--threads N` ladder: powers of two up to `n`, plus `n` itself.
+fn thread_ladder(n: usize) -> Vec<usize> {
+    let n = n.max(1);
+    let mut ladder: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= n)
+        .collect();
+    if !ladder.contains(&n) {
+        ladder.push(n);
+    }
+    ladder
+}
+
 /// Assembles the full report: the kernel rows plus fig5/table1-shaped
-/// materialized runs (`--quick` trims windows and the scheme lineup).
-/// `bench_id` names the stake (derived from the output filename by
-/// `tsuectl bench`, so `--out BENCH_04.json` self-identifies correctly).
-pub fn bench_report(bench_id: &str, quick: bool) -> BenchReport {
+/// materialized runs (`--quick` trims windows and the scheme lineup),
+/// plus — when `threads > 1` — a wall-clock scaling ladder over the
+/// worker pool. `bench_id` names the stake (derived from the output
+/// filename by `tsuectl bench`, so `--out BENCH_05.json`
+/// self-identifies correctly).
+pub fn bench_report(bench_id: &str, quick: bool, threads: usize) -> BenchReport {
     let floor = if quick {
         Duration::from_millis(40)
     } else {
@@ -380,12 +461,27 @@ pub fn bench_report(bench_id: &str, quick: bool) -> BenchReport {
     t1.flush_after = Some(true);
     cluster.push(cluster_row(t1, quick));
 
+    let mut scaling = Vec::new();
+    if threads > 1 {
+        for t in thread_ladder(threads) {
+            scaling.push(scaling_row(quick, t));
+        }
+        let base = scaling[0].wall_ms;
+        for row in &mut scaling {
+            row.speedup = base / row.wall_ms.max(1e-9);
+        }
+    }
+
     BenchReport {
-        schema: "tsue-bench/v1".into(),
+        schema: "tsue-bench/v2".into(),
         bench_id: bench_id.to_string(),
         quick,
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         micro,
         cluster,
+        scaling,
     }
 }
 
@@ -429,6 +525,20 @@ pub fn render_bench(r: &BenchReport) -> String {
             c.bytes_copied_per_op,
             c.pool_hit_rate * 100.0
         );
+    }
+    if !r.scaling.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nscaling ({} host cores) {:<16} {:>8} {:>10} {:>14} {:>8}",
+            r.host_cores, "scenario", "threads", "wall_ms", "ops/wall_sec", "speedup"
+        );
+        for s in &r.scaling {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>8} {:>10.0} {:>14.0} {:>7.2}x",
+                s.scenario, s.threads, s.wall_ms, s.ops_per_wall_sec, s.speedup
+            );
+        }
     }
     out
 }

@@ -422,7 +422,23 @@ pub fn run_scenario_with(
     spec: &ScenarioSpec,
     registry: &SchemeRegistry,
 ) -> Result<RunResult, String> {
-    let mut world = spec.build_cluster(registry)?;
+    run_scenario_threads(spec, registry, 1)
+}
+
+/// [`run_scenario_with`] on `threads` pool workers. The thread count is
+/// an *execution* parameter, not part of the spec: results are
+/// bit-identical at any value (tick-barrier determinism — see
+/// [`tsue_sim::exec`]), which is exactly why it never appears in
+/// [`ScenarioSpec`] or the persisted goldens.
+///
+/// # Errors
+/// Fails on an invalid spec (unknown scheme, bad knobs, geometry).
+pub fn run_scenario_threads(
+    spec: &ScenarioSpec,
+    registry: &SchemeRegistry,
+    threads: usize,
+) -> Result<RunResult, String> {
+    let mut world = spec.builder(registry)?.threads(threads).build();
     let mut sim: Sim<Cluster> = Sim::new();
     // Window the zero-copy counters to the run itself (setup excluded).
     let buf_start = tsue_buf::stats();

@@ -41,4 +41,11 @@ pub use knobs::{register_tsue, TsueKnobs};
 pub use logpool::LogPool;
 pub use logunit::{BlockIndex, LogUnit, UnitId, UnitState, RECORD_HEADER};
 pub use residency::{LayerResidency, ResidencyStats, StatAcc};
+
+// TSUE state rides along when a cluster moves to a bench/test worker
+// thread; assert it stays free of `Rc`/`RefCell` interior state.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<tsue::Tsue>();
+};
 pub use tsue::{DeltaKey, Tsue, TsueConfig};

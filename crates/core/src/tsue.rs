@@ -511,26 +511,40 @@ impl Tsue {
             }
             collect_jobs_blockid(unit)
         };
-        // Apply content now, in unit (seal) order, so per-block newest-wins
-        // semantics hold even though the timed I/O below is paced.
-        let job_queue: VecDeque<RecycleJob> = jobs
-            .into_iter()
-            .map(|(block, off, newest)| {
-                let delta = match &newest.bytes {
-                    Some(new) => {
-                        // One pass over the store: capture new ⊕ old into a
-                        // pooled buffer and install the new content, with
-                        // no intermediate materialization of the old data.
-                        let d = core.osds[osd]
-                            .delta_poke_range(block, off, new)
-                            .expect("materialized block");
-                        Chunk::real(d)
-                    }
-                    None => Chunk::ghost(newest.len),
-                };
-                RecycleJob::Data(block, off, delta)
-            })
-            .collect();
+        // Apply content now, at seal time, so per-block newest-wins
+        // semantics hold even though the timed I/O below is paced. The
+        // unit's merged ranges are pairwise disjoint, so capture jobs
+        // commute — fan the byte work across the cluster pool when the
+        // unit is big enough to pay for the barrier.
+        let capture = |(block, off, newest): (BlockId, u64, Chunk), store: &tsue_ecfs::Osd| {
+            let delta = match &newest.bytes {
+                Some(new) => {
+                    // One pass over the store: capture new ⊕ old into a
+                    // pooled buffer and install the new content, with
+                    // no intermediate materialization of the old data.
+                    let d = store
+                        .delta_poke_range(block, off, new)
+                        .expect("materialized block");
+                    Chunk::real(d)
+                }
+                None => Chunk::ghost(newest.len),
+            };
+            RecycleJob::Data(block, off, delta)
+        };
+        let real_bytes: u64 = jobs
+            .iter()
+            .map(|(_, _, c)| if c.bytes.is_some() { c.len } else { 0 })
+            .sum();
+        let job_queue: VecDeque<RecycleJob> = if core.pool.worth_splitting(jobs.len(), real_bytes) {
+            let store = &core.osds[osd];
+            core.pool
+                .run(jobs, |_, job| capture(job, store))
+                .into_iter()
+                .collect()
+        } else {
+            let store = &core.osds[osd];
+            jobs.into_iter().map(|job| capture(job, store)).collect()
+        };
         self.inflight.insert(
             uid,
             InflightUnit {
@@ -726,15 +740,23 @@ impl Tsue {
             for roles in grouped.values_mut() {
                 roles.sort_by_key(|(role, _)| *role);
             }
+            // Pass 1 (coordinator): group spans per (stripe, parity)
+            // target and charge the CPU model — workers below need only
+            // `&RsCode`, never the clock or the cost model.
+            //
+            // Eq. (5): one combined parity delta stream per parity.
+            // Same-(offset, length) ranges across roles — the common
+            // case under stripe-wide locality — combine through one
+            // shared accumulator; everything else scales into its
+            // own pooled buffer. XOR associativity makes the final
+            // map identical either way.
+            // (group index, parity index, offset, length, contributors).
+            type SpanJob<'a> = (usize, usize, u64, u64, Vec<(usize, &'a [u8])>);
+            let mut groups: Vec<(u64, usize, RangeMap)> = Vec::new();
+            let mut span_jobs: Vec<SpanJob<'_>> = Vec::new();
+            let mut span_bytes: u64 = 0;
             for (&gstripe, roles) in &grouped {
-                let (file, stripe) = core.mds.locate_stripe(gstripe);
                 for j in 0..m {
-                    // Eq. (5): one combined parity delta stream per parity.
-                    // Same-(offset, length) ranges across roles — the common
-                    // case under stripe-wide locality — combine through one
-                    // shared accumulator; everything else scales into its
-                    // own pooled buffer. XOR associativity makes the final
-                    // map identical either way.
                     let mut combined = RangeMap::new();
                     let mut spans: SpanGroups<'_> = SpanGroups::new();
                     for (role, ranges) in roles {
@@ -749,21 +771,44 @@ impl Tsue {
                             }
                         }
                     }
+                    let gidx = groups.len();
                     for ((off, len), contribs) in spans {
-                        let mut acc = tsue_buf::BytesMut::take(len as usize);
-                        core.rs
-                            .fill_combined_parity_delta(j, &contribs, acc.as_mut());
-                        combined.insert_xor(off, Chunk::real(acc.freeze()));
+                        span_bytes += len;
+                        span_jobs.push((gidx, j, off, len, contribs));
                     }
-                    let peer = core.owner_of(gstripe, k + j);
-                    let carrier = BlockId {
-                        file,
-                        stripe,
-                        role: 0,
-                    };
-                    for (off, chunk) in combined.drain() {
-                        sends.push((peer, carrier, off, chunk, j));
-                    }
+                    groups.push((gstripe, j, combined));
+                }
+            }
+            // Pass 2: the fused multiply-accumulate kernels. Each job
+            // fills its own fresh accumulator from read-only borrows, so
+            // the fan-out is bytewise-deterministic at any thread count.
+            let rs = &core.rs;
+            let fill = |(gidx, j, off, len, contribs): SpanJob<'_>| {
+                let mut acc = tsue_buf::BytesMut::take(len as usize);
+                rs.fill_combined_parity_delta(j, &contribs, acc.as_mut());
+                (gidx, off, acc.freeze())
+            };
+            let filled: Vec<(usize, u64, tsue_buf::Bytes)> =
+                if core.pool.worth_splitting(span_jobs.len(), span_bytes) {
+                    core.pool.run(span_jobs, |_, job| fill(job))
+                } else {
+                    span_jobs.into_iter().map(fill).collect()
+                };
+            // Pass 3 (coordinator): fold results back in submission order
+            // and emit sends per (stripe, parity) group.
+            for (gidx, off, bytes) in filled {
+                groups[gidx].2.insert_xor(off, Chunk::real(bytes));
+            }
+            for (gstripe, j, mut combined) in groups {
+                let (file, stripe) = core.mds.locate_stripe(gstripe);
+                let peer = core.owner_of(gstripe, k + j);
+                let carrier = BlockId {
+                    file,
+                    stripe,
+                    role: 0,
+                };
+                for (off, chunk) in combined.drain() {
+                    sends.push((peer, carrier, off, chunk, j));
                 }
             }
         }
@@ -824,17 +869,30 @@ impl Tsue {
         };
         let _ = now;
         // Apply parity XOR content now (order-free: XOR commutes), pace the
-        // timed read-modify-writes below.
-        let job_queue: VecDeque<RecycleJob> = jobs
-            .into_iter()
-            .map(|(pblock, off, delta)| {
-                if let Some(d) = delta.bytes.as_ref() {
-                    // In-place XOR into the store — no peek/poke round trip.
-                    core.osds[osd].xor_poke_range(pblock, off, d);
-                }
-                RecycleJob::Parity(pblock, off, delta.len)
-            })
-            .collect();
+        // timed read-modify-writes below. Commutativity is exactly the
+        // tick-barrier determinism condition, so the application fans out
+        // across the worker pool for large units.
+        let apply = |(pblock, off, delta): (BlockId, u64, Chunk), store: &tsue_ecfs::Osd| {
+            if let Some(d) = delta.bytes.as_ref() {
+                // In-place XOR into the store — no peek/poke round trip.
+                store.xor_poke_range(pblock, off, d);
+            }
+            RecycleJob::Parity(pblock, off, delta.len)
+        };
+        let real_bytes: u64 = jobs
+            .iter()
+            .map(|(_, _, c)| if c.bytes.is_some() { c.len } else { 0 })
+            .sum();
+        let job_queue: VecDeque<RecycleJob> = if core.pool.worth_splitting(jobs.len(), real_bytes) {
+            let store = &core.osds[osd];
+            core.pool
+                .run(jobs, |_, job| apply(job, store))
+                .into_iter()
+                .collect()
+        } else {
+            let store = &core.osds[osd];
+            jobs.into_iter().map(|job| apply(job, store)).collect()
+        };
         self.inflight.insert(
             uid,
             InflightUnit {

@@ -160,6 +160,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Worker threads for byte-kernel parallelism. `1` (the default)
+    /// runs everything inline; any value yields bit-identical results
+    /// (see [`tsue_sim::exec`] for the tick-barrier rules).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n;
+        self
+    }
+
     /// Installs an update scheme via an explicit per-OSD constructor.
     pub fn scheme_fn<F>(mut self, make: F) -> Self
     where

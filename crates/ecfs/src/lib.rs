@@ -19,6 +19,8 @@
 //! Schemes on different OSDs interact only through scheduled messages,
 //! mirroring the real system's RPCs and keeping borrows disjoint.
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod client;
 pub mod journal;
@@ -32,6 +34,7 @@ pub mod recovery;
 pub mod registry;
 pub mod resync;
 pub mod scheme;
+pub mod shard;
 pub mod verify;
 
 pub use builder::ClusterBuilder;
@@ -53,12 +56,13 @@ pub use resync::{heal_node, start_resync, HealStats, ResyncState, ResyncStats};
 pub use scheme::{
     deliver_read, deliver_update, Chunk, InstantScheme, SchemeMsg, UpdateReq, UpdateScheme,
 };
+pub use shard::{ShardKey, ShardedMap, SHARDS, STRIPE_GROUP};
 pub use verify::{check_consistency, check_data_blocks, check_parity, reference_data};
 
 use tsue_device::{Device, HddModel, SsdModel};
 use tsue_ec::{RsCode, StripeConfig};
 use tsue_net::{NetModel, NetSpec, NodeId, Topology};
-use tsue_sim::{Sim, Time, MICROSECOND, MILLISECOND};
+use tsue_sim::{Sim, Time, WorkerPool, MICROSECOND, MILLISECOND};
 
 /// Which device model backs each OSD.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -160,6 +164,12 @@ pub struct ClusterConfig {
     pub record_arrivals: bool,
     /// Master seed for workload generation.
     pub seed: u64,
+    /// Worker threads for byte-kernel parallelism (encode, replay,
+    /// rebuild decode). `1` runs everything inline on the coordinator.
+    /// An execution parameter, not an experiment parameter: results are
+    /// bit-identical at any thread count (see [`tsue_sim::exec`]), so
+    /// scenario specs and goldens never record it.
+    pub threads: usize,
 }
 
 impl ClusterConfig {
@@ -181,6 +191,7 @@ impl ClusterConfig {
             journal: true,
             record_arrivals: false,
             seed: 42,
+            threads: 1,
         }
     }
 
@@ -227,6 +238,9 @@ pub struct ClusterCore {
     pub journal: DegradedJournal,
     /// Heal-time re-sync bookkeeping (see [`resync`]).
     pub resync: ResyncState,
+    /// Worker pool for byte-kernel parallelism inside single events
+    /// (tick-barrier model — see [`tsue_sim::exec`]).
+    pub pool: WorkerPool,
 }
 
 /// The DES world: core + pluggable per-OSD schemes.
@@ -287,6 +301,7 @@ impl Cluster {
             recovery: RecoveryState::default(),
             journal: DegradedJournal::default(),
             resync: ResyncState::default(),
+            pool: WorkerPool::new(cfg.threads),
             cfg,
         };
         let mut world = Cluster { schemes, core };

@@ -3,7 +3,7 @@
 //! rehome table filled by online recovery (a rebuilt block's new home
 //! overrides the placement policy until the layout is next rebalanced).
 
-use std::collections::{HashMap, HashSet};
+use crate::shard::ShardedMap;
 
 /// File identifier.
 pub type FileId = u32;
@@ -32,15 +32,19 @@ pub struct Mds {
     files: Vec<FileMeta>,
     next_stripe: u64,
     /// Pages that have been written at least once: `(file, page_index)`.
-    written_pages: HashSet<(FileId, u64)>,
+    /// Sharded by page group so parallel client batches touching
+    /// different stripe groups never contend on one lock.
+    written_pages: ShardedMap<(FileId, u64), ()>,
     /// Liveness per OSD node.
     alive: Vec<bool>,
     /// Recovery overrides: `(global stripe, role)` → new home OSD.
-    rehomed: HashMap<(u64, usize), usize>,
+    /// Sharded by stripe group: rebuild completions for independent
+    /// stripe groups rehome concurrently.
+    rehomed: ShardedMap<(u64, usize), usize>,
     /// Parity blocks known to have missed deltas (the delta NACK-bounced
     /// off a dead owner): `(global stripe, role)`. Cleared when recovery
     /// re-encodes the block or a heal-time re-sync recomputes it.
-    dirty_parity: HashSet<(u64, usize)>,
+    dirty_parity: ShardedMap<(u64, usize), ()>,
 }
 
 impl Mds {
@@ -49,10 +53,10 @@ impl Mds {
         Mds {
             files: Vec::new(),
             next_stripe: 0,
-            written_pages: HashSet::new(),
+            written_pages: ShardedMap::new(),
             alive: vec![true; osds],
-            rehomed: HashMap::new(),
-            dirty_parity: HashSet::new(),
+            rehomed: ShardedMap::new(),
+            dirty_parity: ShardedMap::new(),
         }
     }
 
@@ -98,7 +102,7 @@ impl Mds {
     pub fn mark_prepopulated(&mut self, file: FileId) {
         let size = self.file(file).size;
         for p in 0..size.div_ceil(MDS_PAGE) {
-            self.written_pages.insert((file, p));
+            self.written_pages.insert((file, p), ());
         }
     }
 
@@ -111,7 +115,7 @@ impl Mds {
         let last = (offset + len.max(1) - 1) / MDS_PAGE;
         let mut all_old = true;
         for p in first..=last {
-            if self.written_pages.insert((file, p)) {
+            if self.written_pages.insert((file, p), ()).is_none() {
                 all_old = false;
             }
         }
@@ -144,13 +148,20 @@ impl Mds {
         self.rehomed.insert((gstripe, role), node);
     }
 
+    /// Shared-plane [`Mds::rehome`]: takes only the stripe group's
+    /// segment lock, so rebuild workers on disjoint stripe groups
+    /// rehome without serializing on the whole table.
+    pub fn rehome_shared(&self, gstripe: u64, role: usize, node: usize) {
+        self.rehomed.insert_shared((gstripe, role), node);
+    }
+
     /// The recovery override for `(gstripe, role)`, if any. A single map
     /// lookup: an empty-map short-circuit would race the staleness that
     /// reclaim introduces (an entry removed between the emptiness check
     /// and the read), and the lookup is already free on an empty map.
     #[inline]
     pub fn rehomed(&self, gstripe: u64, role: usize) -> Option<usize> {
-        self.rehomed.get(&(gstripe, role)).copied()
+        self.rehomed.read(&(gstripe, role))
     }
 
     /// Removes the recovery override for `(gstripe, role)` — the healed
@@ -160,6 +171,11 @@ impl Mds {
         self.rehomed.remove(&(gstripe, role))
     }
 
+    /// Shared-plane [`Mds::reclaim`] for workers holding `&Mds`.
+    pub fn reclaim_shared(&self, gstripe: u64, role: usize) -> Option<usize> {
+        self.rehomed.remove_shared(&(gstripe, role))
+    }
+
     /// Number of rehomed blocks (recovery progress / diagnostics).
     pub fn rehomed_count(&self) -> usize {
         self.rehomed.len()
@@ -167,15 +183,13 @@ impl Mds {
 
     /// All rehome overrides, sorted for deterministic scheduling.
     pub fn rehomed_entries(&self) -> Vec<((u64, usize), usize)> {
-        let mut v: Vec<_> = self.rehomed.iter().map(|(&k, &n)| (k, n)).collect();
-        v.sort_unstable();
-        v
+        self.rehomed.entries_sorted()
     }
 
     /// Marks a parity block as having missed a delta (its owner was dead
     /// when the delta arrived, so the update bounced).
     pub fn mark_parity_dirty(&mut self, gstripe: u64, role: usize) {
-        self.dirty_parity.insert((gstripe, role));
+        self.dirty_parity.insert((gstripe, role), ());
     }
 
     /// Clears the missed-delta mark (the block was re-encoded from data).
@@ -185,9 +199,7 @@ impl Mds {
 
     /// Dirty parity blocks, sorted for deterministic scheduling.
     pub fn dirty_parity_entries(&self) -> Vec<(u64, usize)> {
-        let mut v: Vec<_> = self.dirty_parity.iter().copied().collect();
-        v.sort_unstable();
-        v
+        self.dirty_parity.keys_sorted()
     }
 
     /// Number of parity blocks still missing deltas.

@@ -7,7 +7,7 @@
 //! (correctness) mode; the device model is timing/wear-only either way.
 
 use crate::mds::FileId;
-use std::collections::HashMap;
+use crate::shard::ShardedMap;
 use tsue_buf::{Bytes, BytesMut};
 use tsue_device::{Device, IoKind, StreamId};
 use tsue_sim::Time;
@@ -43,13 +43,19 @@ pub const STREAM_JOURNAL: StreamId = 15;
 pub const STREAM_SCHEME_BASE: StreamId = 16;
 
 /// One storage server.
+///
+/// The block store is sharded ([`ShardedMap`], segments keyed by stripe
+/// group), so the **content plane** — byte reads/writes decoupled from
+/// device timing — is `&self` and safe to drive from worker threads
+/// inside a tick barrier, while the **timing plane** (device submits)
+/// stays `&mut self` on the coordinator.
 pub struct Osd {
     /// Network node id (OSDs occupy ids `0..cfg.osds`).
     pub node: usize,
     /// The backing device model.
     pub device: Device,
-    /// Blocks hosted here.
-    pub blocks: HashMap<BlockId, StoredBlock>,
+    /// Blocks hosted here, behind per-stripe-group lock segments.
+    store: ShardedMap<BlockId, StoredBlock>,
     /// True once [`crate::fail_node`] kills this node.
     pub dead: bool,
     next_offset: u64,
@@ -61,7 +67,7 @@ impl Osd {
         Osd {
             node,
             device,
-            blocks: HashMap::new(),
+            store: ShardedMap::new(),
             dead: false,
             next_offset: 0,
         }
@@ -85,7 +91,7 @@ impl Osd {
         self.device
             .submit(0, IoKind::Write, dev_offset, block_size, STREAM_BLOCK);
         let data = materialize.then(|| vec![0u8; block_size as usize].into_boxed_slice());
-        self.blocks.insert(id, StoredBlock { dev_offset, data });
+        self.store.insert(id, StoredBlock { dev_offset, data });
     }
 
     /// Device offset of a hosted block.
@@ -93,12 +99,20 @@ impl Osd {
     /// # Panics
     /// Panics if the block is not hosted here.
     pub fn block_offset(&self, id: BlockId) -> u64 {
-        self.blocks[&id].dev_offset
+        self.store
+            .with(&id, |b| b.map(|b| b.dev_offset))
+            .expect("block not hosted here")
     }
 
     /// True if this OSD hosts `id`.
     pub fn hosts(&self, id: BlockId) -> bool {
-        self.blocks.contains_key(&id)
+        self.store.contains(&id)
+    }
+
+    /// Every hosted block id, sorted (deterministic scheduling source
+    /// for recovery and re-sync listings).
+    pub fn block_ids(&self) -> Vec<BlockId> {
+        self.store.keys_sorted()
     }
 
     /// Reads `[off, off+len)` of a block: charges a device read and returns
@@ -114,11 +128,13 @@ impl Osd {
         off: u64,
         len: u64,
     ) -> (Time, Option<Bytes>) {
-        let b = self.blocks.get(&id).expect("block not hosted here");
-        let dev_off = b.dev_offset + off;
-        let data = b.data.as_ref().map(|d| {
-            assert!((off + len) as usize <= d.len(), "read beyond block");
-            Bytes::copy_from_slice(&d[off as usize..(off + len) as usize])
+        let (dev_off, data) = self.store.with(&id, |b| {
+            let b = b.expect("block not hosted here");
+            let data = b.data.as_ref().map(|d| {
+                assert!((off + len) as usize <= d.len(), "read beyond block");
+                Bytes::copy_from_slice(&d[off as usize..(off + len) as usize])
+            });
+            (b.dev_offset + off, data)
         });
         let t = self
             .device
@@ -139,13 +155,15 @@ impl Osd {
         len: u64,
         data: Option<&[u8]>,
     ) -> Time {
-        let b = self.blocks.get_mut(&id).expect("block not hosted here");
-        if let (Some(store), Some(src)) = (b.data.as_mut(), data) {
-            assert_eq!(src.len() as u64, len, "payload length mismatch");
-            assert!((off + len) as usize <= store.len(), "write beyond block");
-            store[off as usize..(off + len) as usize].copy_from_slice(src);
-        }
-        let dev_off = b.dev_offset + off;
+        let dev_off = {
+            let b = self.store.get_mut(&id).expect("block not hosted here");
+            if let (Some(store), Some(src)) = (b.data.as_mut(), data) {
+                assert_eq!(src.len() as u64, len, "payload length mismatch");
+                assert!((off + len) as usize <= store.len(), "write beyond block");
+                store[off as usize..(off + len) as usize].copy_from_slice(src);
+            }
+            b.dev_offset + off
+        };
         self.device
             .submit(now, IoKind::Write, dev_off, len, STREAM_BLOCK)
     }
@@ -166,81 +184,99 @@ impl Osd {
         // Read-modify-write on the device, with the XOR cost in between.
         // The XOR is applied directly into the block store — no buffer
         // materializes on this path.
-        let b = self.blocks.get_mut(&id).expect("block not hosted here");
-        let dev_off = b.dev_offset + off;
+        let dev_off = {
+            let b = self.store.get_mut(&id).expect("block not hosted here");
+            if let (Some(store), Some(d)) = (b.data.as_mut(), delta) {
+                assert_eq!(d.len() as u64, len, "delta length mismatch");
+                tsue_gf::xor_slice(d, &mut store[off as usize..(off + len) as usize]);
+            }
+            b.dev_offset + off
+        };
         let t_read = self
             .device
             .submit(now, IoKind::Read, dev_off, len, STREAM_BLOCK);
-        if let (Some(store), Some(d)) = (b.data.as_mut(), delta) {
-            assert_eq!(d.len() as u64, len, "delta length mismatch");
-            tsue_gf::xor_slice(d, &mut store[off as usize..(off + len) as usize]);
-        }
         self.device
             .submit(t_read + compute, IoKind::Write, dev_off, len, STREAM_BLOCK)
     }
 
     /// Content-only read of a block range (no device charge) — used when
     /// content application and timing accounting are decoupled. Returns a
-    /// pool-recycled buffer.
+    /// pool-recycled buffer. `&self`: safe from worker threads (segment
+    /// read lock).
     pub fn peek_block_range(&self, id: BlockId, off: u64, len: u64) -> Option<Bytes> {
-        self.blocks.get(&id).and_then(|b| {
-            b.data
-                .as_ref()
-                .map(|d| Bytes::copy_from_slice(&d[off as usize..(off + len) as usize]))
+        self.store.with(&id, |b| {
+            b.and_then(|b| {
+                b.data
+                    .as_ref()
+                    .map(|d| Bytes::copy_from_slice(&d[off as usize..(off + len) as usize]))
+            })
         })
     }
 
     /// Content-only XOR of `delta` into a block range (no device charge,
     /// no intermediate buffer) — the zero-copy counterpart of peek → xor →
-    /// poke on paths that decouple content from timing.
-    pub fn xor_poke_range(&mut self, id: BlockId, off: u64, delta: &[u8]) {
-        if let Some(store) = self.blocks.get_mut(&id).and_then(|b| b.data.as_mut()) {
-            tsue_gf::xor_slice(delta, &mut store[off as usize..off as usize + delta.len()]);
-        }
+    /// poke on paths that decouple content from timing. `&self`: safe
+    /// from worker threads (segment write lock); XOR commutes, so even
+    /// overlapping worker ranges stay deterministic.
+    pub fn xor_poke_range(&self, id: BlockId, off: u64, delta: &[u8]) {
+        self.store.with_mut(&id, |b| {
+            if let Some(store) = b.and_then(|b| b.data.as_mut()) {
+                tsue_gf::xor_slice(delta, &mut store[off as usize..off as usize + delta.len()]);
+            }
+        });
     }
 
     /// Content-only delta capture: writes `new ⊕ current` for
     /// `[off, off + new.len())` into a pool-recycled buffer and replaces
     /// the stored range with `new`, in one pass over the store (no device
     /// charge — the timed I/O is charged separately by the caller).
-    /// Returns `None` when the block is not materialized.
-    pub fn delta_poke_range(&mut self, id: BlockId, off: u64, new: &[u8]) -> Option<Bytes> {
-        let store = self.blocks.get_mut(&id).and_then(|b| b.data.as_mut())?;
-        let dst = &mut store[off as usize..off as usize + new.len()];
-        let mut d = BytesMut::take(new.len());
-        tsue_gf::xor_into(dst, new, d.as_mut());
-        dst.copy_from_slice(new);
-        Some(d.freeze())
+    /// Returns `None` when the block is not materialized. `&self`: safe
+    /// from worker threads provided jobs touch disjoint ranges (the
+    /// recycle planner guarantees it — merged ranges never overlap).
+    pub fn delta_poke_range(&self, id: BlockId, off: u64, new: &[u8]) -> Option<Bytes> {
+        self.store.with_mut(&id, |b| {
+            let store = b.and_then(|b| b.data.as_mut())?;
+            let dst = &mut store[off as usize..off as usize + new.len()];
+            let mut d = BytesMut::take(new.len());
+            tsue_gf::xor_into(dst, new, d.as_mut());
+            dst.copy_from_slice(new);
+            Some(d.freeze())
+        })
     }
 
-    /// Content-only write of a block range (no device charge).
-    pub fn poke_block_range(&mut self, id: BlockId, off: u64, data: Option<&[u8]>) {
-        if let (Some(b), Some(src)) = (self.blocks.get_mut(&id), data) {
-            if let Some(store) = b.data.as_mut() {
-                store[off as usize..off as usize + src.len()].copy_from_slice(src);
-            }
+    /// Content-only write of a block range (no device charge). `&self`:
+    /// safe from worker threads on disjoint ranges.
+    pub fn poke_block_range(&self, id: BlockId, off: u64, data: Option<&[u8]>) {
+        if let Some(src) = data {
+            self.store.with_mut(&id, |b| {
+                if let Some(store) = b.and_then(|b| b.data.as_mut()) {
+                    store[off as usize..off as usize + src.len()].copy_from_slice(src);
+                }
+            });
         }
     }
 
     /// Mutable access to materialized block bytes (tests, recovery).
     pub fn block_data_mut(&mut self, id: BlockId) -> Option<&mut [u8]> {
-        self.blocks.get_mut(&id).and_then(|b| b.data.as_deref_mut())
+        self.store.get_mut(&id).and_then(|b| b.data.as_deref_mut())
     }
 
-    /// Immutable access to materialized block bytes.
-    pub fn block_data(&self, id: BlockId) -> Option<&[u8]> {
-        self.blocks.get(&id).and_then(|b| b.data.as_deref())
+    /// Runs `f` over the materialized bytes of `id` (verification,
+    /// reference checks) under the segment read lock.
+    pub fn with_block_data<R>(&self, id: BlockId, f: impl FnOnce(Option<&[u8]>) -> R) -> R {
+        self.store
+            .with(&id, |b| f(b.and_then(|b| b.data.as_deref())))
     }
 
     /// Drops a block (node failure cleanup / migration source).
     pub fn evict_block(&mut self, id: BlockId) -> Option<StoredBlock> {
-        self.blocks.remove(&id)
+        self.store.remove(&id)
     }
 
     /// Installs a reconstructed block.
     pub fn install_block(&mut self, id: BlockId, block_size: u64, data: Option<Box<[u8]>>) {
         let dev_offset = self.alloc_region(block_size);
-        self.blocks.insert(id, StoredBlock { dev_offset, data });
+        self.store.insert(id, StoredBlock { dev_offset, data });
     }
 
     /// Zeroes the accumulated device statistics (end of setup phase).
@@ -326,6 +362,6 @@ mod tests {
         o.provision_block(bid(1, 0), 4096, false);
         let (_, data) = o.read_block_range(0, bid(1, 0), 0, 128);
         assert!(data.is_none());
-        assert!(o.block_data(bid(1, 0)).is_none());
+        assert!(o.with_block_data(bid(1, 0), |d| d.is_none()));
     }
 }

@@ -28,7 +28,7 @@
 //! loss is a reportable outcome, not a simulator bug.
 
 use crate::osd::BlockId;
-use crate::Cluster;
+use crate::{Cluster, ClusterCore};
 use std::collections::VecDeque;
 use tsue_buf::Bytes;
 use tsue_sim::{Sim, Time};
@@ -232,7 +232,7 @@ pub fn reap_stalled_ops(world: &mut Cluster, sim: &mut Sim<Cluster>, deadline: T
 pub fn start_recovery(world: &mut Cluster, sim: &mut Sim<Cluster>, victims: &[usize]) -> u64 {
     let mut lost: Vec<BlockId> = victims
         .iter()
-        .flat_map(|&v| world.core.osds[v].blocks.keys().copied())
+        .flat_map(|&v| world.core.osds[v].block_ids())
         .collect();
     // Deterministic rebuild order regardless of HashMap iteration.
     lost.sort_unstable();
@@ -458,12 +458,42 @@ fn spawn_rebuild(world: &mut Cluster, sim: &mut Sim<Cluster>, block: BlockId, ph
                     shards.push((role, bytes));
                 }
             }
-            let borrowed: Vec<(usize, &[u8])> =
-                shards.iter().map(|(r, b)| (*r, b.as_slice())).collect();
-            if let Some(out) = core.osds[target].block_data_mut(block) {
-                core.rs
-                    .reconstruct_one(&borrowed, block.role, out)
-                    .expect("k survivors by construction");
+            // Field-split so workers can read `rs` while the target
+            // block's buffer is borrowed mutably for in-place decode.
+            let ClusterCore { osds, rs, pool, .. } = core;
+            if let Some(out) = osds[target].block_data_mut(block) {
+                let parts = pool.threads();
+                if pool.worth_splitting(parts, block_size) {
+                    // Chunk-split the decode: GF reconstruction is
+                    // bytewise, so disjoint output segments decoded from
+                    // the matching survivor segments are bit-identical
+                    // to one full-range pass at any thread count.
+                    let mut segments: Vec<((usize, usize), &mut [u8])> = Vec::new();
+                    let mut rest = out;
+                    let mut start = 0usize;
+                    for (s, e) in tsue_sim::chunk_ranges(block_size as usize, parts) {
+                        let (head, tail) = rest.split_at_mut(e - s);
+                        segments.push(((s, e), head));
+                        rest = tail;
+                        start = e;
+                    }
+                    debug_assert_eq!(start, block_size as usize);
+                    let rs = &*rs;
+                    let shards = &shards;
+                    pool.run(segments, |_, ((s, e), seg_out)| {
+                        let seg: Vec<(usize, &[u8])> = shards
+                            .iter()
+                            .map(|(r, b)| (*r, &b.as_slice()[s..e]))
+                            .collect();
+                        rs.reconstruct_one(&seg, block.role, seg_out)
+                            .expect("k survivors by construction");
+                    });
+                } else {
+                    let borrowed: Vec<(usize, &[u8])> =
+                        shards.iter().map(|(r, b)| (*r, b.as_slice())).collect();
+                    rs.reconstruct_one(&borrowed, block.role, out)
+                        .expect("k survivors by construction");
+                }
             }
         }
         // Acked failure-window writes parked in the degraded-write

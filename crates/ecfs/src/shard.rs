@@ -1,0 +1,289 @@
+//! Fine-grained sharded maps for the structures worker threads touch.
+//!
+//! [`ShardedMap`] splits a hash map into a fixed number of
+//! independently-locked segments (`parking_lot::RwLock` per shard, in
+//! the spirit of TFS's `chashmap`), keyed by **stripe group**: stripes
+//! are binned in runs of [`STRIPE_GROUP`] so the ranges one recycle or
+//! rebuild job touches land in one segment, and jobs on different
+//! stripe groups proceed without contending.
+//!
+//! Two access planes, matching the cluster's two execution modes:
+//!
+//! * **Sequential (coordinator)** — `&mut self` methods (`get_mut`,
+//!   `insert`, `remove`) go through [`RwLock::get_mut`], which is a
+//!   plain field access: the single-threaded hot path pays only the
+//!   shard-index hash, no atomics.
+//! * **Shared (workers inside a tick barrier)** — `&self` methods
+//!   (`read`, `with`, `with_mut`) take the segment lock. Determinism
+//!   does not come from the locks (they only make racing mutations
+//!   *safe*); it comes from the tick-barrier rules in
+//!   [`tsue_sim::exec`]: jobs write disjoint keys/ranges, so lock
+//!   acquisition order cannot change any observable byte.
+
+use parking_lot::RwLock;
+use std::hash::Hash;
+
+/// Number of lock segments. A small power of two: enough that eight
+/// workers rarely collide, small enough that draining every shard
+/// (iteration, len) stays cheap.
+pub const SHARDS: usize = 16;
+
+/// Stripes per shard-key bin: consecutive stripes share a segment so
+/// one stripe-group job stays on one lock.
+pub const STRIPE_GROUP: u64 = 4;
+
+/// Maps a key to its lock segment.
+///
+/// Implementations bin by stripe group where a stripe index is
+/// available, so per-stripe-group jobs are segment-disjoint.
+pub trait ShardKey: Hash + Eq {
+    /// Segment index in `0..SHARDS`.
+    fn shard(&self) -> usize;
+}
+
+fn spread(x: u64) -> usize {
+    // Fibonacci hashing: cheap, and adjacent groups land on distinct
+    // segments.
+    (x.wrapping_mul(0x9e3779b97f4a7c15) >> 59) as usize % SHARDS
+}
+
+impl ShardKey for crate::osd::BlockId {
+    fn shard(&self) -> usize {
+        spread((self.stripe / STRIPE_GROUP) ^ ((self.file as u64) << 32))
+    }
+}
+
+/// `(global stripe, role)` keys — the MDS rehome/dirty-parity tables.
+impl ShardKey for (u64, usize) {
+    fn shard(&self) -> usize {
+        spread(self.0 / STRIPE_GROUP)
+    }
+}
+
+/// `(file, page)` keys — the MDS write/update bitmap.
+impl ShardKey for (crate::mds::FileId, u64) {
+    fn shard(&self) -> usize {
+        spread((self.1 / STRIPE_GROUP) ^ ((self.0 as u64) << 32))
+    }
+}
+
+/// A hash map split into [`SHARDS`] independently-locked segments.
+pub struct ShardedMap<K, V> {
+    shards: Vec<RwLock<std::collections::HashMap<K, V>>>,
+}
+
+impl<K: ShardKey, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: ShardKey, V> ShardedMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        ShardedMap {
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(Default::default()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &K) -> &RwLock<std::collections::HashMap<K, V>> {
+        &self.shards[key.shard()]
+    }
+
+    // ---- sequential plane (&mut self: no lock traffic) ----
+
+    /// Inserts, returning the previous value.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let s = key.shard();
+        self.shards[s].get_mut().insert(key, value)
+    }
+
+    /// Removes, returning the value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.shards[key.shard()].get_mut().remove(key)
+    }
+
+    /// Mutable value access on the sequential plane.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.shards[key.shard()].get_mut().get_mut(key)
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        for s in &mut self.shards {
+            s.get_mut().clear();
+        }
+    }
+
+    // ---- shared plane (&self: per-segment locks) ----
+
+    /// Copies the value out under a read lock.
+    pub fn read(&self, key: &K) -> Option<V>
+    where
+        V: Copy,
+    {
+        self.shard_of(key).read().get(key).copied()
+    }
+
+    /// Runs `f` over the value (if present) under a read lock.
+    pub fn with<R>(&self, key: &K, f: impl FnOnce(Option<&V>) -> R) -> R {
+        f(self.shard_of(key).read().get(key))
+    }
+
+    /// Runs `f` over the value (if present) under the segment's write
+    /// lock — the worker-side mutation primitive. Jobs inside one tick
+    /// barrier must keep their writes disjoint (or commutative) per the
+    /// determinism rules in [`tsue_sim::exec`].
+    pub fn with_mut<R>(&self, key: &K, f: impl FnOnce(Option<&mut V>) -> R) -> R {
+        f(self.shard_of(key).write().get_mut(key))
+    }
+
+    /// Inserts under the segment's write lock (worker plane); returns
+    /// the previous value.
+    pub fn insert_shared(&self, key: K, value: V) -> Option<V> {
+        let s = key.shard();
+        self.shards[s].write().insert(key, value)
+    }
+
+    /// Removes under the segment's write lock (worker plane).
+    pub fn remove_shared(&self, key: &K) -> Option<V> {
+        self.shard_of(key).write().remove(key)
+    }
+
+    /// Whether `key` is present (read lock).
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard_of(key).read().contains_key(key)
+    }
+
+    /// Total entries across all segments.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no segment has entries.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// All keys, sorted — segment iteration order is arbitrary, so every
+    /// caller that schedules work from a listing sorts here.
+    pub fn keys_sorted(&self) -> Vec<K>
+    where
+        K: Ord + Clone,
+    {
+        let mut out: Vec<K> = Vec::new();
+        for s in &self.shards {
+            out.extend(s.read().keys().cloned());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All entries, sorted by key.
+    pub fn entries_sorted(&self) -> Vec<(K, V)>
+    where
+        K: Ord + Clone,
+        V: Clone,
+    {
+        let mut out: Vec<(K, V)> = Vec::new();
+        for s in &self.shards {
+            out.extend(s.read().iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osd::BlockId;
+
+    fn bid(stripe: u64, role: usize) -> BlockId {
+        BlockId {
+            file: 0,
+            stripe,
+            role,
+        }
+    }
+
+    #[test]
+    fn sequential_roundtrip() {
+        let mut m: ShardedMap<BlockId, u32> = ShardedMap::new();
+        assert!(m.is_empty());
+        m.insert(bid(0, 0), 1);
+        m.insert(bid(100, 3), 2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.read(&bid(0, 0)), Some(1));
+        *m.get_mut(&bid(100, 3)).unwrap() = 9;
+        assert_eq!(m.remove(&bid(100, 3)), Some(9));
+        assert!(!m.contains(&bid(100, 3)));
+    }
+
+    #[test]
+    fn stripe_group_shares_a_segment() {
+        // Stripes in one group (and their roles) always co-locate.
+        for g in 0..64u64 {
+            let base = bid(g * STRIPE_GROUP, 0).shard();
+            for s in 0..STRIPE_GROUP {
+                for role in 0..4 {
+                    assert_eq!(bid(g * STRIPE_GROUP + s, role).shard(), base);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn groups_spread_over_segments() {
+        let mut used = std::collections::HashSet::new();
+        for g in 0..64u64 {
+            used.insert(bid(g * STRIPE_GROUP, 0).shard());
+        }
+        assert!(
+            used.len() >= SHARDS / 2,
+            "only {} segments used",
+            used.len()
+        );
+    }
+
+    #[test]
+    fn keys_sorted_is_deterministic() {
+        let mut m: ShardedMap<(u64, usize), usize> = ShardedMap::new();
+        for s in (0..50u64).rev() {
+            m.insert((s, (s % 3) as usize), s as usize);
+        }
+        let keys = m.keys_sorted();
+        assert_eq!(keys.len(), 50);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn concurrent_disjoint_mutations_conserve_entries() {
+        let m: ShardedMap<(u64, usize), usize> = ShardedMap::new();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        m.insert_shared((t * 1000 + i, 0), t as usize);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 800);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        m.remove_shared(&(t * 1000 + i, 0));
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 400);
+    }
+}

@@ -1,0 +1,272 @@
+//! The tick-barrier worker pool: real host-core parallelism under a
+//! deterministic virtual clock.
+//!
+//! The DES event loop is inherently sequential — events mutate the world
+//! and the clock in a total order — so the parallelism that scales with
+//! host cores lives *inside* single events: the byte work (GF kernels,
+//! XOR merges, delta captures, decode) of one seal/recycle/rebuild tick
+//! fans out across workers and joins before the event returns. That join
+//! is the **tick barrier**: the virtual clock never advances while
+//! workers run, workers never touch the clock or schedule events, and
+//! results are merged in submission order. Three rules make any thread
+//! count produce bit-identical output:
+//!
+//! 1. **Pure jobs** — a job computes a value that is a function of
+//!    pre-barrier state only (its own item plus shared read-only state).
+//! 2. **Disjoint writes** — jobs that mutate shared stores (through the
+//!    sharded locks in `tsue_ecfs`) touch disjoint byte ranges, or only
+//!    commutative operations (XOR) on overlapping ones.
+//! 3. **Ordered merge** — [`WorkerPool::run`] returns results indexed by
+//!    submission position, so the coordinator consumes them in the same
+//!    order a sequential run would have produced them.
+//!
+//! With `threads = 1` the pool executes inline — no threads are spawned,
+//! no channels built, zero overhead — which is how the golden
+//! reproducibility suites run.
+//!
+//! Work distribution uses the `crossbeam` channel shim as the job/result
+//! queues; scoped borrowing comes from [`std::thread::scope`] (the
+//! vendored crossbeam exposes only channels). Spawning costs a few tens
+//! of microseconds per barrier, so callers gate parallel dispatch on
+//! batch size (see [`WorkerPool::worth_splitting`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A scoped worker pool executing one batch of jobs per tick barrier.
+///
+/// Cheap to construct and `Send + Sync`; clusters hold one instance and
+/// share it by reference with every parallel phase.
+#[derive(Debug)]
+pub struct WorkerPool {
+    threads: usize,
+    jobs: AtomicU64,
+    barriers: AtomicU64,
+}
+
+/// Batches smaller than this many bytes of kernel work run inline even
+/// on a multi-threaded pool — the spawn cost would exceed the win.
+pub const PARALLEL_BYTES_FLOOR: u64 = 128 << 10;
+
+impl WorkerPool {
+    /// Creates a pool of `threads` workers; `0` is clamped to `1`
+    /// (inline execution).
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+            jobs: AtomicU64::new(0),
+            barriers: AtomicU64::new(0),
+        }
+    }
+
+    /// Worker count (1 = inline, no threads spawned).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when `run` may actually fan out.
+    #[inline]
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Heuristic gate for callers: parallel dispatch pays off only when
+    /// the batch has at least two jobs and enough byte work to amortize
+    /// the scoped-spawn cost.
+    #[inline]
+    pub fn worth_splitting(&self, jobs: usize, bytes: u64) -> bool {
+        self.is_parallel() && jobs > 1 && bytes >= PARALLEL_BYTES_FLOOR
+    }
+
+    /// Total jobs executed through the pool (diagnostics).
+    pub fn jobs_executed(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Total tick barriers crossed (one per parallel `run`).
+    pub fn barriers_crossed(&self) -> u64 {
+        self.barriers.load(Ordering::Relaxed)
+    }
+
+    /// Asserts the pool has no outstanding work. Every `run` is a full
+    /// barrier (workers are joined before it returns), so this always
+    /// holds; fault-injection drain gates call it to document — and keep
+    /// checked — the invariant that no worker outlives its tick.
+    pub fn quiesce(&self) {
+        // Scoped workers cannot outlive `run`; nothing to wait for.
+    }
+
+    /// Executes `f` over `items`, returning results in item order.
+    ///
+    /// With one worker (or zero/one item) this is an inline map. With
+    /// more, items are distributed over scoped workers through a shared
+    /// channel and the call blocks until every job completes — the tick
+    /// barrier. `f` sees `(index, item)` so jobs can vary by position
+    /// without shared mutable state.
+    ///
+    /// # Panics
+    /// Propagates the first worker panic after the barrier.
+    pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        self.jobs.fetch_add(n as u64, Ordering::Relaxed);
+        if self.threads <= 1 || n <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+        self.barriers.fetch_add(1, Ordering::Relaxed);
+        let (jtx, jrx) = crossbeam::channel::unbounded();
+        for pair in items.into_iter().enumerate() {
+            let _ = jtx.send(pair);
+        }
+        drop(jtx);
+        let (rtx, rrx) = crossbeam::channel::unbounded::<(usize, R)>();
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let f = &f;
+        std::thread::scope(|s| {
+            for _ in 0..self.threads.min(n) {
+                let jrx = jrx.clone();
+                let rtx = rtx.clone();
+                s.spawn(move || {
+                    while let Ok((i, item)) = jrx.recv() {
+                        let _ = rtx.send((i, f(i, item)));
+                    }
+                });
+            }
+            drop(rtx);
+            for (i, r) in rrx.iter() {
+                out[i] = Some(r);
+            }
+        });
+        // The scope join above re-raises worker panics, so every slot is
+        // filled when we get here.
+        out.into_iter()
+            .map(|o| o.expect("worker delivered result"))
+            .collect()
+    }
+}
+
+/// Splits `len` bytes into at most `parts` contiguous `(start, end)`
+/// ranges of near-equal size, in order. Used to chunk one large kernel
+/// (a block decode, a payload fill) across workers: bytewise kernels
+/// produce identical output per range regardless of which worker runs
+/// it, so chunking preserves bit-exact results by construction.
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.max(1).min(len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let sz = base + usize::from(i < extra);
+        if sz == 0 {
+            break;
+        }
+        out.push((start, start + sz));
+        start += sz;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_pool_maps_in_order() {
+        let pool = WorkerPool::new(1);
+        let got = pool.run(vec![1u32, 2, 3], |i, x| (i, x * 10));
+        assert_eq!(got, vec![(0, 10), (1, 20), (2, 30)]);
+        assert_eq!(pool.jobs_executed(), 3);
+        assert_eq!(pool.barriers_crossed(), 0);
+    }
+
+    #[test]
+    fn parallel_pool_preserves_submission_order() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<u64> = (0..100).collect();
+        let got = pool.run(items, |_, x| x * x);
+        assert_eq!(got, (0..100).map(|x: u64| x * x).collect::<Vec<_>>());
+        assert!(pool.barriers_crossed() >= 1);
+    }
+
+    #[test]
+    fn parallel_matches_inline_bit_for_bit() {
+        let seq = WorkerPool::new(1);
+        let par = WorkerPool::new(8);
+        let items: Vec<u64> = (0..64).collect();
+        let f = |i: usize, x: u64| {
+            let mut h = x.wrapping_mul(0x9e3779b97f4a7c15) ^ i as u64;
+            h ^= h >> 33;
+            h
+        };
+        assert_eq!(seq.run(items.clone(), f), par.run(items, f));
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_inline() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert!(!pool.is_parallel());
+    }
+
+    #[test]
+    fn worth_splitting_gates_on_size() {
+        let pool = WorkerPool::new(8);
+        assert!(
+            !pool.worth_splitting(1, 10 << 20),
+            "single job never splits"
+        );
+        assert!(!pool.worth_splitting(8, 1024), "tiny batches stay inline");
+        assert!(pool.worth_splitting(8, 1 << 20));
+        assert!(!WorkerPool::new(1).worth_splitting(8, 1 << 20));
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (len, parts) in [(0usize, 4), (1, 4), (10, 3), (1 << 20, 8), (7, 16)] {
+            let ranges = chunk_ranges(len, parts);
+            let mut cursor = 0;
+            for &(s, e) in &ranges {
+                assert_eq!(s, cursor);
+                assert!(e > s);
+                cursor = e;
+            }
+            assert_eq!(cursor, len.min(if len == 0 { 0 } else { len }));
+            assert!(ranges.len() <= parts.max(1));
+        }
+    }
+
+    #[test]
+    fn disjoint_slice_writes_compose() {
+        // The recovery-decode pattern: one output buffer chunked across
+        // workers, each filling its own range.
+        let pool = WorkerPool::new(4);
+        let mut out = vec![0u8; 4096];
+        let ranges = chunk_ranges(out.len(), pool.threads());
+        let mut slices: Vec<(usize, &mut [u8])> = Vec::new();
+        let mut rest = out.as_mut_slice();
+        let mut offset = 0;
+        for &(s, e) in &ranges {
+            let (seg, tail) = rest.split_at_mut(e - s);
+            slices.push((offset, seg));
+            rest = tail;
+            offset = e;
+        }
+        pool.run(slices, |_, (off, seg)| {
+            for (i, b) in seg.iter_mut().enumerate() {
+                *b = ((off + i) % 251) as u8;
+            }
+        });
+        for (i, &b) in out.iter().enumerate() {
+            assert_eq!(b, (i % 251) as u8);
+        }
+    }
+}

@@ -22,8 +22,10 @@
 //! assert_eq!(sim.now(), 15);
 //! ```
 
+pub mod exec;
 pub mod resource;
 
+pub use exec::{chunk_ranges, WorkerPool};
 pub use resource::{FifoResource, MultiResource};
 
 use std::cmp::Reverse;

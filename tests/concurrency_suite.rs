@@ -1,0 +1,130 @@
+//! Concurrency suite: the worker pool must be **observationally
+//! invisible**. The tick-barrier model (`tsue_sim::exec`) promises that
+//! parallelism lives only inside single DES events and never touches
+//! the clock, so a scenario's `{spec, result}` pair is byte-identical
+//! at any `--threads` value — the property every test here pins down.
+
+use proptest::prelude::*;
+use tsue_repro::bench::{default_registry, run_scenario_threads, ScenarioOutcome, ScenarioSpec};
+use tsue_repro::ecfs::{Mds, ShardKey, ShardedMap};
+
+/// Runs `scenario_json` at each thread count and asserts the serialized
+/// `{spec, result}` outcomes are byte-identical.
+fn assert_thread_invariant(scenario_json: &str, threads: &[usize]) {
+    let spec: ScenarioSpec = serde_json::from_str(scenario_json).expect("scenario parses");
+    let registry = default_registry();
+    let mut baseline: Option<String> = None;
+    for &t in threads {
+        let result = run_scenario_threads(&spec, &registry, t).expect("scenario runs");
+        let outcome = ScenarioOutcome {
+            spec: spec.clone(),
+            result,
+        };
+        let got = serde_json::to_string_pretty(&outcome).expect("outcome serializes");
+        match &baseline {
+            None => baseline = Some(got),
+            Some(want) => {
+                let diff_at = got
+                    .bytes()
+                    .zip(want.bytes())
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(got.len().min(want.len()));
+                assert!(
+                    &got == want,
+                    "threads={t} diverged from threads={} at byte {diff_at}",
+                    threads[0],
+                );
+            }
+        }
+    }
+}
+
+/// The golden smoke scenario (TSUE, flushed — all three log layers plus
+/// the recycle pipeline) at 1, 2, and 8 workers.
+#[test]
+fn smoke_outcome_is_thread_invariant() {
+    assert_thread_invariant(include_str!("../scenarios/smoke.json"), &[1, 2, 8]);
+}
+
+/// The two-layer ablation path (no DeltaLog) at 1, 2, and 8 workers.
+#[test]
+fn ablation_o3_outcome_is_thread_invariant() {
+    assert_thread_invariant(
+        include_str!("../scenarios/tsue_ablation_o3.json"),
+        &[1, 2, 8],
+    );
+}
+
+/// The scripted rack-failure scenario: drain gates, online rebuild
+/// (chunk-split decode), journal replay, and heal-time re-sync must all
+/// stay bit-reproducible under the pool.
+#[test]
+fn rack_failure_outcome_is_thread_invariant() {
+    assert_thread_invariant(
+        include_str!("../scenarios/rack_failure_online.json"),
+        &[1, 4],
+    );
+}
+
+proptest! {
+    /// Concurrent per-shard MDS mutations conserve entry counts: disjoint
+    /// rehome/reclaim batches racing on the shared plane never lose or
+    /// duplicate a block, whatever the lock interleaving.
+    #[test]
+    fn concurrent_mds_mutations_conserve_block_counts(
+        per_thread in 1usize..48,
+        reclaim_every in 2u64..5,
+        stripe_stride in 1u64..9,
+    ) {
+        let mds = Mds::new(16);
+        let threads = 8u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let mds = &mds;
+                s.spawn(move || {
+                    for i in 0..per_thread as u64 {
+                        // Thread-disjoint key ranges (the determinism rule
+                        // for worker jobs inside one tick barrier).
+                        let gstripe = (t * 10_000 + i) * stripe_stride;
+                        mds.rehome_shared(gstripe, (i % 4) as usize, (t % 16) as usize);
+                        if i % reclaim_every == 0 {
+                            mds.reclaim_shared(gstripe, (i % 4) as usize);
+                        }
+                    }
+                });
+            }
+        });
+        let kept_per_thread = (0..per_thread as u64)
+            .filter(|i| i % reclaim_every != 0)
+            .count();
+        prop_assert_eq!(mds.rehomed_count(), kept_per_thread * threads as usize);
+        // The sorted listing sees exactly the surviving keys.
+        prop_assert_eq!(mds.rehomed_entries().len(), mds.rehomed_count());
+    }
+
+    /// The sharded map conserves entries under racing inserts/removes on
+    /// disjoint key sets, and its sorted views stay deterministic.
+    #[test]
+    fn sharded_map_conserves_entries(per_thread in 1usize..64) {
+        let map: ShardedMap<(u64, usize), u32> = ShardedMap::new();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let map = &map;
+                s.spawn(move || {
+                    for i in 0..per_thread as u64 {
+                        map.insert_shared((t * 1_000_000 + i, 0), t as u32);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(map.len(), per_thread * 8);
+        let keys = map.keys_sorted();
+        prop_assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+        // Every key resolves through its shard to the value written.
+        for k in &keys {
+            let t = (k.0 / 1_000_000) as u32;
+            prop_assert_eq!(map.read(k), Some(t));
+            prop_assert!(k.shard() < tsue_repro::ecfs::SHARDS);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Doc-link checker: every relative link and bare file reference in the
+//! top-level docs must resolve to a real path in the repo, so the docs
+//! cannot silently rot as files move.
+
+use std::path::Path;
+
+const DOCS: &[&str] = &["README.md", "ARCHITECTURE.md", "ROADMAP.md"];
+
+/// Extracts `](target)` markdown link targets from one line.
+fn link_targets(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(i) = rest.find("](") {
+        rest = &rest[i + 2..];
+        if let Some(j) = rest.find(')') {
+            out.push(rest[..j].to_string());
+            rest = &rest[j..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Extracts backtick-quoted repo paths (`crates/...`, `tests/...`,
+/// `scenarios/...`, `vendor/...`, `src/...`, or a top-level `*.md` /
+/// `*.json`) so prose references stay live too.
+fn inline_path_refs(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for piece in line.split('`').skip(1).step_by(2) {
+        let p = piece.trim();
+        let top_level_doc = !p.contains('/')
+            && (p.ends_with(".md") || p.ends_with(".json") || p.ends_with(".toml"));
+        let known_dir = [
+            "crates/",
+            "tests/",
+            "scenarios/",
+            "vendor/",
+            "src/",
+            "examples/",
+        ]
+        .iter()
+        .any(|d| p.starts_with(d));
+        // Only claim pieces that look like a concrete file path (an
+        // extension, no spaces/globs/placeholders).
+        let concrete = !p.contains(' ')
+            && !p.contains('*')
+            && !p.contains('<')
+            && Path::new(p).extension().is_some();
+        if concrete && (top_level_doc || known_dir) {
+            out.push(p.to_string());
+        }
+    }
+    out
+}
+
+#[test]
+fn relative_doc_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut broken: Vec<String> = Vec::new();
+    for doc in DOCS {
+        let text = std::fs::read_to_string(root.join(doc))
+            .unwrap_or_else(|e| panic!("{doc} must exist and be readable: {e}"));
+        for (n, line) in text.lines().enumerate() {
+            let mut targets = link_targets(line);
+            targets.extend(inline_path_refs(line));
+            for t in targets {
+                // External links and intra-doc anchors are out of scope.
+                if t.starts_with("http://") || t.starts_with("https://") || t.starts_with('#') {
+                    continue;
+                }
+                // Badge-style repo-relative CI links (`../../actions/...`)
+                // point outside the checkout by design.
+                if t.starts_with("../") {
+                    continue;
+                }
+                // A placeholder like `BENCH_NN.json` documents a pattern,
+                // not a file.
+                if t.contains("NN") {
+                    continue;
+                }
+                let path = t.split('#').next().unwrap_or(&t);
+                if !root.join(path).exists() {
+                    broken.push(format!("{doc}:{}: `{t}` does not resolve", n + 1));
+                }
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken doc links/paths:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn architecture_doc_is_linked_from_readme() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+    assert!(
+        readme.contains("](ARCHITECTURE.md)"),
+        "README must link to ARCHITECTURE.md"
+    );
+}
