@@ -29,9 +29,9 @@ subcommands:\n\
                                           execute a scenario file\n\
   bench [--quick] [--out FILE] [--threads N]\n\
                                           zero-copy perf-regression report\n\
-                                          (micro kernels + materialized cluster runs;\n\
+                                          (micro kernels + cluster runs + integrity/scrub rows;\n\
                                           --threads N adds a wall-clock scaling ladder;\n\
-                                          default output BENCH_05.json)\n\
+                                          default output BENCH_06.json)\n\
   list                                    print registered schemes and bundled scenarios\n\n\
 ad-hoc flags (assembled into a scenario spec):\n\
   --scheme NAME                           update scheme by registry name (default tsue)\n\
@@ -79,7 +79,7 @@ fn main() {
 /// `BENCH_NN.json` stake for the trajectory.
 fn bench(rest: &[String]) {
     let mut quick = false;
-    let mut out = String::from("BENCH_05.json");
+    let mut out = String::from("BENCH_06.json");
     let mut threads = 1usize;
     let mut i = 0;
     while i < rest.len() {
@@ -103,7 +103,7 @@ fn bench(rest: &[String]) {
         }
         i += 1;
     }
-    // The stake id is the output filename's stem, so `--out BENCH_05.json`
+    // The stake id is the output filename's stem, so `--out BENCH_07.json`
     // (the next PR's stake) self-identifies without a source edit.
     let bench_id = std::path::Path::new(&out)
         .file_stem()
@@ -371,6 +371,26 @@ fn print_result(spec: &ScenarioSpec, result: &RunResult) {
             result.resync_bytes as f64 / 1e6,
             result.reclaimed_blocks,
             result.rehomed_residual
+        );
+    }
+    if result.blocks_scrubbed
+        + result.corruptions_detected
+        + result.torn_detected
+        + result.replica_replayed_bytes
+        > 0
+    {
+        println!(
+            "integrity: scrubbed {} blocks | corruptions detected={} repaired={} \
+             unrecoverable={} | torn appends detected={} replayed={} discarded={} | \
+             replica replay {:.2} MB",
+            result.blocks_scrubbed,
+            result.corruptions_detected,
+            result.corruptions_repaired,
+            result.corruptions_unrecoverable,
+            result.torn_detected,
+            result.torn_replayed,
+            result.torn_discarded,
+            result.replica_replayed_bytes as f64 / 1e6
         );
     }
     if let Some(rec) = &result.recovery {

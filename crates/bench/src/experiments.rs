@@ -560,6 +560,14 @@ mod tests {
             rehomed_residual: 0,
             net_intra_gib: 0.0,
             net_cross_gib: 0.0,
+            blocks_scrubbed: 0,
+            corruptions_detected: 0,
+            corruptions_repaired: 0,
+            corruptions_unrecoverable: 0,
+            torn_detected: 0,
+            torn_replayed: 0,
+            torn_discarded: 0,
+            replica_replayed_bytes: 0,
             recovery: None,
         };
         let rows = lifespan(&[mk("FO", 1300), mk("TSUE", 100)]);

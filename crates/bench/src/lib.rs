@@ -279,6 +279,9 @@ impl RunConfig {
             flush_after: Some(self.flush_after),
             materialize: None,
             journal: None,
+            checksums: None,
+            scrub_mb_s: None,
+            log_replicas: None,
         }
     }
 }
@@ -342,6 +345,24 @@ pub struct RunResult {
     pub net_intra_gib: f64,
     /// Wire traffic that crossed racks, GiB.
     pub net_cross_gib: f64,
+    /// Blocks swept by the scrubber (periodic ticks + final sweep).
+    pub blocks_scrubbed: u64,
+    /// Corrupt pages detected (read-path verification or scrub).
+    pub corruptions_detected: u64,
+    /// Corrupt pages repaired from stripe survivors.
+    pub corruptions_repaired: u64,
+    /// Corrupt pages beyond repair (fewer than `k` clean survivors).
+    pub corruptions_unrecoverable: u64,
+    /// Torn log-tail appends detected by power-loss restart scans.
+    pub torn_detected: u64,
+    /// Torn appends replayed byte-exactly from a replica copy.
+    pub torn_replayed: u64,
+    /// Torn appends discarded (log overlay reverted to pre-write bytes,
+    /// or stale parity marked for re-encode).
+    pub torn_discarded: u64,
+    /// Replicated data-log bytes replayed onto rebuilt blocks (acked
+    /// appends the dead home never merged).
+    pub replica_replayed_bytes: u64,
     /// Fault-engine outcome when the scenario scripted faults.
     pub recovery: Option<tsue_fault::FaultReport>,
 }

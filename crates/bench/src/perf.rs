@@ -7,13 +7,18 @@
 //! `combined_parity_delta`, `encode`) — the pre-refactor small-write path,
 //! which the crate keeps precisely so the comparison cannot rot.
 //!
-//! Schema (`schema: "tsue-bench/v1"`):
+//! Schema (`schema: "tsue-bench/v3"`):
 //!
 //! * `micro` — kernel rows: ops/sec for baseline vs zero-copy, speedup,
 //!   and per-op allocation/copy traffic for both paths.
 //! * `cluster` — materialized end-to-end runs (fig5/table1 shapes at
 //!   bench scale): IOPS, mean latency, payload copies/op, bytes copied
 //!   per op, buffer-pool hit rate.
+//! * `scaling` — host wall clock across the `--threads` ladder (v2).
+//! * `integrity` — checksum on/off wall-clock pairs for the same run:
+//!   the hot-path digest tax, target < 5% (v3).
+//! * `scrub` — full-sweep verification throughput in MB per host
+//!   wall-second (v3).
 
 use crate::{default_registry, ScenarioSpec, SchemeSpec, TraceKind};
 use serde::{Deserialize, Serialize};
@@ -86,6 +91,42 @@ pub struct ScalingRow {
     pub speedup: f64,
 }
 
+/// One checksum-overhead row: the same materialized run with the
+/// per-page checksum machinery off vs on, host wall clock (virtual-time
+/// results are identical by construction — digests are host work on the
+/// byte path, which is exactly the overhead being measured).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IntegrityRow {
+    /// Row name (workload shape).
+    pub name: String,
+    /// Completed client ops (identical on both sides).
+    pub ops: u64,
+    /// Best-of-N wall clock with checksums disabled, milliseconds.
+    pub base_wall_ms: f64,
+    /// Best-of-N wall clock with checksums enabled, milliseconds.
+    pub checked_wall_ms: f64,
+    /// `checked / base - 1` — the hot-path tax (target < 0.05).
+    pub overhead_frac: f64,
+}
+
+/// One scrub-throughput row: an authoritative full sweep over a
+/// populated cluster, host wall clock.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScrubRow {
+    /// Row name.
+    pub name: String,
+    /// Blocks verified by the sweep.
+    pub blocks: u64,
+    /// Bytes verified by the sweep.
+    pub bytes: u64,
+    /// Corrupt pages repaired (0 for the clean row).
+    pub repaired: u64,
+    /// Host wall clock for the sweep, milliseconds.
+    pub wall_ms: f64,
+    /// Verification throughput, MB per host wall-clock second.
+    pub mb_per_wall_sec: f64,
+}
+
 /// The full report persisted as `BENCH_NN.json`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -105,6 +146,10 @@ pub struct BenchReport {
     /// Wall-clock thread-scaling ladder (empty when `--threads` ≤ 1;
     /// absent from pre-v2 stakes).
     pub scaling: Vec<ScalingRow>,
+    /// Checksum hot-path overhead rows (absent from pre-v3 stakes).
+    pub integrity: Vec<IntegrityRow>,
+    /// Scrub-throughput rows (absent from pre-v3 stakes).
+    pub scrub: Vec<ScrubRow>,
 }
 
 /// Calibrates a batch of `f` that fills `floor`; returns the batch size.
@@ -397,6 +442,83 @@ fn scaling_row(quick: bool, threads: usize) -> ScalingRow {
     }
 }
 
+/// Builds and runs one materialized TSUE cluster with checksums on or
+/// off, returning `(wall_seconds, ops)`. The DES outcome is identical
+/// either way; only the host cost of maintaining the digest tables
+/// moves.
+fn checksum_trial(spec: &ScenarioSpec, checksums: bool) -> (f64, u64) {
+    let registry = default_registry();
+    let builder = spec
+        .builder(&registry)
+        .expect("bench scenarios are valid")
+        .materialize(true)
+        .checksums(checksums);
+    let t0 = Instant::now();
+    let mut world = builder.build();
+    let mut sim: Sim<Cluster> = Sim::new();
+    run_workload(&mut world, &mut sim, spec.duration_ms() * MILLISECOND);
+    (t0.elapsed().as_secs_f64(), world.core.metrics.ops_completed)
+}
+
+/// Measures the checksum tax on one workload shape: best-of-3 wall
+/// clock for the same run with digests off vs on. Trials alternate so
+/// host noise lands on both sides.
+fn integrity_row(name: &str, trace: TraceKind, quick: bool) -> IntegrityRow {
+    let mut spec = ScenarioSpec::ssd(name, trace, 6, 4, 8, SchemeSpec::tsue());
+    spec.duration_ms = Some(if quick { 150 } else { 400 });
+    spec.file_mb = Some(if quick { 4 } else { 6 });
+    let (mut base, mut checked, mut ops) = (f64::MAX, f64::MAX, 0);
+    for _ in 0..3 {
+        let (w, _) = checksum_trial(&spec, false);
+        base = base.min(w);
+        let (w, o) = checksum_trial(&spec, true);
+        checked = checked.min(w);
+        ops = o;
+    }
+    IntegrityRow {
+        name: name.to_string(),
+        ops,
+        base_wall_ms: base * 1e3,
+        checked_wall_ms: checked * 1e3,
+        overhead_frac: checked / base.max(1e-9) - 1.0,
+    }
+}
+
+/// Times one authoritative full scrub sweep over a freshly populated
+/// cluster (clean: pure verification, no repairs).
+fn scrub_row(quick: bool) -> ScrubRow {
+    let mut spec = ScenarioSpec::ssd("scrub-sweep", TraceKind::Ten, 6, 4, 8, SchemeSpec::tsue());
+    spec.duration_ms = Some(if quick { 100 } else { 200 });
+    spec.file_mb = Some(if quick { 4 } else { 8 });
+    let registry = default_registry();
+    let builder = spec
+        .builder(&registry)
+        .expect("bench scenarios are valid")
+        .materialize(true)
+        .checksums(true);
+    let mut world = builder.build();
+    let mut sim: Sim<Cluster> = Sim::new();
+    run_workload(&mut world, &mut sim, spec.duration_ms() * MILLISECOND);
+    world.flush_all(&mut sim);
+    let bs = world.core.cfg.stripe.block_size;
+    let mut best = f64::MAX;
+    let mut report = tsue_ecfs::scrub::FullScrubReport::default();
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        report = tsue_ecfs::run_full_scrub(&mut world, &mut sim);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let bytes = report.scrubbed * bs;
+    ScrubRow {
+        name: "full_sweep_clean".into(),
+        blocks: report.scrubbed,
+        bytes,
+        repaired: report.repaired,
+        wall_ms: best * 1e3,
+        mb_per_wall_sec: bytes as f64 / 1e6 / best.max(1e-9),
+    }
+}
+
 /// The `--threads N` ladder: powers of two up to `n`, plus `n` itself.
 fn thread_ladder(n: usize) -> Vec<usize> {
     let n = n.max(1);
@@ -472,8 +594,14 @@ pub fn bench_report(bench_id: &str, quick: bool, threads: usize) -> BenchReport 
         }
     }
 
+    let integrity = vec![
+        integrity_row("integrity-ten", TraceKind::Ten, quick),
+        integrity_row("integrity-ali", TraceKind::Ali, quick),
+    ];
+    let scrub = vec![scrub_row(quick)];
+
     BenchReport {
-        schema: "tsue-bench/v2".into(),
+        schema: "tsue-bench/v3".into(),
         bench_id: bench_id.to_string(),
         quick,
         host_cores: std::thread::available_parallelism()
@@ -482,6 +610,8 @@ pub fn bench_report(bench_id: &str, quick: bool, threads: usize) -> BenchReport 
         micro,
         cluster,
         scaling,
+        integrity,
+        scrub,
     }
 }
 
@@ -537,6 +667,38 @@ pub fn render_bench(r: &BenchReport) -> String {
                 out,
                 "{:<16} {:>8} {:>10.0} {:>14.0} {:>7.2}x",
                 s.scenario, s.threads, s.wall_ms, s.ops_per_wall_sec, s.speedup
+            );
+        }
+    }
+    if !r.integrity.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<16} {:>8} {:>12} {:>14} {:>9}",
+            "integrity", "ops", "base_ms", "checked_ms", "overhead"
+        );
+        for i in &r.integrity {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>8} {:>12.1} {:>14.1} {:>8.1}%",
+                i.name,
+                i.ops,
+                i.base_wall_ms,
+                i.checked_wall_ms,
+                i.overhead_frac * 100.0
+            );
+        }
+    }
+    if !r.scrub.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<16} {:>8} {:>12} {:>9} {:>10} {:>12}",
+            "scrub", "blocks", "bytes", "repaired", "wall_ms", "MB/wall_s"
+        );
+        for s in &r.scrub {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>8} {:>12} {:>9} {:>10.1} {:>12.0}",
+                s.name, s.blocks, s.bytes, s.repaired, s.wall_ms, s.mb_per_wall_sec
             );
         }
     }

@@ -151,6 +151,17 @@ pub struct ScenarioSpec {
     /// Journal failure-window writes and replay them after rebuild/heal
     /// (degraded-write durability); default true.
     pub journal: Option<bool>,
+    /// Maintain per-page block checksums and verify them on reads and
+    /// scrub sweeps (only effective with `materialize`); default true.
+    pub checksums: Option<bool>,
+    /// Background scrub rate in MiB/s per OSD; `0` (the default)
+    /// disables the scrubber. A non-zero rate also runs one full
+    /// authoritative sweep after the workload and fault plan complete.
+    pub scrub_mb_s: Option<u64>,
+    /// Parity-log replica count for log-buffered baselines (PL/PLR);
+    /// default 1 (no replication). TSUE's data-log replication is the
+    /// scheme knob `data_replicas` instead.
+    pub log_replicas: Option<usize>,
 }
 
 impl ScenarioSpec {
@@ -184,6 +195,9 @@ impl ScenarioSpec {
             flush_after: None,
             materialize: None,
             journal: None,
+            checksums: None,
+            scrub_mb_s: None,
+            log_replicas: None,
         }
     }
 
@@ -280,6 +294,21 @@ impl ScenarioSpec {
         self.journal.unwrap_or(true)
     }
 
+    /// Whether per-page block checksums are maintained (default on).
+    pub fn checksums(&self) -> bool {
+        self.checksums.unwrap_or(true)
+    }
+
+    /// Background scrub rate in MiB/s per OSD (default 0 = off).
+    pub fn scrub_mb_s(&self) -> u64 {
+        self.scrub_mb_s.unwrap_or(0)
+    }
+
+    /// Parity-log replica count with its default (1) applied.
+    pub fn log_replicas(&self) -> usize {
+        self.log_replicas.unwrap_or(1)
+    }
+
     /// The scheme's display name (paper capitalization) when registered,
     /// else the raw spec name.
     pub fn scheme_display(&self, registry: &SchemeRegistry) -> String {
@@ -343,6 +372,19 @@ impl ScenarioSpec {
                 topo.racks
             ));
         }
+        if self.log_replicas() == 0 {
+            return Err(format!(
+                "scenario '{}': log_replicas must be ≥ 1 (1 = no replication)",
+                self.name
+            ));
+        }
+        if self.scrub_mb_s() > 0 && !(self.materialize() && self.checksums()) {
+            return Err(format!(
+                "scenario '{}': scrubbing (scrub_mb_s > 0) needs \
+                 materialize and checksums enabled",
+                self.name
+            ));
+        }
         if let Some(plan) = self.fault_plan() {
             plan.validate(self.osds(), topo.racks)
                 .map_err(|e| format!("scenario '{}': {e}", self.name))?;
@@ -379,6 +421,9 @@ impl ScenarioSpec {
             .seed(self.seed())
             .materialize(self.materialize())
             .journal(self.journal())
+            .checksums(self.checksums())
+            .scrub_mb_s(self.scrub_mb_s())
+            .log_replicas(self.log_replicas())
             .workload(&self.trace.profile());
         if let Some(n) = self.ops_per_client {
             b = b.ops_per_client(n);
@@ -452,6 +497,10 @@ pub fn run_scenario_threads(
         ),
         None => None,
     };
+    // The background scrubber interleaves verification sweeps with
+    // client traffic (self-gated: needs scrub_mb_s > 0, materialize,
+    // and checksums).
+    tsue_ecfs::start_scrub(&mut world, &mut sim);
     let duration = match spec.ops_per_client {
         // Effectively unbounded window; clients stop on their budget.
         Some(_) => 3_600_000 * MILLISECOND,
@@ -479,6 +528,12 @@ pub fn run_scenario_threads(
         let t0 = sim.now();
         world.flush_all(&mut sim);
         flush_s = (sim.now() - t0) as f64 / SECOND as f64;
+    }
+    // A scrubbing scenario ends with one authoritative full sweep:
+    // drain delta-poisoned parity, verify every block against its
+    // digests, and repair what the periodic ticks missed.
+    if spec.scrub_mb_s() > 0 {
+        tsue_ecfs::run_full_scrub(&mut world, &mut sim);
     }
 
     world
@@ -515,6 +570,14 @@ pub fn run_scenario_threads(
         rehomed_residual: world.core.mds.rehomed_count() as u64,
         net_intra_gib: tier.intra_wire as f64 / GIB,
         net_cross_gib: tier.cross_wire as f64 / GIB,
+        blocks_scrubbed: world.core.metrics.blocks_scrubbed,
+        corruptions_detected: world.core.metrics.corruptions_detected,
+        corruptions_repaired: world.core.metrics.corruptions_repaired,
+        corruptions_unrecoverable: world.core.metrics.corruptions_unrecoverable,
+        torn_detected: world.core.metrics.torn_detected,
+        torn_replayed: world.core.metrics.torn_replayed,
+        torn_discarded: world.core.metrics.torn_discarded,
+        replica_replayed_bytes: world.core.replicas.bytes_replayed,
         recovery: fault_tracker.map(|t| t.borrow().report.clone()),
     })
 }
@@ -624,6 +687,10 @@ pub fn bundled_scenarios() -> &'static [(&'static str, &'static str)] {
         (
             "scenarios/heal_rejoin.json",
             include_str!("../../../scenarios/heal_rejoin.json"),
+        ),
+        (
+            "scenarios/scrub_bitrot.json",
+            include_str!("../../../scenarios/scrub_bitrot.json"),
         ),
     ]
 }

@@ -26,8 +26,10 @@ use crate::residency::ResidencyStats;
 use std::collections::{HashMap, VecDeque};
 use tsue_ecfs::logregion::LogRegion;
 use tsue_ecfs::rangemap::{Discipline, RangeMap};
-use tsue_ecfs::scheme::{DeltaKind, ReadServe, SchemeMsg, UpdateReq};
-use tsue_ecfs::{BlockId, Chunk, Cluster, ClusterCore, UpdateScheme, ACK_BYTES};
+use tsue_ecfs::scheme::{DeltaKind, PowerLossReport, ReadServe, SchemeMsg, UpdateReq};
+use tsue_ecfs::{
+    BlockId, Chunk, Cluster, ClusterCore, ReplicaRecord, SplitRng, UpdateScheme, ACK_BYTES,
+};
 use tsue_sim::{MultiResource, Sim, Time, SECOND};
 
 /// DeltaLog key: (global stripe, data-block role).
@@ -189,6 +191,19 @@ enum RecycleJob {
     Parity(BlockId, u64, u64),
 }
 
+/// The most recent log append on this OSD — the write a power loss tears.
+/// Only the in-flight tail record is at risk: every earlier append's
+/// framing already persisted whole, so the restart scan recovers it.
+#[derive(Clone, Copy, Debug)]
+enum TailAppend {
+    /// DataLog append: `(block, offset, length, replica seq)`.
+    Data(BlockId, u64, u64, u64),
+    /// DeltaLog append at this parity owner: `(global stripe, length)`.
+    Delta(u64, u64),
+    /// ParityLog append: `(global stripe, parity role, length)`.
+    Parity(u64, usize, u64),
+}
+
 /// In-flight recycle bookkeeping for one unit: jobs are dispatched at most
 /// `recycle_threads` at a time, each next job issued when one completes —
 /// pacing that keeps foreground appends interleaved on the device instead
@@ -244,6 +259,26 @@ fn pool_hash(x: u64, pools: usize) -> usize {
     (x.wrapping_mul(0x9e3779b97f4a7c15) >> 33) as usize % pools
 }
 
+/// The peers holding DataLog replica copies for `home`: the next `copies`
+/// nodes around the ring — except on a racked topology, where peers in
+/// *other* racks are preferred (ring order within each preference class),
+/// so a whole-rack failure cannot take the primary and every copy at once.
+/// On a flat topology — or under rack-oblivious placement, which opts
+/// the whole cluster out of rack safety — this is exactly
+/// `(home + r) % osds`.
+fn replica_peers(core: &ClusterCore, home: usize, copies: usize) -> Vec<usize> {
+    let osds = core.cfg.osds;
+    let mut order: Vec<usize> = (1..osds).map(|r| (home + r) % osds).collect();
+    if core.cfg.placement == tsue_ecfs::PlacementKind::RackAware && core.net.racks() > 1 {
+        let home_rack = core.net.rack_of(core.osds[home].node);
+        // Stable sort: `false < true` puts other-rack peers first while
+        // keeping ring order inside each class.
+        order.sort_by_key(|&p| core.net.rack_of(core.osds[p].node) == home_rack);
+    }
+    order.truncate(copies);
+    order
+}
+
 fn block_key(b: BlockId) -> u64 {
     (b.file as u64) << 40 ^ b.stripe << 8 ^ b.role as u64
 }
@@ -280,6 +315,15 @@ pub struct Tsue {
     threads: MultiResource,
     acks: tsue_ecfs::scheme::AckTable,
     inflight: HashMap<UnitId, InflightUnit>,
+    /// Monotonic sequence stamped on each replicated DataLog append, so
+    /// peer replica stores can prune exactly the recycled prefix.
+    data_seq: u64,
+    /// `(min, max)` replica seq held by each not-yet-recycled data unit;
+    /// the prune watermark at unit finish is the smallest remaining `min`
+    /// minus one (seqs below it are durably merged into the block store).
+    unit_seqs: HashMap<UnitId, (u64, u64)>,
+    /// The newest append on this OSD (power-loss torn-write candidate).
+    tail: Option<TailAppend>,
     /// Residence-time statistics (Table 2).
     pub residency: ResidencyStats,
     /// Reads fully served by the data log (read-cache effectiveness).
@@ -301,6 +345,9 @@ impl Tsue {
             threads: MultiResource::new(cfg.recycle_threads),
             acks: tsue_ecfs::scheme::AckTable::default(),
             inflight: HashMap::new(),
+            data_seq: 0,
+            unit_seqs: HashMap::new(),
+            tail: None,
             residency: ResidencyStats::default(),
             cache_hits: 0,
             cfg,
@@ -339,6 +386,7 @@ impl Tsue {
         }
         let (block, off, op_id) = (req.block, req.off, req.op_id);
         let unit = self.data.pools[pool].active_mut();
+        let uid = unit.id;
         // The payload moves into the log index — the client's buffer is
         // shared by refcount the whole way, never duplicated.
         unit.append(
@@ -349,6 +397,11 @@ impl Tsue {
             self.cfg.datalog_locality,
             now,
         );
+        self.data_seq += 1;
+        let seq = self.data_seq;
+        let e = self.unit_seqs.entry(uid).or_insert((seq, seq));
+        e.1 = seq;
+        self.tail = Some(TailAppend::Data(block, off, len, seq));
         let (t_persist, _) = self.data.regions[pool].append(core, osd, now, need);
         self.residency.data.append.add(t_persist - now);
         self.arm_seal_timer(core, sim, osd, LayerKind::Data, pool);
@@ -363,14 +416,19 @@ impl Tsue {
         sim.schedule_at(t_persist, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
             tsue_ecfs::scheme::deliver_msg(w, sim, osd, SchemeMsg::Ack { tag });
         });
-        for r in 1..=copies {
-            let peer = (osd + r) % core.cfg.osds;
+        for peer in replica_peers(core, osd, copies) {
             let msg = SchemeMsg::DataForward {
                 from: osd,
                 block,
                 off,
+                // The wire and peer-append costs are charged for the full
+                // payload, but the parked record is a ghost: the content
+                // plane keeps one logical copy (the unit index), which
+                // replay reads back through `patch_unmerged` — pinning a
+                // second ref here would defeat in-place run coalescing.
                 data: Chunk::ghost(len),
                 tag,
+                seq,
             };
             core.send_to_scheme(sim, osd, peer, len, msg);
         }
@@ -396,7 +454,9 @@ impl Tsue {
         let unit = self.delta.pools[pool].active_mut();
         // Same-offset deltas fold by XOR (Eq. 3); DeltaLog always merges —
         // exploiting locality is the layer's purpose.
+        let chunk_len = chunk.len;
         unit.append(key, off, chunk, Discipline::Xor, true, now);
+        self.tail = Some(TailAppend::Delta(key.0, chunk_len));
         let (t_persist, _) = self.delta.regions[pool].append(core, osd, now, need);
         self.residency.delta.append.add(t_persist - now);
         self.arm_seal_timer(core, sim, osd, LayerKind::Delta, pool);
@@ -419,6 +479,8 @@ impl Tsue {
             self.parity.queues[pool].push_back(QueuedWork::Parity { pblock, off, chunk });
             return;
         }
+        let gstripe = core.global_stripe(pblock.file, pblock.stripe);
+        let chunk_len = chunk.len;
         let unit = self.parity.pools[pool].active_mut();
         unit.append(
             pblock,
@@ -428,6 +490,7 @@ impl Tsue {
             self.cfg.paritylog_locality,
             now,
         );
+        self.tail = Some(TailAppend::Parity(gstripe, pblock.role, chunk_len));
         let (t_persist, _) = self.parity.regions[pool].append(core, osd, now, need);
         self.residency.parity.append.add(t_persist - now);
         self.arm_seal_timer(core, sim, osd, LayerKind::Parity, pool);
@@ -943,6 +1006,18 @@ impl Tsue {
                         self.residency.data.recycle.add(now.saturating_sub(start));
                     }
                 }
+                // Every append of this unit is now merged into the block
+                // store, so its peer replica copies are dead weight. The
+                // safe prune watermark is bounded by the oldest append
+                // still sitting in an unrecycled unit (units recycle out
+                // of seq order across pools).
+                if self.unit_seqs.remove(&uid).is_some() {
+                    let watermark = match self.unit_seqs.values().map(|&(lo, _)| lo).min() {
+                        Some(lo) => lo.saturating_sub(1),
+                        None => self.data_seq,
+                    };
+                    core.replicas.prune_up_to(osd, watermark);
+                }
             }
             LayerKind::Delta => {
                 if let Some(unit) = self.delta.pools[pool].unit_mut(uid) {
@@ -1123,13 +1198,33 @@ impl UpdateScheme for Tsue {
     ) {
         match msg {
             SchemeMsg::DataForward {
-                from, data, tag, ..
+                from,
+                block,
+                off,
+                data,
+                tag,
+                seq,
             } => {
                 // Peer DataLog replica: persist to device only (§4.1 — the
                 // replica is stored solely on the SSD, no memory).
                 let (t, _) =
                     self.data_replica_region
                         .append(core, osd, sim.now(), data.len + RECORD_HEADER);
+                // Every append also lands in the cluster's replica index,
+                // keyed by the home OSD: if the home dies before this
+                // append recycles, the rebuild replays the records (seq
+                // order) so acked writes stay byte-exact. Records are
+                // ghosts — replay content comes from the home's unit
+                // index via `UpdateScheme::patch_unmerged`.
+                core.replicas.push(
+                    from,
+                    ReplicaRecord {
+                        seq,
+                        block,
+                        off,
+                        data,
+                    },
+                );
                 sim.schedule_at(t, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
                     w.core
                         .send_to_scheme(sim, osd, from, ACK_BYTES, SchemeMsg::Ack { tag });
@@ -1217,6 +1312,11 @@ impl UpdateScheme for Tsue {
         }
     }
 
+    fn patch_unmerged(&self, block: BlockId, off: u64, len: u64, buf: &mut [u8]) {
+        let pool = pool_hash(block_key(block), self.data.pools.len());
+        self.data.pools[pool].overlay(&block, off, len, Some(buf));
+    }
+
     fn flush(&mut self, core: &mut ClusterCore, sim: &mut Sim<Cluster>, osd: usize) {
         let now = sim.now();
         for layer in [LayerKind::Data, LayerKind::Delta, LayerKind::Parity] {
@@ -1242,6 +1342,136 @@ impl UpdateScheme for Tsue {
                 self.drain_queue(core, sim, osd, layer, pool);
             }
         }
+    }
+
+    fn power_loss(
+        &mut self,
+        core: &mut ClusterCore,
+        sim: &mut Sim<Cluster>,
+        osd: usize,
+        seed: u64,
+    ) -> PowerLossReport {
+        let now = sim.now();
+        let mut rep = PowerLossReport::default();
+        // Restart: scan every persisted log region. Fully-framed records
+        // rebuild the in-memory indexes verbatim (which is why the unit
+        // state needs no surgery); only the in-flight tail record is at
+        // risk of a tear.
+        for pool in 0..self.data.regions.len() {
+            self.data.regions[pool].scan(core, osd, now);
+        }
+        for pool in 0..self.delta.regions.len() {
+            self.delta.regions[pool].scan(core, osd, now);
+        }
+        for pool in 0..self.parity.regions.len() {
+            self.parity.regions[pool].scan(core, osd, now);
+        }
+        self.data_replica_region.scan(core, osd, now);
+        self.delta_replica_region.scan(core, osd, now);
+
+        let Some(tail) = self.tail.take() else {
+            return rep;
+        };
+        let mut rng = SplitRng::new(seed);
+        let k = core.cfg.stripe.k;
+        let m = core.cfg.stripe.m;
+        match tail {
+            TailAppend::Data(block, off, len, _seq) => {
+                // The tear lands at a pseudo-random offset inside the
+                // record; the framing checksum rejects *any* cut short of
+                // the full frame, so the cut position never changes what
+                // the scan recovers — a torn record is discarded whole.
+                let cut = rng.below((len + RECORD_HEADER).max(1));
+                debug_assert!(cut < len + RECORD_HEADER);
+                rep.torn_detected = 1;
+                let copies = self
+                    .cfg
+                    .data_replicas
+                    .saturating_sub(1)
+                    .min(core.cfg.osds - 1);
+                let pool = pool_hash(block_key(block), self.data.pools.len());
+                if copies > 0 {
+                    // Acked ⇒ replicated: re-fetch the record from the
+                    // first live replica peer and re-append it locally.
+                    // Content-wise the unit index already holds it.
+                    let src = replica_peers(core, osd, copies)
+                        .into_iter()
+                        .find(|&p| core.mds.is_alive(p));
+                    let t_fetch = match src {
+                        Some(p) => {
+                            core.net
+                                .transfer(now, core.osds[p].node, core.osds[osd].node, len)
+                        }
+                        None => now,
+                    };
+                    let _ = self.data.regions[pool].append(core, osd, t_fetch, len + RECORD_HEADER);
+                    rep.torn_replayed = 1;
+                } else {
+                    // data_replicas == 1 opted out of the durability
+                    // guarantee: the record is gone. Revert the log
+                    // overlay to the pre-append store bytes so reads
+                    // serve the *old* data — stale, but never torn.
+                    let reverted = self.data.pools[pool]
+                        .iter_oldest_first()
+                        .filter(|u| {
+                            matches!(u.state, UnitState::Empty | UnitState::Recyclable)
+                                && u.index.contains_key(&block)
+                        })
+                        .last()
+                        .map(|u| u.id);
+                    if let Some(uid) = reverted {
+                        let pre = core.osds[osd]
+                            .peek_block_range(block, off, len)
+                            .map(Chunk::real)
+                            .unwrap_or_else(|| Chunk::ghost(len));
+                        let locality = self.cfg.datalog_locality;
+                        if let Some(unit) = self.data.pools[pool].unit_mut(uid) {
+                            unit.append(block, off, pre, Discipline::Overwrite, locality, now);
+                        }
+                        rep.torn_discarded = 1;
+                    } else {
+                        // The unit already recycled: the content reached
+                        // the block store before the power cut, so the
+                        // torn log record is irrelevant.
+                        rep.torn_replayed = 1;
+                    }
+                }
+            }
+            TailAppend::Delta(gstripe, len) => {
+                rep.torn_detected = 1;
+                if self.cfg.use_delta_log && m >= 2 {
+                    // The TAG_DELTA_REP copy persists on the second parity
+                    // owner: re-fetch and re-append.
+                    let p2 = core.owner_of(gstripe, k + 1);
+                    let t_fetch = if p2 != osd && core.mds.is_alive(p2) {
+                        core.net
+                            .transfer(now, core.osds[p2].node, core.osds[osd].node, len)
+                    } else {
+                        now
+                    };
+                    let pool = pool_hash(gstripe, self.delta.pools.len());
+                    let _ =
+                        self.delta.regions[pool].append(core, osd, t_fetch, len + RECORD_HEADER);
+                    rep.torn_replayed = 1;
+                } else {
+                    // No copy exists: the delta is lost before reaching
+                    // any parity log. Every parity of the stripe is now
+                    // stale — mark them for re-encode from data.
+                    for j in 0..m {
+                        core.mds.mark_parity_dirty(gstripe, k + j);
+                    }
+                    rep.torn_discarded = 1;
+                }
+            }
+            TailAppend::Parity(gstripe, role, _len) => {
+                // ParityLog appends carry no replica; the lost combined
+                // delta leaves this parity stale until re-encoded.
+                rep.torn_detected = 1;
+                core.mds.mark_parity_dirty(gstripe, role);
+                rep.torn_discarded = 1;
+            }
+        }
+        rep
     }
 
     fn backlog(&self) -> u64 {

@@ -141,6 +141,27 @@ impl ClusterBuilder {
         self
     }
 
+    /// Maintain and verify per-page block checksums (default on; only
+    /// effective together with [`Self::materialize`]).
+    pub fn checksums(mut self, on: bool) -> Self {
+        self.cfg.checksums = on;
+        self
+    }
+
+    /// Background scrub rate in MiB/s per OSD (`0` disables; see
+    /// [`crate::scrub`]).
+    pub fn scrub_mb_s(mut self, rate: u64) -> Self {
+        self.cfg.scrub_mb_s = rate;
+        self
+    }
+
+    /// Parity-log replica count for log-buffered baselines (default 1 =
+    /// no replication; see [`crate::ClusterConfig::log_replicas`]).
+    pub fn log_replicas(mut self, n: usize) -> Self {
+        self.cfg.log_replicas = n;
+        self
+    }
+
     /// Record per-extent arrival order (needed by correctness checks).
     pub fn record_arrivals(mut self, on: bool) -> Self {
         self.cfg.record_arrivals = on;

@@ -32,8 +32,10 @@ pub mod placement;
 pub mod rangemap;
 pub mod recovery;
 pub mod registry;
+pub mod replica;
 pub mod resync;
 pub mod scheme;
+pub mod scrub;
 pub mod shard;
 pub mod verify;
 
@@ -52,11 +54,17 @@ pub use recovery::{
 pub use registry::{
     MakeScheme, RegisteredScheme, SchemeError, SchemeFactory, SchemeParams, SchemeRegistry,
 };
-pub use resync::{heal_node, start_resync, HealStats, ResyncState, ResyncStats};
-pub use scheme::{
-    deliver_read, deliver_update, Chunk, InstantScheme, SchemeMsg, UpdateReq, UpdateScheme,
+pub use replica::{ReplicaRecord, ReplicaStore};
+pub use resync::{
+    heal_node, repair_all_dirty_parity, start_resync, HealStats, ResyncState, ResyncStats,
 };
+pub use scheme::{
+    deliver_read, deliver_update, Chunk, InstantScheme, PowerLossReport, SchemeMsg, UpdateReq,
+    UpdateScheme,
+};
+pub use scrub::{run_full_scrub, start_scrub, ScrubState};
 pub use shard::{ShardKey, ShardedMap, SHARDS, STRIPE_GROUP};
+pub use tsue_integrity::{checksum, IntegrityError, SplitRng};
 pub use verify::{check_consistency, check_data_blocks, check_parity, reference_data};
 
 use tsue_device::{Device, HddModel, SsdModel};
@@ -162,6 +170,20 @@ pub struct ClusterConfig {
     pub journal: bool,
     /// Record per-extent arrival order (needed by correctness tests).
     pub record_arrivals: bool,
+    /// Maintain per-page block checksums and verify them on every read
+    /// (see [`tsue_integrity`]). Content checksums exist only when
+    /// `materialize` is also set; timing-only runs carry the flag but
+    /// store no sums, so it costs nothing there.
+    pub checksums: bool,
+    /// Background scrub rate in MiB/s per OSD; `0` disables scrubbing.
+    /// The scrubber sweeps every materialized block, verifies its
+    /// checksums, and repairs corrupt pages from the stripe's survivors.
+    pub scrub_mb_s: u64,
+    /// Replication factor for scheme *parity-log* appends (PL/PLR-style
+    /// logs). `1` means no replication; `r > 1` charges `r - 1` extra
+    /// network transfers and peer log writes per append, modeling the
+    /// durability cost of surviving a log-holder crash.
+    pub log_replicas: usize,
     /// Master seed for workload generation.
     pub seed: u64,
     /// Worker threads for byte-kernel parallelism (encode, replay,
@@ -190,6 +212,9 @@ impl ClusterConfig {
             materialize: false,
             journal: true,
             record_arrivals: false,
+            checksums: true,
+            scrub_mb_s: 0,
+            log_replicas: 1,
             seed: 42,
             threads: 1,
         }
@@ -238,6 +263,11 @@ pub struct ClusterCore {
     pub journal: DegradedJournal,
     /// Heal-time re-sync bookkeeping (see [`resync`]).
     pub resync: ResyncState,
+    /// Background scrub cursor and statistics (see [`scrub`]).
+    pub scrub: ScrubState,
+    /// Replicated data-log records, keyed by the home OSD whose log they
+    /// shadow (see [`replica`]).
+    pub replicas: ReplicaStore,
     /// Worker pool for byte-kernel parallelism inside single events
     /// (tick-barrier model — see [`tsue_sim::exec`]).
     pub pool: WorkerPool,
@@ -284,7 +314,9 @@ impl Cluster {
                     DeviceKind::Ssd => Device::new_ssd(SsdModel::datacenter(cfg.device_capacity)),
                     DeviceKind::Hdd => Device::new_hdd(HddModel::nearline(cfg.device_capacity)),
                 };
-                Osd::new(n, device)
+                let mut osd = Osd::new(n, device);
+                osd.checksums = cfg.checksums;
+                osd
             })
             .collect();
         let schemes = (0..cfg.osds).map(|i| Some(make_scheme(i))).collect();
@@ -301,6 +333,8 @@ impl Cluster {
             recovery: RecoveryState::default(),
             journal: DegradedJournal::default(),
             resync: ResyncState::default(),
+            scrub: ScrubState::default(),
+            replicas: ReplicaStore::default(),
             pool: WorkerPool::new(cfg.threads),
             cfg,
         };
@@ -379,6 +413,24 @@ impl Cluster {
             }
         }
         sim.now()
+    }
+
+    /// Delivers a power loss to `node`'s scheme — torn log tail, restart,
+    /// log scan, replica replay — and folds the outcome into the metrics.
+    /// The node stays alive (a restart, not a kill).
+    pub fn power_loss(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        node: usize,
+        seed: u64,
+    ) -> PowerLossReport {
+        let mut s = self.schemes[node].take().expect("scheme reentrancy");
+        let report = s.power_loss(&mut self.core, sim, node, seed);
+        self.schemes[node] = Some(s);
+        self.core.metrics.torn_detected += report.torn_detected;
+        self.core.metrics.torn_replayed += report.torn_replayed;
+        self.core.metrics.torn_discarded += report.torn_discarded;
+        report
     }
 
     /// Sums device stats over all OSDs.

@@ -65,6 +65,20 @@ impl LogRegion {
         (t, rel)
     }
 
+    /// Restart log scan: one sequential read over everything appended so
+    /// far (crash-recovery framing scan from the region base to the write
+    /// cursor). Free on a region that never persisted anything. Returns
+    /// the scan's completion time.
+    pub fn scan(&mut self, core: &mut ClusterCore, osd: usize, now: Time) -> Time {
+        if self.dev_off.is_none() || self.cursor == 0 {
+            return now;
+        }
+        let base = self.ensure(core, osd);
+        core.osds[osd]
+            .device
+            .submit(now, IoKind::Read, base, self.cursor, self.read_stream)
+    }
+
     /// Random read of a previously appended entry (`entry_off` relative to
     /// the region base, wrapped into the region).
     pub fn read(

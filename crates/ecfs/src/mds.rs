@@ -202,6 +202,13 @@ impl Mds {
         self.dirty_parity.keys_sorted()
     }
 
+    /// True when `role` of `gstripe` is marked as missing deltas — such
+    /// parity is internally consistent but stale relative to the stripe,
+    /// so it must not serve as a reconstruction source.
+    pub fn parity_is_dirty(&self, gstripe: u64, role: usize) -> bool {
+        self.dirty_parity.contains(&(gstripe, role))
+    }
+
     /// Number of parity blocks still missing deltas.
     pub fn dirty_parity_count(&self) -> usize {
         self.dirty_parity.len()

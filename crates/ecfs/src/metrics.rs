@@ -80,6 +80,21 @@ pub struct ClusterMetrics {
     pub buf_pool_hits: u64,
     /// Buffer-pool misses (allocations) during the run.
     pub buf_pool_misses: u64,
+    /// Blocks swept by the background scrubber (checksum verification).
+    pub blocks_scrubbed: u64,
+    /// Corrupt pages detected (scrub sweep or read-path verification).
+    pub corruptions_detected: u64,
+    /// Corrupt pages repaired from the stripe's surviving blocks.
+    pub corruptions_repaired: u64,
+    /// Corrupt pages with fewer than `k` live siblings — unrepairable.
+    pub corruptions_unrecoverable: u64,
+    /// Torn log-tail records detected by post-power-loss log scans.
+    pub torn_detected: u64,
+    /// Torn records replayed byte-exactly from a surviving log replica.
+    pub torn_replayed: u64,
+    /// Torn records discarded for want of a replica (acked data lost —
+    /// only reachable with data-log replication turned off).
+    pub torn_discarded: u64,
 }
 
 impl ClusterMetrics {
@@ -110,6 +125,13 @@ impl ClusterMetrics {
             payload_bytes_copied: 0,
             buf_pool_hits: 0,
             buf_pool_misses: 0,
+            blocks_scrubbed: 0,
+            corruptions_detected: 0,
+            corruptions_repaired: 0,
+            corruptions_unrecoverable: 0,
+            torn_detected: 0,
+            torn_replayed: 0,
+            torn_discarded: 0,
         }
     }
 

@@ -8,8 +8,10 @@
 
 use crate::mds::FileId;
 use crate::shard::ShardedMap;
+use parking_lot::Mutex;
 use tsue_buf::{Bytes, BytesMut};
 use tsue_device::{Device, IoKind, StreamId};
+use tsue_integrity::{BlockChecksums, IntegrityError, SplitRng};
 use tsue_sim::Time;
 
 /// Identifies one block of one stripe of one file.
@@ -32,6 +34,9 @@ pub struct StoredBlock {
     pub dev_offset: u64,
     /// Payload (materialized mode only).
     pub data: Option<Box<[u8]>>,
+    /// Per-page checksums, maintained under the same segment lock as the
+    /// payload (materialized mode with checksums enabled only).
+    pub sums: Option<BlockChecksums>,
 }
 
 /// Device stream id used for in-place block I/O.
@@ -58,6 +63,14 @@ pub struct Osd {
     store: ShardedMap<BlockId, StoredBlock>,
     /// True once [`crate::fail_node`] kills this node.
     pub dead: bool,
+    /// Maintain per-page block checksums (materialized mode only; set
+    /// from [`crate::ClusterConfig::checksums`]).
+    pub checksums: bool,
+    /// Blocks whose corrupt content sourced a parity delta: the delta
+    /// carried the rot to parity, so the scrubber must re-encode the
+    /// stripe's parity after repairing the data. Interior-mutable — the
+    /// producing paths run on the `&self` content plane.
+    poisoned: Mutex<Vec<BlockId>>,
     next_offset: u64,
 }
 
@@ -69,6 +82,8 @@ impl Osd {
             device,
             store: ShardedMap::new(),
             dead: false,
+            checksums: false,
+            poisoned: Mutex::new(Vec::new()),
             next_offset: 0,
         }
     }
@@ -91,7 +106,15 @@ impl Osd {
         self.device
             .submit(0, IoKind::Write, dev_offset, block_size, STREAM_BLOCK);
         let data = materialize.then(|| vec![0u8; block_size as usize].into_boxed_slice());
-        self.store.insert(id, StoredBlock { dev_offset, data });
+        let sums = (materialize && self.checksums).then(|| BlockChecksums::new_zeroed(block_size));
+        self.store.insert(
+            id,
+            StoredBlock {
+                dev_offset,
+                data,
+                sums,
+            },
+        );
     }
 
     /// Device offset of a hosted block.
@@ -160,7 +183,13 @@ impl Osd {
             if let (Some(store), Some(src)) = (b.data.as_mut(), data) {
                 assert_eq!(src.len() as u64, len, "payload length mismatch");
                 assert!((off + len) as usize <= store.len(), "write beyond block");
+                if let Some(sums) = b.sums.as_mut() {
+                    sums.pre_write_scan(store, off, len, true);
+                }
                 store[off as usize..(off + len) as usize].copy_from_slice(src);
+                if let Some(sums) = b.sums.as_mut() {
+                    sums.update_range(store, off, len);
+                }
             }
             b.dev_offset + off
         };
@@ -188,7 +217,13 @@ impl Osd {
             let b = self.store.get_mut(&id).expect("block not hosted here");
             if let (Some(store), Some(d)) = (b.data.as_mut(), delta) {
                 assert_eq!(d.len() as u64, len, "delta length mismatch");
+                if let Some(sums) = b.sums.as_mut() {
+                    sums.pre_write_scan(store, off, len, false);
+                }
                 tsue_gf::xor_slice(d, &mut store[off as usize..(off + len) as usize]);
+                if let Some(sums) = b.sums.as_mut() {
+                    sums.update_range(store, off, len);
+                }
             }
             b.dev_offset + off
         };
@@ -220,8 +255,16 @@ impl Osd {
     /// overlapping worker ranges stay deterministic.
     pub fn xor_poke_range(&self, id: BlockId, off: u64, delta: &[u8]) {
         self.store.with_mut(&id, |b| {
-            if let Some(store) = b.and_then(|b| b.data.as_mut()) {
-                tsue_gf::xor_slice(delta, &mut store[off as usize..off as usize + delta.len()]);
+            if let Some(b) = b {
+                if let Some(store) = b.data.as_mut() {
+                    if let Some(sums) = b.sums.as_mut() {
+                        sums.pre_write_scan(store, off, delta.len() as u64, false);
+                    }
+                    tsue_gf::xor_slice(delta, &mut store[off as usize..off as usize + delta.len()]);
+                    if let Some(sums) = b.sums.as_mut() {
+                        sums.update_range(store, off, delta.len() as u64);
+                    }
+                }
             }
         });
     }
@@ -235,11 +278,24 @@ impl Osd {
     /// recycle planner guarantees it — merged ranges never overlap).
     pub fn delta_poke_range(&self, id: BlockId, off: u64, new: &[u8]) -> Option<Bytes> {
         self.store.with_mut(&id, |b| {
-            let store = b.and_then(|b| b.data.as_mut())?;
+            let b = b?;
+            let store = b.data.as_mut()?;
+            if let Some(sums) = b.sums.as_mut() {
+                // The delta XORs in the current bytes — rot here poisons
+                // the parity it feeds, so queue the stripe for a parity
+                // re-encode after the data is repaired.
+                if sums.verify_range(store, off, new.len() as u64).is_err() {
+                    self.poisoned.lock().push(id);
+                }
+                sums.pre_write_scan(store, off, new.len() as u64, true);
+            }
             let dst = &mut store[off as usize..off as usize + new.len()];
             let mut d = BytesMut::take(new.len());
             tsue_gf::xor_into(dst, new, d.as_mut());
             dst.copy_from_slice(new);
+            if let Some(sums) = b.sums.as_mut() {
+                sums.update_range(store, off, new.len() as u64);
+            }
             Some(d.freeze())
         })
     }
@@ -249,8 +305,16 @@ impl Osd {
     pub fn poke_block_range(&self, id: BlockId, off: u64, data: Option<&[u8]>) {
         if let Some(src) = data {
             self.store.with_mut(&id, |b| {
-                if let Some(store) = b.and_then(|b| b.data.as_mut()) {
-                    store[off as usize..off as usize + src.len()].copy_from_slice(src);
+                if let Some(b) = b {
+                    if let Some(store) = b.data.as_mut() {
+                        if let Some(sums) = b.sums.as_mut() {
+                            sums.pre_write_scan(store, off, src.len() as u64, true);
+                        }
+                        store[off as usize..off as usize + src.len()].copy_from_slice(src);
+                        if let Some(sums) = b.sums.as_mut() {
+                            sums.update_range(store, off, src.len() as u64);
+                        }
+                    }
                 }
             });
         }
@@ -273,10 +337,137 @@ impl Osd {
         self.store.remove(&id)
     }
 
-    /// Installs a reconstructed block.
+    /// Installs a reconstructed block (its checksum table is rebuilt from
+    /// the installed bytes).
     pub fn install_block(&mut self, id: BlockId, block_size: u64, data: Option<Box<[u8]>>) {
         let dev_offset = self.alloc_region(block_size);
-        self.store.insert(id, StoredBlock { dev_offset, data });
+        let sums = match (&data, self.checksums) {
+            (Some(d), true) => {
+                let mut s = BlockChecksums::new_zeroed(block_size);
+                s.update_all(d);
+                Some(s)
+            }
+            _ => None,
+        };
+        self.store.insert(
+            id,
+            StoredBlock {
+                dev_offset,
+                data,
+                sums,
+            },
+        );
+    }
+
+    /// Silently flips `flips` random bits of the block's content — the
+    /// checksum table is deliberately **not** updated, which is exactly
+    /// what bit rot looks like. Returns the number of bits flipped (0 in
+    /// timing-only mode, where there are no bytes to rot).
+    pub fn corrupt_bits(&mut self, id: BlockId, rng: &mut SplitRng, flips: usize) -> usize {
+        let b = self.store.get_mut(&id).expect("block not hosted here");
+        let Some(store) = b.data.as_mut() else {
+            return 0;
+        };
+        for _ in 0..flips {
+            let byte = rng.below(store.len() as u64) as usize;
+            let bit = rng.below(8) as u8;
+            store[byte] ^= 1 << bit;
+        }
+        flips
+    }
+
+    /// Verifies the checksums of every page of `id` overlapping
+    /// `[off, off + len)`.
+    ///
+    /// # Errors
+    /// The first corrupt page, as a typed [`IntegrityError`]. Blocks
+    /// without a checksum table (timing-only mode, checksums disabled)
+    /// verify vacuously.
+    pub fn verify_range(&self, id: BlockId, off: u64, len: u64) -> Result<(), IntegrityError> {
+        self.store.with(&id, |b| match b {
+            Some(StoredBlock {
+                data: Some(d),
+                sums: Some(s),
+                ..
+            }) => s.verify_range(d, off, len),
+            _ => Ok(()),
+        })
+    }
+
+    /// Scans the whole block against its checksum table, returning the
+    /// indices of corrupt pages (empty when clean or untracked).
+    pub fn corrupt_pages(&self, id: BlockId) -> Vec<usize> {
+        self.store.with(&id, |b| match b {
+            Some(StoredBlock {
+                data: Some(d),
+                sums: Some(s),
+                ..
+            }) => s.corrupt_pages(d),
+            _ => Vec::new(),
+        })
+    }
+
+    /// Recomputes the checksum table of `id` from its current content
+    /// (post-repair, post-out-of-band mutation via
+    /// [`Osd::block_data_mut`]); clears all taint — the caller asserts
+    /// the content is authoritative.
+    pub fn rehash_block(&self, id: BlockId) {
+        self.store.with_mut(&id, |b| {
+            if let Some(b) = b {
+                if let (Some(d), Some(s)) = (b.data.as_ref(), b.sums.as_mut()) {
+                    s.update_all(d);
+                }
+            }
+        });
+    }
+
+    /// Stored digest of `page` of `id`, when a checksum table exists.
+    pub fn page_digest(&self, id: BlockId, page: usize) -> Option<u64> {
+        self.store.with(&id, |b| {
+            b.and_then(|b| b.sums.as_ref().map(|s| s.digest(page)))
+        })
+    }
+
+    /// Whether `page` of `id` is flagged written-while-corrupt (its
+    /// stored digest blesses untrustworthy bytes).
+    pub fn page_tainted(&self, id: BlockId, page: usize) -> bool {
+        self.store.with(&id, |b| {
+            b.and_then(|b| b.sums.as_ref().map(|s| s.is_tainted(page)))
+                .unwrap_or(false)
+        })
+    }
+
+    /// Declares that `[off, off + len)` of `id` is about to source a
+    /// parity delta (read-modify-write paths). A corrupt source range
+    /// poisons the emitted delta, so the block is queued for the
+    /// scrubber's stripe-level parity re-encode.
+    pub fn note_delta_source(&self, id: BlockId, off: u64, len: u64) {
+        if self.verify_range(id, off, len).is_err() {
+            self.poisoned.lock().push(id);
+        }
+    }
+
+    /// Drains the queue of blocks whose rot reached parity through a
+    /// delta (consumed by the scrubber).
+    pub fn take_poisoned(&mut self) -> Vec<BlockId> {
+        std::mem::take(&mut *self.poisoned.lock())
+    }
+
+    /// Installs repaired content for one page of `id`: overwrites the
+    /// page bytes, recomputes its digest, and clears its taint flag.
+    /// No-op in timing-only mode.
+    pub fn install_repaired_page(&self, id: BlockId, page: usize, bytes: &[u8]) {
+        self.store.with_mut(&id, |b| {
+            if let Some(b) = b {
+                if let (Some(store), Some(sums)) = (b.data.as_mut(), b.sums.as_mut()) {
+                    let s = page * tsue_integrity::PAGE as usize;
+                    let e = (s + tsue_integrity::PAGE as usize).min(store.len());
+                    store[s..e].copy_from_slice(&bytes[..e - s]);
+                    sums.update_range(store, s as u64, (e - s) as u64);
+                    sums.clear_taint(page);
+                }
+            }
+        });
     }
 
     /// Zeroes the accumulated device statistics (end of setup phase).
@@ -354,6 +545,48 @@ mod tests {
     fn reading_foreign_block_panics() {
         let mut o = osd();
         o.read_block_range(0, bid(9, 9), 0, 1);
+    }
+
+    #[test]
+    fn checksums_follow_every_mutation_path() {
+        let mut o = osd();
+        o.checksums = true;
+        o.provision_block(bid(0, 0), 16 << 10, true);
+        assert!(o.verify_range(bid(0, 0), 0, 16 << 10).is_ok());
+
+        // Timed write, content pokes, delta capture, and XOR merges all
+        // keep the table consistent.
+        o.write_block_range(0, bid(0, 0), 100, 64, Some(&[3u8; 64]));
+        o.poke_block_range(bid(0, 0), 5000, Some(&[9u8; 32]));
+        o.delta_poke_range(bid(0, 0), 9000, &[1u8; 16]);
+        o.xor_poke_range(bid(0, 0), 9000, &[0xFFu8; 16]);
+        o.xor_block_range(0, bid(0, 0), 12 << 10, 8, Some(&[0x55u8; 8]), 0);
+        assert!(o.verify_range(bid(0, 0), 0, 16 << 10).is_ok());
+        assert!(o.corrupt_pages(bid(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn bit_rot_is_detected_and_rehash_clears_it() {
+        let mut o = osd();
+        o.checksums = true;
+        o.provision_block(bid(1, 1), 8192, true);
+        let mut rng = SplitRng::new(99);
+        assert_eq!(o.corrupt_bits(bid(1, 1), &mut rng, 3), 3);
+        assert!(!o.corrupt_pages(bid(1, 1)).is_empty(), "rot must be seen");
+        assert!(o.verify_range(bid(1, 1), 0, 8192).is_err());
+        // A repair path rewrites content and rehashes.
+        o.rehash_block(bid(1, 1));
+        assert!(o.verify_range(bid(1, 1), 0, 8192).is_ok());
+    }
+
+    #[test]
+    fn checksums_disabled_means_silent_corruption() {
+        let mut o = osd();
+        o.provision_block(bid(2, 0), 4096, true);
+        let mut rng = SplitRng::new(7);
+        o.corrupt_bits(bid(2, 0), &mut rng, 2);
+        assert!(o.verify_range(bid(2, 0), 0, 4096).is_ok(), "nothing checks");
+        assert!(o.corrupt_pages(bid(2, 0)).is_empty());
     }
 
     #[test]

@@ -84,6 +84,9 @@ pub struct PhaseStats {
     /// Journaled degraded-write bytes replayed into blocks this phase
     /// rebuilt (applied after `reconstruct_one`, before the rehome).
     pub journal_replayed_bytes: u64,
+    /// Replicated data-log bytes replayed into blocks this phase rebuilt
+    /// (acked appends the dead home never merged; see [`crate::replica`]).
+    pub replica_replayed_bytes: u64,
 }
 
 impl PhaseStats {
@@ -287,7 +290,13 @@ fn spawn_rebuild(world: &mut Cluster, sim: &mut Sim<Cluster>, block: BlockId, ph
     // Live peers hosting any role of this stripe are both our survivor
     // sources and ineligible rebuild targets (one stripe block per node);
     // in-flight rebuilds of sibling roles likewise reserve their targets.
+    // Shards whose checksums flag rot are a last resort: decoding
+    // through one bakes its garbage into the rebuilt block under a
+    // fresh digest, and the rot then algebraically reproduces itself
+    // when the scrubber later decodes the rotted original back out of
+    // the contaminated rebuild.
     let mut survivors: Vec<(usize, usize)> = Vec::with_capacity(k); // (role, owner)
+    let mut rotted: Vec<(usize, usize)> = Vec::new();
     let mut occupied = vec![false; core.cfg.osds];
     for role in 0..bps {
         let owner = core.owner_of(gstripe, role);
@@ -295,6 +304,20 @@ fn spawn_rebuild(world: &mut Cluster, sim: &mut Sim<Cluster>, block: BlockId, ph
             continue;
         }
         occupied[owner] = true;
+        let sib = BlockId {
+            file: block.file,
+            stripe: block.stripe,
+            role,
+        };
+        if !core.osds[owner].corrupt_pages(sib).is_empty() {
+            rotted.push((role, owner));
+            continue;
+        }
+        if survivors.len() < k {
+            survivors.push((role, owner));
+        }
+    }
+    for (role, owner) in rotted {
         if survivors.len() < k {
             survivors.push((role, owner));
         }
@@ -496,9 +519,15 @@ fn spawn_rebuild(world: &mut Cluster, sim: &mut Sim<Cluster>, block: BlockId, ph
                 }
             }
         }
-        // Acked failure-window writes parked in the degraded-write
-        // journal land on the rebuilt copy now — after the reconstruct,
-        // before the rehome — so the block goes live current.
+        // Acked appends still sitting in the dead home's data log are
+        // invisible to the reconstruct (survivors decode the block as of
+        // the last log merge): land their replica copies first, in
+        // append order, so the rebuilt block carries every acked write.
+        let from_replicas = crate::replica::replay_replicas(w, sim, target, home, block);
+        let core = &mut w.core;
+        // Then acked failure-window writes parked in the degraded-write
+        // journal — after the reconstruct, before the rehome — so the
+        // block goes live current.
         let replayed = crate::journal::replay_block(core, sim, target, block);
         // The reconstruct re-encoded a parity block from current data,
         // so any missed-delta mark is now satisfied.
@@ -508,6 +537,7 @@ fn spawn_rebuild(world: &mut Cluster, sim: &mut Sim<Cluster>, block: BlockId, ph
         p.rebuilt += 1;
         p.bytes_rebuilt += block_size;
         p.journal_replayed_bytes += replayed;
+        p.replica_replayed_bytes += from_replicas;
         core.mds.rehome(gstripe, block.role, target);
         pump_recovery(w, sim);
     });

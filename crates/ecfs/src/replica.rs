@@ -1,0 +1,246 @@
+//! Replicated data-log records: the cluster-side shadow of a scheme's
+//! data-log appends.
+//!
+//! Log-buffered schemes ack an update once it is appended to the home
+//! OSD's data log — which makes the log the *only* copy of the payload
+//! until recycle merges it into the block. If the home dies first, a
+//! stripe rebuild decodes the block from survivors *as of the last
+//! merge*, silently losing every acked-but-unmerged append. To close
+//! that window the scheme forwards each append to `r - 1` peers; the
+//! peers park the records here, keyed by the home OSD whose log they
+//! shadow, and recovery replays them onto the rebuilt block before it
+//! goes live ([`crate::recovery`]). Power-loss restarts use the same
+//! records to repair a torn log tail byte-exactly.
+//!
+//! The store keeps one logical copy of each record (content plane);
+//! the durability *cost* of the extra copies — wire transfers and peer
+//! log appends — is charged by the forwarding scheme (timing plane).
+//! Records are pruned once the home seals-and-recycles past them: a
+//! merged append is reconstructable from the block itself.
+
+use crate::osd::{BlockId, STREAM_BLOCK};
+use crate::scheme::Chunk;
+use crate::Cluster;
+use std::collections::HashMap;
+use tsue_device::IoKind;
+use tsue_sim::Sim;
+
+/// One replicated data-log append.
+#[derive(Clone, Debug)]
+pub struct ReplicaRecord {
+    /// Home-log sequence number (append order; prune watermark).
+    pub seq: u64,
+    /// Target data block.
+    pub block: BlockId,
+    /// Offset within the block.
+    pub off: u64,
+    /// The payload (ghost in timing-only runs).
+    pub data: Chunk,
+}
+
+/// All live replica records, keyed by the home OSD whose data log they
+/// shadow. Owned by [`crate::ClusterCore`].
+#[derive(Debug, Default)]
+pub struct ReplicaStore {
+    by_home: HashMap<usize, Vec<ReplicaRecord>>,
+    /// Cumulative bytes replayed onto rebuilt blocks.
+    pub bytes_replayed: u64,
+}
+
+impl ReplicaStore {
+    /// Parks one record shadowing `home`'s data log. Records arrive in
+    /// `seq` order per home (one sender, FIFO wire), so the vector stays
+    /// sorted by construction.
+    pub fn push(&mut self, home: usize, rec: ReplicaRecord) {
+        self.by_home.entry(home).or_default().push(rec);
+    }
+
+    /// Drops every record of `home` with `seq <= watermark` — the home
+    /// recycled its log past them, so the block itself now holds the
+    /// content.
+    pub fn prune_up_to(&mut self, home: usize, watermark: u64) {
+        if let Some(v) = self.by_home.get_mut(&home) {
+            v.retain(|r| r.seq > watermark);
+            if v.is_empty() {
+                self.by_home.remove(&home);
+            }
+        }
+    }
+
+    /// Live records shadowing `home`'s log that target `block`, in
+    /// append (`seq`) order — the replay source for a rebuild of that
+    /// block.
+    pub fn records_for_block(&self, home: usize, block: &BlockId) -> Vec<ReplicaRecord> {
+        self.by_home
+            .get(&home)
+            .map(|v| v.iter().filter(|r| r.block == *block).cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// The highest-`seq` record of `home` (the log tail a power loss
+    /// would tear), if any records are live.
+    pub fn tail(&self, home: usize) -> Option<&ReplicaRecord> {
+        self.by_home.get(&home).and_then(|v| v.last())
+    }
+
+    /// Drops `home`'s records targeting `block` — they were just
+    /// replayed onto the rebuilt copy.
+    pub fn prune_block(&mut self, home: usize, block: &BlockId) {
+        if let Some(v) = self.by_home.get_mut(&home) {
+            v.retain(|r| r.block != *block);
+            if v.is_empty() {
+                self.by_home.remove(&home);
+            }
+        }
+    }
+
+    /// Accounts `bytes` of replica records replayed onto a rebuilt block.
+    pub fn note_replayed(&mut self, bytes: u64) {
+        self.bytes_replayed += bytes;
+    }
+
+    /// Live records shadowing `home`'s log.
+    pub fn len(&self, home: usize) -> usize {
+        self.by_home.get(&home).map_or(0, Vec::len)
+    }
+
+    /// True when no record of any home is live.
+    pub fn is_empty(&self) -> bool {
+        self.by_home.is_empty()
+    }
+
+    /// Approximate bytes pinned by parked payloads.
+    pub fn memory_usage(&self) -> u64 {
+        self.by_home
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|r| r.data.len + std::mem::size_of::<ReplicaRecord>() as u64)
+            .sum()
+    }
+}
+
+/// Replays `home`'s live replica records for `block` onto the rebuilt
+/// copy at `target`, in append (`seq`) order. Returns the bytes applied.
+///
+/// Called from rebuild completion, after `reconstruct_one` and before
+/// the degraded-write journal replay: the reconstruct decodes the block
+/// *as of the last log merge*, so acked-but-unmerged appends exist only
+/// in the dead home's data log and its replicas. The records are ghosts
+/// (timing + bookkeeping); the one logical copy of the content is the
+/// home's unit index, read back side-effect-free through
+/// [`crate::UpdateScheme::patch_unmerged`] and patched over the
+/// reconstructed bytes (newest wins). Timing: the fetch from the
+/// nearest live peer and the in-place write are charged per record from
+/// `now` onward. The replayed appends never produced parity deltas
+/// (their data-log units had not sealed), so every parity role of the
+/// stripe is marked dirty for the next authoritative re-encode.
+pub(crate) fn replay_replicas(
+    world: &mut Cluster,
+    sim: &mut Sim<Cluster>,
+    target: usize,
+    home: usize,
+    block: BlockId,
+) -> u64 {
+    let Cluster { core, schemes, .. } = world;
+    let recs = core.replicas.records_for_block(home, &block);
+    if recs.is_empty() {
+        return 0;
+    }
+    let now = sim.now();
+    let gstripe = core.global_stripe(block.file, block.stripe);
+    let (k, m) = (core.cfg.stripe.k, core.cfg.stripe.m);
+    // The records physically sit on the home's ring successors, so the
+    // fetch is charged from the nearest live peer (the home itself is
+    // dead or being replaced).
+    let src = (1..core.cfg.osds)
+        .map(|r| (home + r) % core.cfg.osds)
+        .find(|&p| p != target && core.mds.is_alive(p));
+    let mut replayed = 0u64;
+    for r in &recs {
+        let len = r.data.len;
+        replayed += len;
+        if let Some(p) = src {
+            core.net
+                .transfer(now, core.osds[p].node, core.osds[target].node, len);
+        }
+        let dev_off = core.osds[target].block_offset(block) + r.off;
+        core.osds[target]
+            .device
+            .submit(now, IoKind::Write, dev_off, len, STREAM_BLOCK);
+    }
+    if core.cfg.materialize {
+        if let Some(scheme) = schemes[home].as_ref() {
+            let bs = core.cfg.stripe.block_size;
+            if let Some(bytes) = core.osds[target].peek_block_range(block, 0, bs) {
+                let mut buf = bytes.to_vec();
+                core.metrics.recovery_copies += 1;
+                core.metrics.recovery_bytes_copied += bs;
+                scheme.patch_unmerged(block, 0, bs, &mut buf);
+                core.osds[target].poke_block_range(block, 0, Some(&buf));
+            }
+        }
+    }
+    for j in 0..m {
+        core.mds.mark_parity_dirty(gstripe, k + j);
+    }
+    core.replicas.note_replayed(replayed);
+    core.replicas.prune_block(home, &block);
+    replayed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(stripe: u64, role: usize) -> BlockId {
+        BlockId {
+            file: 0,
+            stripe,
+            role,
+        }
+    }
+
+    fn rec(seq: u64, stripe: u64, off: u64) -> ReplicaRecord {
+        ReplicaRecord {
+            seq,
+            block: bid(stripe, 0),
+            off,
+            data: Chunk::real(vec![seq as u8; 8]),
+        }
+    }
+
+    #[test]
+    fn push_filter_and_order() {
+        let mut s = ReplicaStore::default();
+        s.push(3, rec(1, 0, 0));
+        s.push(3, rec(2, 1, 8));
+        s.push(3, rec(3, 0, 16));
+        s.push(4, rec(1, 0, 0));
+        let for_b0 = s.records_for_block(3, &bid(0, 0));
+        assert_eq!(for_b0.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(s.len(3), 3);
+        assert_eq!(s.len(4), 1);
+        assert_eq!(s.tail(3).unwrap().seq, 3);
+    }
+
+    #[test]
+    fn prune_respects_watermark_and_cleans_up() {
+        let mut s = ReplicaStore::default();
+        for q in 1..=5 {
+            s.push(0, rec(q, 0, q * 8));
+        }
+        s.prune_up_to(0, 3);
+        assert_eq!(s.len(0), 2);
+        assert_eq!(s.records_for_block(0, &bid(0, 0))[0].seq, 4);
+        s.prune_up_to(0, 99);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn memory_counts_payloads() {
+        let mut s = ReplicaStore::default();
+        assert_eq!(s.memory_usage(), 0);
+        s.push(1, rec(1, 0, 0));
+        assert!(s.memory_usage() >= 8);
+    }
+}

@@ -120,6 +120,19 @@ pub fn start_resync(world: &mut Cluster, sim: &mut Sim<Cluster>, node: usize) ->
     stats
 }
 
+/// Runs one standalone dirty-parity repair pass over the whole cluster:
+/// every dirty parity block whose owner and data sources are alive is
+/// re-encoded from the stripe's data blocks. Returns how many were
+/// repaired. Used by the harness as a scenario-end consistency pass —
+/// replica replay after a rebuild marks all parity of the replayed
+/// stripes dirty (the rebuild cut cannot tell which parity saw the
+/// replayed deltas), and this pass settles them.
+pub fn repair_all_dirty_parity(world: &mut Cluster, sim: &mut Sim<Cluster>) -> u64 {
+    let mut stats = ResyncStats::default();
+    repair_dirty_parity(&mut world.core, sim, &mut stats);
+    stats.parity_repaired
+}
+
 /// Copies rebuilt blocks back from their rehome targets onto the healed
 /// placement home and reclaims the rehome-table entries.
 fn copy_back_rehomed(
@@ -184,11 +197,23 @@ fn repair_dirty_parity(core: &mut ClusterCore, sim: &mut Sim<Cluster>, stats: &m
         if !core.osds[owner].hosts(pblock) {
             continue;
         }
-        // All k data blocks must be readable to re-encode.
+        // All k data blocks must be readable — and clean. Re-encoding
+        // from a rotted source would fold the garbage into parity under
+        // a fresh digest, turning detectable corruption into a
+        // verified-but-wrong codeword; such stripes stay dirty until the
+        // scrub repairs (or writes off) the data first.
         let mut sources: Vec<(usize, usize)> = Vec::with_capacity(k); // (data idx, owner)
         for i in 0..k {
             let downer = core.owner_of(gstripe, i);
             if !core.mds.is_alive(downer) {
+                continue 'entries;
+            }
+            let dblock = BlockId {
+                file,
+                stripe,
+                role: i,
+            };
+            if !core.osds[downer].corrupt_pages(dblock).is_empty() {
                 continue 'entries;
             }
             sources.push((i, downer));

@@ -151,6 +151,11 @@ pub enum SchemeMsg {
         data: Chunk,
         /// Scheme-specific discriminator.
         tag: u64,
+        /// Replica sequence number: TSUE data-log replication stamps each
+        /// forwarded append with the home OSD's monotonically increasing
+        /// counter so peers can prune replayed/recycled records exactly.
+        /// Schemes that do not replicate a data log send 0.
+        seq: u64,
     },
     /// A delta destined for parity handling.
     DeltaForward {
@@ -185,6 +190,27 @@ pub enum SchemeMsg {
         /// Payload word B.
         b: u64,
     },
+}
+
+/// Outcome of one power-loss restart at an OSD (log-tail tear + scan +
+/// replay) — see [`UpdateScheme::power_loss`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PowerLossReport {
+    /// Torn in-flight log appends detected by the restart scan.
+    pub torn_detected: u64,
+    /// Torn appends replayed byte-exactly from a surviving replica.
+    pub torn_replayed: u64,
+    /// Torn appends discarded for want of a replica (acked data lost).
+    pub torn_discarded: u64,
+}
+
+impl PowerLossReport {
+    /// Merges another report's counts into this one.
+    pub fn merge(&mut self, other: PowerLossReport) {
+        self.torn_detected += other.torn_detected;
+        self.torn_replayed += other.torn_replayed;
+        self.torn_discarded += other.torn_discarded;
+    }
 }
 
 /// Result of asking a scheme to overlay a read from its logs.
@@ -267,6 +293,36 @@ pub trait UpdateScheme: Send {
     fn memory_usage(&self) -> u64 {
         0
     }
+
+    /// A power loss hit this OSD mid-append: the scheme's newest
+    /// in-flight log record is torn at a pseudo-random byte offset
+    /// (derived from `seed`), the node restarts, and the restart log
+    /// scan classifies the tail as torn — never as a verified-but-wrong
+    /// read. Torn appends are replayed byte-exactly from a surviving
+    /// log replica when one exists, or discarded (counted) when not.
+    ///
+    /// The default suits schemes with no buffered log tail: in-place
+    /// writers lose at most a write the client was never acked for, so
+    /// there is nothing to tear. The node stays alive — a power loss is
+    /// a restart, not a [`crate::fail_node`] kill.
+    fn power_loss(
+        &mut self,
+        _core: &mut ClusterCore,
+        _sim: &mut Sim<Cluster>,
+        _osd: usize,
+        _seed: u64,
+    ) -> PowerLossReport {
+        PowerLossReport::default()
+    }
+
+    /// Patches `buf` with this scheme's unmerged (log-buffered, not yet
+    /// recycled) content for `[off, off+len)` of `block`, newest wins.
+    /// Unlike [`Self::read_overlay`] this charges nothing and touches no
+    /// read-path statistics: it is the recovery-side content source when
+    /// replica records of a dead home are replayed onto a rebuilt block
+    /// (see [`crate::replica`]). Schemes that keep no data log have no
+    /// unmerged content and use this no-op default.
+    fn patch_unmerged(&self, _block: BlockId, _off: u64, _len: u64, _buf: &mut [u8]) {}
 
     /// Downcast hook for harness-side introspection (e.g. harvesting
     /// TSUE residency statistics).
@@ -470,6 +526,13 @@ pub fn deliver_read(
         }
         ReadServe::Miss => {
             let (t, _) = world.core.osds[osd].read_block_range(sim.now(), block, off, len);
+            if world.core.osds[osd].verify_range(block, off, len).is_err() {
+                // The store returned rotted bytes: surface the typed
+                // error as a detection and queue the block for repair at
+                // the next safe point (scrub tick or final sweep) rather
+                // than serving silently wrong data unflagged.
+                crate::scrub::note_corrupt_block(&mut world.core, osd, block);
+            }
             t
         }
     };
@@ -594,6 +657,9 @@ pub fn rmw_data_delta(
     off: u64,
     data: &Chunk,
 ) -> (Time, Chunk) {
+    // Rot in the read range would ride the delta to parity: flag it for
+    // the scrubber's stripe-level parity re-encode before it is folded.
+    core.osds[osd].note_delta_source(block, off, data.len);
     let (t_read, old) = core.osds[osd].read_block_range(now, block, off, data.len);
     let delta = match (&data.bytes, old) {
         (Some(new), Some(old)) => {

@@ -26,7 +26,7 @@
 use serde::{Deserialize, Serialize, Value};
 use std::cell::RefCell;
 use std::rc::Rc;
-use tsue_ecfs::{fail_node, reap_stalled_ops, start_recovery, Cluster, HealStats};
+use tsue_ecfs::{fail_node, reap_stalled_ops, start_recovery, Cluster, HealStats, SplitRng};
 use tsue_net::TierTraffic;
 use tsue_sim::{Sim, Time, MILLISECOND};
 
@@ -67,6 +67,34 @@ pub enum FaultEvent {
         /// Healed OSD index.
         node: usize,
     },
+    /// Flip a few random bits in stored blocks on one OSD (silent media
+    /// corruption / bit rot). Only materialized runs carry real bytes to
+    /// corrupt; timing-only runs treat this as a no-op. Detection happens
+    /// later, at read-time verification or a scrub sweep — never here.
+    CorruptBlock {
+        /// Trigger time, virtual ms.
+        at_ms: u64,
+        /// Affected OSD index.
+        node: usize,
+        /// How many distinct blocks to hit (default 1, capped at the
+        /// node's block count).
+        blocks: Option<u64>,
+        /// Deterministic RNG seed; defaults to a mix of `at_ms`/`node`.
+        seed: Option<u64>,
+    },
+    /// Power-loss at one OSD: the in-flight log append is torn at a
+    /// pseudo-random offset, then the node restarts with a log scan.
+    /// Replicated appends replay from a surviving copy; unreplicated
+    /// ones are discarded (the framing checksum rejects the torn tail,
+    /// so a torn record is never half-applied). The node stays up.
+    PowerLoss {
+        /// Trigger time, virtual ms.
+        at_ms: u64,
+        /// Affected OSD index.
+        node: usize,
+        /// Deterministic RNG seed; defaults to a mix of `at_ms`/`node`.
+        seed: Option<u64>,
+    },
 }
 
 impl FaultEvent {
@@ -76,13 +104,22 @@ impl FaultEvent {
             FaultEvent::KillNode { at_ms, .. }
             | FaultEvent::KillRack { at_ms, .. }
             | FaultEvent::SlowNode { at_ms, .. }
-            | FaultEvent::HealNode { at_ms, .. } => *at_ms,
+            | FaultEvent::HealNode { at_ms, .. }
+            | FaultEvent::CorruptBlock { at_ms, .. }
+            | FaultEvent::PowerLoss { at_ms, .. } => *at_ms,
         }
     }
 
     /// The JSON `kind` tags, for error messages.
     pub fn kinds() -> &'static [&'static str] {
-        &["kill_node", "kill_rack", "slow_node", "heal_node"]
+        &[
+            "kill_node",
+            "kill_rack",
+            "slow_node",
+            "heal_node",
+            "corrupt_block",
+            "power_loss",
+        ]
     }
 
     /// This event's JSON `kind` tag (validation error messages).
@@ -92,6 +129,8 @@ impl FaultEvent {
             FaultEvent::KillRack { .. } => "kill_rack",
             FaultEvent::SlowNode { .. } => "slow_node",
             FaultEvent::HealNode { .. } => "heal_node",
+            FaultEvent::CorruptBlock { .. } => "corrupt_block",
+            FaultEvent::PowerLoss { .. } => "power_loss",
         }
     }
 }
@@ -130,6 +169,30 @@ impl Serialize for FaultEvent {
                 entries.push(("node".to_string(), Value::UInt(*node as u64)));
                 "heal_node"
             }
+            FaultEvent::CorruptBlock {
+                at_ms,
+                node,
+                blocks,
+                seed,
+            } => {
+                entries.push(("at_ms".to_string(), Value::UInt(*at_ms)));
+                entries.push(("node".to_string(), Value::UInt(*node as u64)));
+                if let Some(b) = blocks {
+                    entries.push(("blocks".to_string(), Value::UInt(*b)));
+                }
+                if let Some(s) = seed {
+                    entries.push(("seed".to_string(), Value::UInt(*s)));
+                }
+                "corrupt_block"
+            }
+            FaultEvent::PowerLoss { at_ms, node, seed } => {
+                entries.push(("at_ms".to_string(), Value::UInt(*at_ms)));
+                entries.push(("node".to_string(), Value::UInt(*node as u64)));
+                if let Some(s) = seed {
+                    entries.push(("seed".to_string(), Value::UInt(*s)));
+                }
+                "power_loss"
+            }
         };
         entries.insert(0, ("kind".to_string(), Value::Str(kind.to_string())));
         Value::Object(entries)
@@ -147,6 +210,8 @@ impl Deserialize for FaultEvent {
             "kill_rack" => &["kind", "at_ms", "rack"],
             "slow_node" => &["kind", "at_ms", "node", "factor", "duration_ms"],
             "heal_node" => &["kind", "at_ms", "node"],
+            "corrupt_block" => &["kind", "at_ms", "node", "blocks", "seed"],
+            "power_loss" => &["kind", "at_ms", "node", "seed"],
             other => {
                 return Err(serde::DeError::unknown_variant(
                     "FaultEvent",
@@ -180,6 +245,17 @@ impl Deserialize for FaultEvent {
                 at_ms,
                 node: serde::de_field(entries, "FaultEvent", "node")?,
             },
+            "corrupt_block" => FaultEvent::CorruptBlock {
+                at_ms,
+                node: serde::de_field(entries, "FaultEvent", "node")?,
+                blocks: serde::de_field(entries, "FaultEvent", "blocks")?,
+                seed: serde::de_field(entries, "FaultEvent", "seed")?,
+            },
+            "power_loss" => FaultEvent::PowerLoss {
+                at_ms,
+                node: serde::de_field(entries, "FaultEvent", "node")?,
+                seed: serde::de_field(entries, "FaultEvent", "seed")?,
+            },
             _ => unreachable!("kind validated above"),
         })
     }
@@ -209,7 +285,10 @@ impl FaultPlan {
             // scenario author can find it in a long fault list.
             let who = format!("fault #{i} ({} @{}ms)", e.kind_name(), e.at_ms());
             match *e {
-                FaultEvent::KillNode { node, .. } | FaultEvent::HealNode { node, .. } => {
+                FaultEvent::KillNode { node, .. }
+                | FaultEvent::HealNode { node, .. }
+                | FaultEvent::CorruptBlock { node, .. }
+                | FaultEvent::PowerLoss { node, .. } => {
                     if node >= osds {
                         return Err(format!(
                             "{who}: node {node} out of range (cluster has {osds} OSDs)"
@@ -422,11 +501,21 @@ pub fn install(
     plan.validate(world.core.cfg.osds, world.core.net.racks())?;
     let tracker: FaultHandle = Rc::new(RefCell::new(FaultTracker {
         // Kills run a rebuild phase, heals a re-sync phase; both must
-        // finalize before the plan counts as finished.
+        // finalize before the plan counts as finished. Slowdowns,
+        // corruption injections, and power losses are instantaneous —
+        // their consequences surface through reads, scrubs, and log
+        // replays, not through a tracked phase.
         active_phases: plan
             .events
             .iter()
-            .filter(|e| !matches!(e, FaultEvent::SlowNode { .. }))
+            .filter(|e| {
+                !matches!(
+                    e,
+                    FaultEvent::SlowNode { .. }
+                        | FaultEvent::CorruptBlock { .. }
+                        | FaultEvent::PowerLoss { .. }
+                )
+            })
             .count(),
         ..FaultTracker::default()
     }));
@@ -479,6 +568,29 @@ fn trigger(
         FaultEvent::KillRack { at_ms, rack } => {
             let victims = tsue_ecfs::fail_rack(world, rack);
             phase_start(world, sim, at_ms, victims, tracker, cfg);
+        }
+        FaultEvent::CorruptBlock {
+            at_ms,
+            node,
+            blocks,
+            seed,
+        } => {
+            let mut rng = SplitRng::new(seed.unwrap_or(0xB1707 ^ (at_ms << 8) ^ node as u64));
+            let ids = world.core.osds[node].block_ids();
+            if ids.is_empty() {
+                return;
+            }
+            // A handful of flips per victim block — enough that at least
+            // one lands outside any page a later write happens to cover.
+            let picks = blocks.unwrap_or(1).min(ids.len() as u64);
+            for _ in 0..picks {
+                let id = ids[rng.below(ids.len() as u64) as usize];
+                world.core.osds[node].corrupt_bits(id, &mut rng, 3);
+            }
+        }
+        FaultEvent::PowerLoss { at_ms, node, seed } => {
+            let seed = seed.unwrap_or(0x9_0FF ^ (at_ms << 8) ^ node as u64);
+            world.power_loss(sim, node, seed);
         }
     }
 }

@@ -21,6 +21,8 @@
 //! slowdowns (straggler NICs) scale a node's lane service times until a
 //! deadline, for fault-injection scenarios.
 
+#![warn(missing_docs)]
+
 use serde::{Deserialize, Serialize, Value};
 use tsue_sim::{FifoResource, Time, MICROSECOND};
 

@@ -104,6 +104,7 @@ impl Fl {
                     off,
                     data,
                     tag,
+                    seq: 0,
                 };
                 w.core.send_to_scheme(sim, osd, peer, len, msg);
             });
@@ -219,6 +220,7 @@ impl UpdateScheme for Fl {
                 off,
                 data,
                 tag,
+                ..
             } => {
                 // Parity-side durability append.
                 let len = data.len;

@@ -242,6 +242,7 @@ impl UpdateScheme for Parix {
                         off,
                         data,
                         tag: tag | OLD_BIT,
+                        seq: 0,
                     };
                     w.core.send_to_scheme(sim, osd, peer, len, msg);
                 });
@@ -259,6 +260,7 @@ impl UpdateScheme for Parix {
                     off,
                     data,
                     tag,
+                    seq: 0,
                 };
                 w.core.send_to_scheme(sim, osd, peer, len, msg);
             });
@@ -279,6 +281,7 @@ impl UpdateScheme for Parix {
                 off,
                 data,
                 tag,
+                ..
             } if tag & OLD_BIT != 0 => {
                 // Original data arriving on a NeedOld round trip.
                 let real_tag = tag & !OLD_BIT;
@@ -303,6 +306,7 @@ impl UpdateScheme for Parix {
                 off,
                 data,
                 tag,
+                ..
             } => {
                 // Speculative new-data arrival: append, then either ack or
                 // ask for the original first.
@@ -347,6 +351,7 @@ impl UpdateScheme for Parix {
                     off: po.off,
                     data: po.old.clone(),
                     tag: tag | OLD_BIT,
+                    seq: 0,
                 };
                 let len = po.old.len;
                 if done {

@@ -9,7 +9,7 @@
 //! failure before recycling stalls recovery behind a recycle storm — the
 //! consistency issue §2.3.2 highlights.
 
-use crate::{AckTable, LogRegion};
+use crate::{AckTable, LogMirrors, LogRegion};
 use tsue_ecfs::scheme::{rmw_data_delta, Chunk, DeltaKind, SchemeMsg, UpdateReq};
 use tsue_ecfs::{BlockId, Cluster, ClusterCore, UpdateScheme, ACK_BYTES};
 use tsue_sim::Sim;
@@ -36,6 +36,8 @@ pub struct Pl {
     /// Recycle trigger: log bytes before a drain starts.
     pub threshold: u64,
     inflight: u64,
+    /// Ring-successor mirror regions for `cfg.log_replicas > 1`.
+    mirrors: LogMirrors,
 }
 
 impl Default for Pl {
@@ -56,6 +58,7 @@ impl Pl {
             log_bytes: 0,
             threshold: 256 << 20,
             inflight: 0,
+            mirrors: LogMirrors::new(40),
         }
     }
 
@@ -152,7 +155,12 @@ impl UpdateScheme for Pl {
                     dev_off,
                 });
                 self.log_bytes += len + ENTRY_HEADER;
-                sim.schedule_at(t_append, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                // The ack waits for every mirror copy (no-op at the
+                // default `log_replicas = 1`).
+                let t_ack =
+                    self.mirrors
+                        .replicate(core, osd, sim.now(), t_append, len + ENTRY_HEADER);
+                sim.schedule_at(t_ack, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
                     w.core
                         .send_to_scheme(sim, osd, from, ACK_BYTES, SchemeMsg::Ack { tag });
                 });

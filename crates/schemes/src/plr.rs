@@ -10,7 +10,7 @@
 //! region fills, recycling happens *inline*, stalling the update that
 //! triggered it.
 
-use crate::AckTable;
+use crate::{AckTable, LogMirrors};
 use std::collections::HashMap;
 use tsue_device::IoKind;
 use tsue_ecfs::osd::STREAM_SCHEME_BASE;
@@ -38,6 +38,8 @@ pub struct Plr {
     acks: AckTable,
     reserved: HashMap<BlockId, Reserved>,
     inflight: u64,
+    /// Ring-successor mirror regions for `cfg.log_replicas > 1`.
+    mirrors: LogMirrors,
 }
 
 impl Default for Plr {
@@ -53,6 +55,7 @@ impl Plr {
             acks: AckTable::default(),
             reserved: HashMap::new(),
             inflight: 0,
+            mirrors: LogMirrors::new(44),
         }
     }
 
@@ -198,7 +201,10 @@ impl UpdateScheme for Plr {
                 );
                 r.cursor += need;
                 r.entries.push((off, data));
-                sim.schedule_at(t_append, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
+                // The ack waits for every mirror copy (no-op at the
+                // default `log_replicas = 1`).
+                let t_ack = self.mirrors.replicate(core, osd, now, t_append, need);
+                sim.schedule_at(t_ack, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
                     w.core
                         .send_to_scheme(sim, osd, from, ACK_BYTES, SchemeMsg::Ack { tag });
                 });

@@ -22,6 +22,8 @@
 //! assert_eq!(sim.now(), 15);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod exec;
 pub mod resource;
 

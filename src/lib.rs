@@ -13,6 +13,8 @@
 //! * [`device`] / [`net`] — SSD (FTL + wear) / HDD and network fabric
 //!   models that substitute for the paper's Chameleon testbed.
 //! * [`trace`] — synthetic Ali-Cloud / Ten-Cloud / MSR workload generators.
+//! * [`integrity`] — block checksums, torn-record framing, and the typed
+//!   corruption errors behind the scrub/power-loss machinery.
 //! * [`ecfs`] — the erasure-coded cluster file system (MDS, OSD, Client).
 //! * [`fault`] — scripted fault injection (node/rack kills, stragglers,
 //!   heals) driving online recovery under load.
@@ -30,6 +32,7 @@ pub use tsue_ec as ec;
 pub use tsue_ecfs as ecfs;
 pub use tsue_fault as fault;
 pub use tsue_gf as gf;
+pub use tsue_integrity as integrity;
 pub use tsue_net as net;
 pub use tsue_schemes as schemes;
 pub use tsue_sim as sim;
