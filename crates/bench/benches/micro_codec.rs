@@ -1,10 +1,37 @@
 //! Criterion microbenchmarks for the hot algebraic kernels: RS encode,
-//! incremental parity deltas, delta folding, and the two-level index.
+//! incremental parity deltas, delta folding, the two-level index, and
+//! the GF slice kernels per dispatch tier.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tsue_ec::{data_delta, RsCode};
 use tsue_ecfs::rangemap::Discipline;
 use tsue_ecfs::Chunk;
+use tsue_gf::KernelTier;
+
+fn bench_gf_kernel_tiers(c: &mut Criterion) {
+    // The same fused multiply-accumulate on every tier the host can run,
+    // restoring the default tier afterwards (tiers are byte-identical,
+    // so switching mid-process is safe).
+    let entry = tsue_gf::kernel_tier();
+    for len in [512usize, 4096, 64 << 10] {
+        let group_name = format!("gf_mul_add_{len}");
+        let mut g = c.benchmark_group(&group_name);
+        let src: Vec<u8> = (0..len).map(|i| (i * 17 + 5) as u8).collect();
+        let mut dst = vec![0u8; len];
+        g.throughput(Throughput::Bytes(len as u64));
+        for tier in KernelTier::available() {
+            tsue_gf::set_kernel_tier(tier).unwrap();
+            g.bench_with_input(BenchmarkId::from_parameter(tier.name()), &src, |b, src| {
+                b.iter(|| {
+                    tsue_gf::mul_add_slice(29, src, &mut dst);
+                    criterion::black_box(&dst);
+                })
+            });
+        }
+        g.finish();
+    }
+    tsue_gf::set_kernel_tier(entry).unwrap();
+}
 
 fn bench_encode(c: &mut Criterion) {
     let mut g = c.benchmark_group("rs_encode");
@@ -140,6 +167,7 @@ fn bench_two_level_index(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_gf_kernel_tiers,
     bench_encode,
     bench_parity_delta,
     bench_stripe_replay,

@@ -7,7 +7,7 @@
 //! `combined_parity_delta`, `encode`) — the pre-refactor small-write path,
 //! which the crate keeps precisely so the comparison cannot rot.
 //!
-//! Schema (`schema: "tsue-bench/v3"`):
+//! Schema (`schema: "tsue-bench/v4"`):
 //!
 //! * `micro` — kernel rows: ops/sec for baseline vs zero-copy, speedup,
 //!   and per-op allocation/copy traffic for both paths.
@@ -19,6 +19,12 @@
 //!   the hot-path digest tax, target < 5% (v3).
 //! * `scrub` — full-sweep verification throughput in MB per host
 //!   wall-second (v3).
+//! * `cpu_features` / `gf_kernel` — detected SIMD features and the GF
+//!   kernel tier the stake ran on, so trajectories across hosts stay
+//!   interpretable (v4).
+//! * `codec_tiers` — the same codec kernels measured once per available
+//!   GF kernel tier (scalar → portable → SIMD), staking the dispatch
+//!   speedup directly (v4).
 
 use crate::{default_registry, ScenarioSpec, SchemeSpec, TraceKind};
 use serde::{Deserialize, Serialize};
@@ -127,6 +133,26 @@ pub struct ScrubRow {
     pub mb_per_wall_sec: f64,
 }
 
+/// One per-tier codec row: the same kernel measured with GF dispatch
+/// forced onto one tier. `speedup_vs_scalar` is the headline number —
+/// how much the split-nibble SIMD path buys over the byte-at-a-time
+/// reference on this host.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CodecTierRow {
+    /// Kernel tier name (`scalar`, `portable`, `ssse3`, `avx2`, `neon`).
+    pub tier: String,
+    /// Kernel name (`gf_mul_add`, `rs_encode`, `stripe_replay`).
+    pub name: String,
+    /// Payload length per op, bytes.
+    pub len: u64,
+    /// Operations per second on this tier.
+    pub ops_per_sec: f64,
+    /// Payload throughput, MB processed per second.
+    pub mb_per_sec: f64,
+    /// `ops_per_sec / ops_per_sec(scalar)` for the same kernel.
+    pub speedup_vs_scalar: f64,
+}
+
 /// The full report persisted as `BENCH_NN.json`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -150,6 +176,14 @@ pub struct BenchReport {
     pub integrity: Vec<IntegrityRow>,
     /// Scrub-throughput rows (absent from pre-v3 stakes).
     pub scrub: Vec<ScrubRow>,
+    /// SIMD-relevant CPU features detected on the host (absent from
+    /// pre-v4 stakes).
+    pub cpu_features: Vec<String>,
+    /// The GF kernel tier every non-`codec_tiers` number ran on (absent
+    /// from pre-v4 stakes).
+    pub gf_kernel: String,
+    /// Per-tier codec kernel rows (absent from pre-v4 stakes).
+    pub codec_tiers: Vec<CodecTierRow>,
 }
 
 /// Calibrates a batch of `f` that fills `floor`; returns the batch size.
@@ -192,6 +226,103 @@ fn measure_pair(
         best_z = best_z.max(nz as f64 / t.elapsed().as_secs_f64().max(1e-9));
     }
     (best_b, best_z)
+}
+
+/// Best-of-5 ops/sec of a single kernel closure.
+fn measure_one(floor: Duration, mut f: impl FnMut()) -> f64 {
+    let n = calibrate(floor, &mut f);
+    let mut best = f64::MIN;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        best = best.max(n as f64 / t.elapsed().as_secs_f64().max(1e-9));
+    }
+    best
+}
+
+/// The `codec_tiers` section: three codec kernels measured once per GF
+/// kernel tier the host can run, with dispatch forced via
+/// `set_kernel_tier` (restored to the entry tier afterwards — safe at
+/// any time because all tiers are byte-identical).
+///
+/// * `gf_mul_add` — the raw fused multiply-accumulate over 64 KiB, the
+///   primitive every encode/delta path reduces to.
+/// * `rs_encode` — full-stripe RS(6,4) `encode_into` at 64 KiB blocks.
+/// * `stripe_replay` — the Eq. 5 combined parity delta at 4 KiB deltas.
+fn codec_tier_rows(floor: Duration) -> Vec<CodecTierRow> {
+    use tsue_gf::KernelTier;
+    let entry = tsue_gf::kernel_tier();
+
+    let (k, m) = (6usize, 4usize);
+    let rs = RsCode::new(k, m).unwrap();
+    let enc_len = 64 << 10;
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..enc_len).map(|j| (i * 31 + j) as u8).collect())
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+    let mut parity: Vec<Vec<u8>> = vec![vec![0u8; enc_len]; m];
+
+    let delta_len = 4096usize;
+    let deltas: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..delta_len).map(|j| (i * 13 + j * 7 + 1) as u8).collect())
+        .collect();
+    let pairs: Vec<(usize, &[u8])> = deltas
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (i, d.as_slice()))
+        .collect();
+    let mut accs: Vec<Vec<u8>> = vec![vec![0u8; delta_len]; m];
+
+    let mul_src: Vec<u8> = (0..enc_len).map(|i| (i * 17 + 5) as u8).collect();
+    let mut mul_dst = vec![0u8; enc_len];
+
+    let mut rows = Vec::new();
+    for tier in KernelTier::available() {
+        tsue_gf::set_kernel_tier(tier).unwrap();
+        let mul_add = measure_one(floor, || {
+            tsue_gf::mul_add_slice(29, &mul_src, &mut mul_dst);
+            std::hint::black_box(&mul_dst);
+        });
+        let encode = measure_one(floor, || {
+            rs.encode_into(&refs, &mut parity).unwrap();
+            std::hint::black_box(&parity);
+        });
+        let replay = measure_one(floor, || {
+            for (j, acc) in accs.iter_mut().enumerate() {
+                rs.fill_combined_parity_delta(j, &pairs, acc);
+                std::hint::black_box(&acc);
+            }
+        });
+        for (name, len, ops, bytes_per_op) in [
+            ("gf_mul_add", enc_len, mul_add, enc_len),
+            ("rs_encode", enc_len, encode, k * enc_len),
+            ("stripe_replay", delta_len, replay, k * m * delta_len),
+        ] {
+            rows.push(CodecTierRow {
+                tier: tier.name().to_string(),
+                name: name.to_string(),
+                len: len as u64,
+                ops_per_sec: ops,
+                mb_per_sec: ops * bytes_per_op as f64 / 1e6,
+                speedup_vs_scalar: 1.0, // filled in below
+            });
+        }
+    }
+    tsue_gf::set_kernel_tier(entry).unwrap();
+
+    let scalar: Vec<(String, f64)> = rows
+        .iter()
+        .filter(|r| r.tier == "scalar")
+        .map(|r| (r.name.clone(), r.ops_per_sec))
+        .collect();
+    for row in &mut rows {
+        if let Some((_, base)) = scalar.iter().find(|(n, _)| *n == row.name) {
+            row.speedup_vs_scalar = row.ops_per_sec / base.max(1e-9);
+        }
+    }
+    rows
 }
 
 /// The small-write delta path as TSUE's two-stage pipeline runs it, per
@@ -599,9 +730,10 @@ pub fn bench_report(bench_id: &str, quick: bool, threads: usize) -> BenchReport 
         integrity_row("integrity-ali", TraceKind::Ali, quick),
     ];
     let scrub = vec![scrub_row(quick)];
+    let codec_tiers = codec_tier_rows(floor);
 
     BenchReport {
-        schema: "tsue-bench/v3".into(),
+        schema: "tsue-bench/v4".into(),
         bench_id: bench_id.to_string(),
         quick,
         host_cores: std::thread::available_parallelism()
@@ -612,6 +744,12 @@ pub fn bench_report(bench_id: &str, quick: bool, threads: usize) -> BenchReport 
         scaling,
         integrity,
         scrub,
+        cpu_features: tsue_gf::cpu_features()
+            .into_iter()
+            .map(str::to_string)
+            .collect(),
+        gf_kernel: tsue_gf::kernel_tier().name().to_string(),
+        codec_tiers,
     }
 }
 
@@ -620,6 +758,18 @@ pub fn render_bench(r: &BenchReport) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "{} (quick={})", r.bench_id, r.quick);
+    if !r.gf_kernel.is_empty() {
+        let _ = writeln!(
+            out,
+            "gf kernel: {} (cpu features: {})",
+            r.gf_kernel,
+            if r.cpu_features.is_empty() {
+                "none".to_string()
+            } else {
+                r.cpu_features.join(", ")
+            }
+        );
+    }
     let _ = writeln!(
         out,
         "{:<20} {:>6} {:>14} {:>14} {:>8} {:>14}",
@@ -699,6 +849,20 @@ pub fn render_bench(r: &BenchReport) -> String {
                 out,
                 "{:<16} {:>8} {:>12} {:>9} {:>10.1} {:>12.0}",
                 s.name, s.blocks, s.bytes, s.repaired, s.wall_ms, s.mb_per_wall_sec
+            );
+        }
+    }
+    if !r.codec_tiers.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<10} {:<16} {:>8} {:>14} {:>10} {:>11}",
+            "tier", "kernel", "len", "ops/sec", "MB/s", "vs scalar"
+        );
+        for t in &r.codec_tiers {
+            let _ = writeln!(
+                out,
+                "{:<10} {:<16} {:>8} {:>14.0} {:>10.0} {:>10.2}x",
+                t.tier, t.name, t.len, t.ops_per_sec, t.mb_per_sec, t.speedup_vs_scalar
             );
         }
     }

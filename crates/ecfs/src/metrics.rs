@@ -21,6 +21,12 @@ pub struct ArrivalRecord {
 
 /// Cluster-wide experiment metrics.
 pub struct ClusterMetrics {
+    /// The GF slice-kernel tier the run's byte work dispatched to
+    /// (`avx2`/`ssse3`/`neon`/`portable`/`scalar`). Informational only —
+    /// all tiers are byte-identical, so it never appears in serialized
+    /// results, but harness summaries record it so perf numbers stay
+    /// interpretable across hosts.
+    pub gf_kernel: &'static str,
     /// Completed client operations (reads + updates).
     pub ops_completed: u64,
     /// Completed update operations.
@@ -101,6 +107,7 @@ impl ClusterMetrics {
     /// Creates zeroed metrics; `record_arrivals` enables the arrival log.
     pub fn new(record_arrivals: bool) -> Self {
         ClusterMetrics {
+            gf_kernel: tsue_gf::kernel_tier().name(),
             ops_completed: 0,
             updates_completed: 0,
             reads_completed: 0,

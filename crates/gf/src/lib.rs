@@ -7,13 +7,18 @@
 //! and division go through compile-time log/exp tables.
 //!
 //! The slice kernels ([`mul_slice`], [`mul_add_slice`], [`xor_slice`]) are the
-//! hot path of encoding: they are written as unrolled table-lookup loops over
-//! a per-coefficient 256-entry product row, which lets the compiler vectorize
-//! the gather-free XOR tail.
+//! hot path of encoding. They dispatch at runtime to the widest backend the
+//! host CPU supports — split-nibble SIMD (SSSE3/AVX2/NEON byte-shuffles that
+//! compute 16 or 32 products per instruction) down to a portable word-wide
+//! fallback — through a function-pointer vtable resolved once on first use.
+//! See [`kernel`] for the backend design, the `TSUE_GF_KERNEL` override, and
+//! the byte-identical-tiers invariant.
 
+pub mod kernel;
 pub mod matrix;
 pub mod tables;
 
+pub use kernel::{cpu_features, kernel_tier, reference, set_kernel_tier, KernelTier};
 pub use matrix::Matrix;
 pub use tables::{EXP_TABLE, LOG_TABLE};
 
@@ -109,27 +114,7 @@ pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
         dst.copy_from_slice(src);
         return;
     }
-    let row = mul_row(c);
-    // Unroll by 8: the bounds checks vanish because chunks are exact.
-    let mut src_chunks = src.chunks_exact(8);
-    let mut dst_chunks = dst.chunks_exact_mut(8);
-    for (s, d) in (&mut src_chunks).zip(&mut dst_chunks) {
-        d[0] = row[s[0] as usize];
-        d[1] = row[s[1] as usize];
-        d[2] = row[s[2] as usize];
-        d[3] = row[s[3] as usize];
-        d[4] = row[s[4] as usize];
-        d[5] = row[s[5] as usize];
-        d[6] = row[s[6] as usize];
-        d[7] = row[s[7] as usize];
-    }
-    for (s, d) in src_chunks
-        .remainder()
-        .iter()
-        .zip(dst_chunks.into_remainder())
-    {
-        *d = row[*s as usize];
-    }
+    (kernel::active().mul_slice)(c, src, dst);
 }
 
 /// `dst[i] ^= c * src[i]` for all `i` — the fused multiply-accumulate that
@@ -146,26 +131,7 @@ pub fn mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
         xor_slice(src, dst);
         return;
     }
-    let row = mul_row(c);
-    let mut src_chunks = src.chunks_exact(8);
-    let mut dst_chunks = dst.chunks_exact_mut(8);
-    for (s, d) in (&mut src_chunks).zip(&mut dst_chunks) {
-        d[0] ^= row[s[0] as usize];
-        d[1] ^= row[s[1] as usize];
-        d[2] ^= row[s[2] as usize];
-        d[3] ^= row[s[3] as usize];
-        d[4] ^= row[s[4] as usize];
-        d[5] ^= row[s[5] as usize];
-        d[6] ^= row[s[6] as usize];
-        d[7] ^= row[s[7] as usize];
-    }
-    for (s, d) in src_chunks
-        .remainder()
-        .iter()
-        .zip(dst_chunks.into_remainder())
-    {
-        *d ^= row[*s as usize];
-    }
+    (kernel::active().mul_add_slice)(c, src, dst);
 }
 
 /// `buf[i] = c * buf[i]` for all `i` — in-place scaling, for callers that
@@ -178,21 +144,7 @@ pub fn mul_slice_assign(c: u8, buf: &mut [u8]) {
     if c == 1 {
         return;
     }
-    let row = mul_row(c);
-    let mut chunks = buf.chunks_exact_mut(8);
-    for d in &mut chunks {
-        d[0] = row[d[0] as usize];
-        d[1] = row[d[1] as usize];
-        d[2] = row[d[2] as usize];
-        d[3] = row[d[3] as usize];
-        d[4] = row[d[4] as usize];
-        d[5] = row[d[5] as usize];
-        d[6] = row[d[6] as usize];
-        d[7] = row[d[7] as usize];
-    }
-    for d in chunks.into_remainder() {
-        *d = row[*d as usize];
-    }
+    (kernel::active().mul_slice_assign)(c, buf);
 }
 
 /// `dst[i] = a[i] ^ b[i]` for all `i` — a one-pass delta kernel writing
@@ -203,23 +155,21 @@ pub fn mul_slice_assign(c: u8, buf: &mut [u8]) {
 pub fn xor_into(a: &[u8], b: &[u8], dst: &mut [u8]) {
     assert_eq!(a.len(), b.len(), "xor_into length mismatch");
     assert_eq!(a.len(), dst.len(), "xor_into length mismatch");
-    let mut ac = a.chunks_exact(8);
-    let mut bc = b.chunks_exact(8);
-    let mut dc = dst.chunks_exact_mut(8);
-    for ((s, t), d) in (&mut ac).zip(&mut bc).zip(&mut dc) {
-        let sv = u64::from_ne_bytes(s.try_into().unwrap());
-        let tv = u64::from_ne_bytes(t.try_into().unwrap());
-        d.copy_from_slice(&(sv ^ tv).to_ne_bytes());
+    // Short-slice regime (small-write deltas): the dispatch indirection
+    // costs more than any vector-width advantage — the word-wide loop
+    // inlines and auto-vectorizes here. XOR is tier-invariant by
+    // definition, so this changes no observable behavior.
+    if a.len() < XOR_DISPATCH_FLOOR {
+        kernel::portable::xor_into(a, b, dst);
+        return;
     }
-    for ((s, t), d) in ac
-        .remainder()
-        .iter()
-        .zip(bc.remainder())
-        .zip(dc.into_remainder())
-    {
-        *d = s ^ t;
-    }
+    (kernel::active().xor_into)(a, b, dst);
 }
+
+/// Below this many bytes, [`xor_slice`]/[`xor_into`] skip the dispatch
+/// vtable and run the inlined portable word loop: the indirect call and
+/// tier lookup cost more than wider vectors save on short slices.
+const XOR_DISPATCH_FLOOR: usize = 1024;
 
 /// `dst[i] ^= src[i]` for all `i` — field addition of two buffers.
 ///
@@ -227,21 +177,12 @@ pub fn xor_into(a: &[u8], b: &[u8], dst: &mut [u8]) {
 /// Panics if the slices have different lengths.
 pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
     assert_eq!(src.len(), dst.len(), "xor_slice length mismatch");
-    // Operate on u64 lanes where possible; alignment-agnostic via chunks.
-    let mut src_chunks = src.chunks_exact(8);
-    let mut dst_chunks = dst.chunks_exact_mut(8);
-    for (s, d) in (&mut src_chunks).zip(&mut dst_chunks) {
-        let sv = u64::from_ne_bytes(s.try_into().unwrap());
-        let dv = u64::from_ne_bytes((&*d).try_into().unwrap());
-        d.copy_from_slice(&(sv ^ dv).to_ne_bytes());
+    // See xor_into: short slices take the inlined portable word loop.
+    if src.len() < XOR_DISPATCH_FLOOR {
+        kernel::portable::xor_slice(src, dst);
+        return;
     }
-    for (s, d) in src_chunks
-        .remainder()
-        .iter()
-        .zip(dst_chunks.into_remainder())
-    {
-        *d ^= *s;
-    }
+    (kernel::active().xor_slice)(src, dst);
 }
 
 #[cfg(test)]

@@ -53,6 +53,34 @@ const fn build_mul(exp: &[u8; 512], log: &[u8; 256]) -> [[u8; 256]; 256] {
     table
 }
 
+const fn build_nib_lo(mul: &[[u8; 256]; 256]) -> [[u8; 16]; 256] {
+    let mut table = [[0u8; 16]; 256];
+    let mut c = 0;
+    while c < 256 {
+        let mut x = 0;
+        while x < 16 {
+            table[c][x] = mul[c][x];
+            x += 1;
+        }
+        c += 1;
+    }
+    table
+}
+
+const fn build_nib_hi(mul: &[[u8; 256]; 256]) -> [[u8; 16]; 256] {
+    let mut table = [[0u8; 16]; 256];
+    let mut c = 0;
+    while c < 256 {
+        let mut x = 0;
+        while x < 16 {
+            table[c][x] = mul[c][x << 4];
+            x += 1;
+        }
+        c += 1;
+    }
+    table
+}
+
 /// `EXP_TABLE[i] = 2^i` for `i in 0..255`, doubled so that
 /// `EXP_TABLE[log a + log b]` needs no reduction modulo 255.
 pub static EXP_TABLE: [u8; 512] = build_exp();
@@ -64,6 +92,18 @@ pub static LOG_TABLE: [u8; 256] = build_log(&EXP_TABLE);
 /// 64 KiB of `.rodata`; row `a` serves as the per-coefficient lookup row
 /// used by the slice kernels.
 pub static MUL_TABLE: [[u8; 256]; 256] = build_mul(&EXP_TABLE, &LOG_TABLE);
+
+/// Split-nibble product tables, the substrate of the SIMD kernels:
+/// `NIB_LO[c][x] = c * x` for `x in 0..16` — the products of the **low**
+/// nibble of every byte. Because GF(2^8) multiplication distributes over
+/// XOR, `c * b = NIB_LO[c][b & 0xf] ^ NIB_HI[c][b >> 4]`, which a single
+/// byte-shuffle instruction (`pshufb` / `vqtbl1q_u8`) evaluates for 16 or
+/// 32 bytes at once.
+pub static NIB_LO: [[u8; 16]; 256] = build_nib_lo(&MUL_TABLE);
+
+/// `NIB_HI[c][x] = c * (x << 4)` for `x in 0..16` — the products of the
+/// **high** nibble of every byte. See [`NIB_LO`].
+pub static NIB_HI: [[u8; 16]; 256] = build_nib_hi(&MUL_TABLE);
 
 #[cfg(test)]
 mod tests {
@@ -94,6 +134,20 @@ mod tests {
             assert_eq!(MUL_TABLE[1][b], b as u8);
             assert_eq!(MUL_TABLE[b][0], 0);
             assert_eq!(MUL_TABLE[b][1], b as u8);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index-pair table lookups
+    fn nibble_tables_recompose_every_product() {
+        for c in 0..256usize {
+            for b in 0..256usize {
+                assert_eq!(
+                    NIB_LO[c][b & 0xf] ^ NIB_HI[c][b >> 4],
+                    MUL_TABLE[c][b],
+                    "c={c} b={b}"
+                );
+            }
         }
     }
 

@@ -1,0 +1,69 @@
+//! Dispatch smoke tests: the `TSUE_GF_KERNEL` override is honored and
+//! `set_kernel_tier` round-trips through every supported tier.
+//!
+//! Everything lives in ONE test function because the dispatch tier is
+//! process-global — separate `#[test]`s would race on it within this
+//! binary. (Races are byte-safe thanks to the tier-equivalence
+//! invariant, but the assertions here are about *which* tier is active,
+//! which is exactly what a race would scramble.)
+
+use tsue_gf::{cpu_features, kernel_tier, set_kernel_tier, KernelTier};
+
+#[test]
+fn env_override_and_tier_switching_are_honored() {
+    // The very first kernel_tier() call resolves the TSUE_GF_KERNEL
+    // environment variable. CI sets it to "portable" on its second test
+    // pass; the default pass leaves it unset and must detect the best
+    // tier. Either way the initial tier must match what the environment
+    // demands.
+    let initial = kernel_tier();
+    match std::env::var("TSUE_GF_KERNEL") {
+        Ok(v) if !v.is_empty() && v != "native" && v != "auto" => {
+            let forced = KernelTier::parse(&v)
+                .unwrap_or_else(|| panic!("TSUE_GF_KERNEL={v:?} is not a tier name"));
+            assert_eq!(
+                initial, forced,
+                "forced tier {v:?} was not honored (got {initial:?})"
+            );
+        }
+        _ => assert_eq!(
+            initial,
+            KernelTier::best(),
+            "default dispatch must pick the best detected tier"
+        ),
+    }
+
+    // Every supported tier can be selected, reports itself, and still
+    // computes correct products (spot check one multiply per tier).
+    for tier in KernelTier::available() {
+        set_kernel_tier(tier).unwrap();
+        assert_eq!(kernel_tier(), tier);
+        let src: Vec<u8> = (0..=255u8).collect();
+        let mut dst = vec![0u8; src.len()];
+        tsue_gf::mul_slice(29, &src, &mut dst);
+        for (s, d) in src.iter().zip(dst.iter()) {
+            assert_eq!(*d, tsue_gf::mul(29, *s), "tier {tier:?}");
+        }
+    }
+
+    // Unsupported tiers are refused, not silently downgraded.
+    for tier in KernelTier::ALL {
+        if !tier.is_supported() {
+            assert!(set_kernel_tier(tier).is_err(), "{tier:?}");
+        }
+    }
+
+    // cpu_features() never lists a feature whose tier is unsupported.
+    for f in cpu_features() {
+        let tier = match f {
+            "ssse3" => KernelTier::Ssse3,
+            "avx2" => KernelTier::Avx2,
+            "neon" => KernelTier::Neon,
+            other => panic!("unexpected feature name {other:?}"),
+        };
+        assert!(tier.is_supported(), "{f} listed but tier unsupported");
+    }
+
+    // Leave the process on the tier the environment asked for.
+    set_kernel_tier(initial).unwrap();
+}

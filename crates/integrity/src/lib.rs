@@ -1,9 +1,10 @@
 //! Data-integrity primitives shared by the OSD store, the background
 //! scrubber, and the power-loss (torn-write) machinery:
 //!
-//! * [`checksum`] — a seahash-style 64-bit mixing hash over byte slices.
-//!   The chain `state ← (state ⊕ word) · M` composes bijections, so any
-//!   change confined to one 8-byte word — in particular **every
+//! * [`checksum`] — a seahash-style 64-bit mixing hash over byte slices,
+//!   run four 8-byte lanes at a time so the multiply chains overlap.
+//!   Every chain step `state ← (state ⊕ word) · M` composes bijections,
+//!   so any change confined to one 8-byte word — in particular **every
 //!   single-bit flip** — provably changes the digest.
 //! * [`BlockChecksums`] — the per-block page table (one digest per
 //!   [`PAGE`]-byte page) the OSD store maintains on every content
@@ -84,22 +85,49 @@ impl std::fmt::Display for IntegrityError {
 
 impl std::error::Error for IntegrityError {}
 
-/// Seahash-style 64-bit digest of `bytes`.
+/// Seahash-style 64-bit digest of `bytes`, four lanes wide.
 ///
-/// The state chain `s ← (s ⊕ wᵢ) · M` (odd `M`, so each step is a
-/// bijection of the state) folds 8-byte little-endian words; the tail is
-/// zero-padded and the length is folded last, so `checksum(b)` and
-/// `checksum(b ⧺ [0])` differ. Any modification confined to a single
-/// word — every single-bit flip included — changes the result.
+/// The bulk runs 32 bytes per step as four independent chains
+/// `lᵢ ← (lᵢ ⊕ wᵢ) · M` (odd `M`, so each step is a bijection of its
+/// lane), which breaks the serial multiply dependency and lets the CPU
+/// overlap the four multiplies — the scrub sweep is bound by this
+/// function. The lanes then fold into one state through further
+/// xor-multiply steps, the sub-32-byte tail continues the single chain
+/// (zero-padded last word), and the length is folded last, so
+/// `checksum(b)` and `checksum(b ⧺ [0])` differ.
+///
+/// Detection property: every 8-byte word feeds exactly one lane, each
+/// lane chain is bijective in that word, and the lane fold is bijective
+/// in each lane value — so any modification confined to a single word,
+/// every single-bit flip included, changes the result.
 #[must_use]
 pub fn checksum(bytes: &[u8]) -> u64 {
-    let mut state: u64 = 0x16f1_1fe8_9b0d_677c;
-    let mut chunks = bytes.chunks_exact(8);
-    for w in &mut chunks {
-        let word = u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
-        state = (state ^ word).wrapping_mul(MIX);
+    const SEED: u64 = 0x16f1_1fe8_9b0d_677c;
+    let word = |b: &[u8]| u64::from_le_bytes(b.try_into().expect("8-byte chunk"));
+
+    // Distinct lane seeds (consecutive splitmix-style offsets of SEED) so
+    // identical words in different lane positions diverge immediately.
+    let mut l0 = SEED;
+    let mut l1 = SEED.wrapping_add(MIX);
+    let mut l2 = SEED.wrapping_add(MIX.wrapping_mul(2));
+    let mut l3 = SEED.wrapping_add(MIX.wrapping_mul(3));
+    let mut blocks = bytes.chunks_exact(32);
+    for b in &mut blocks {
+        l0 = (l0 ^ word(&b[0..8])).wrapping_mul(MIX);
+        l1 = (l1 ^ word(&b[8..16])).wrapping_mul(MIX);
+        l2 = (l2 ^ word(&b[16..24])).wrapping_mul(MIX);
+        l3 = (l3 ^ word(&b[24..32])).wrapping_mul(MIX);
     }
-    let rem = chunks.remainder();
+    let mut state = l0;
+    state = (state ^ l1).wrapping_mul(MIX);
+    state = (state ^ l2).wrapping_mul(MIX);
+    state = (state ^ l3).wrapping_mul(MIX);
+
+    let mut words = blocks.remainder().chunks_exact(8);
+    for w in &mut words {
+        state = (state ^ word(w)).wrapping_mul(MIX);
+    }
+    let rem = words.remainder();
     if !rem.is_empty() {
         let mut tail = [0u8; 8];
         tail[..rem.len()].copy_from_slice(rem);

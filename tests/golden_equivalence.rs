@@ -48,3 +48,26 @@ fn ablation_o3_scenario_matches_pre_refactor_golden() {
         include_str!("golden/tsue-ablation-o3.json"),
     );
 }
+
+/// GF kernel choice never changes simulation outcomes: both golden
+/// scenarios reproduce the captured `{spec, result}` bytes on **every**
+/// kernel tier the host supports — scalar reference, portable, and
+/// whatever SIMD tiers dispatch can reach. One test fn (not one per
+/// tier) so the process-global tier switch can't race assertions about
+/// which tier is active.
+#[test]
+fn goldens_are_bit_identical_on_every_kernel_tier() {
+    use tsue_repro::gf::{set_kernel_tier, KernelTier};
+    for tier in KernelTier::available() {
+        set_kernel_tier(tier).unwrap();
+        assert_golden(
+            include_str!("../scenarios/smoke.json"),
+            include_str!("golden/smoke.json"),
+        );
+        assert_golden(
+            include_str!("../scenarios/tsue_ablation_o3.json"),
+            include_str!("golden/tsue-ablation-o3.json"),
+        );
+    }
+    set_kernel_tier(KernelTier::best()).unwrap();
+}
