@@ -1,8 +1,11 @@
 //! `tsuectl` — run cluster simulations from the command line.
 //!
 //! ```text
-//! tsuectl run <scenario.json> [--out DIR]     execute a scenario file
+//! tsuectl run <scenario.json> [--out DIR] [--trace-out FILE]
+//!                                             execute a scenario file
 //! tsuectl bench [--quick] [--out FILE]        perf-regression report (BENCH_NN.json)
+//! tsuectl trace-check <trace.json> [--result FILE]
+//!                                             validate an emitted Chrome trace
 //! tsuectl list                                registered schemes + bundled scenarios
 //! tsuectl [flags...]                          ad-hoc single run (see --help)
 //! ```
@@ -16,7 +19,7 @@
 //! reproduce, so that path prints its metrics without persisting.
 
 use tsue_bench::{
-    default_registry, render_listing, run_scenario_threads, RunResult, ScenarioOutcome,
+    default_registry, render_listing, run_scenario_traced, RunResult, ScenarioOutcome,
     ScenarioSpec, SchemeSpec, TraceKind,
 };
 use tsue_ecfs::{run_workload, Cluster, DeviceKind, PlacementKind};
@@ -25,13 +28,19 @@ use tsue_sim::{Sim, MILLISECOND};
 
 const HELP: &str = "tsuectl — run TSUE cluster simulations\n\n\
 subcommands:\n\
-  run <scenario.json> [--out DIR] [--threads N]\n\
-                                          execute a scenario file\n\
+  run <scenario.json> [--out DIR] [--threads N] [--trace-out FILE]\n\
+                                          execute a scenario file; --trace-out dumps the\n\
+                                          op-lifecycle spans as Chrome trace_event JSON\n\
+                                          (open in Perfetto / chrome://tracing)\n\
   bench [--quick] [--out FILE] [--threads N]\n\
                                           zero-copy perf-regression report\n\
-                                          (micro kernels + cluster runs + integrity/scrub rows;\n\
+                                          (micro kernels + cluster runs + integrity/scrub/obs rows;\n\
                                           --threads N adds a wall-clock scaling ladder;\n\
-                                          default output BENCH_06.json)\n\
+                                          default output BENCH_08.json)\n\
+  trace-check <trace.json> [--result FILE]\n\
+                                          validate a --trace-out dump: parses the JSON and\n\
+                                          requires ≥1 complete span; with --result, requires\n\
+                                          a span per op class the run actually completed\n\
   list                                    print registered schemes and bundled scenarios\n\n\
 ad-hoc flags (assembled into a scenario spec):\n\
   --scheme NAME                           update scheme by registry name (default tsue)\n\
@@ -69,6 +78,7 @@ fn main() {
         }
         Some("run") => run_file(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("trace-check") => trace_check(&args[1..]),
         Some("--help") | Some("-h") => println!("{HELP}"),
         _ => adhoc(&args),
     }
@@ -79,7 +89,7 @@ fn main() {
 /// `BENCH_NN.json` stake for the trajectory.
 fn bench(rest: &[String]) {
     let mut quick = false;
-    let mut out = String::from("BENCH_06.json");
+    let mut out = String::from("BENCH_08.json");
     let mut threads = 1usize;
     let mut i = 0;
     while i < rest.len() {
@@ -133,6 +143,7 @@ fn run_file(rest: &[String]) {
     let mut path: Option<String> = None;
     let mut out = String::from("results");
     let mut threads = 1usize;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -150,28 +161,45 @@ fn run_file(rest: &[String]) {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| fail("missing or invalid value after --threads"));
             }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(
+                    rest.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| fail("missing value after --trace-out")),
+                );
+            }
             flag if flag.starts_with('-') => fail(&format!("unknown flag '{flag}' after 'run'")),
             p if path.is_none() => path = Some(p.to_string()),
             extra => fail(&format!("unexpected argument '{extra}'")),
         }
         i += 1;
     }
-    let path = path
-        .unwrap_or_else(|| fail("usage: tsuectl run <scenario.json> [--out DIR] [--threads N]"));
+    let path = path.unwrap_or_else(|| {
+        fail("usage: tsuectl run <scenario.json> [--out DIR] [--threads N] [--trace-out FILE]")
+    });
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| fail(&format!("cannot read '{path}': {e}")));
     let spec: ScenarioSpec = serde_json::from_str(&text)
         .unwrap_or_else(|e| fail(&format!("cannot parse '{path}': {e}")));
-    execute(spec, &out, threads);
+    execute(spec, &out, threads, trace_out.as_deref());
 }
 
 /// Runs a validated spec, prints the summary, persists `{spec, result}`.
-/// `threads` is an execution knob only — the persisted `{spec, result}`
-/// is byte-identical at any value.
-fn execute(spec: ScenarioSpec, out: &str, threads: usize) {
-    let result =
-        run_scenario_threads(&spec, &default_registry(), threads).unwrap_or_else(|e| fail(&e));
+/// `threads` and `trace_out` are execution knobs only — the persisted
+/// `{spec, result}` is byte-identical at any value of either.
+fn execute(spec: ScenarioSpec, out: &str, threads: usize, trace_out: Option<&str>) {
+    let (result, trace) =
+        run_scenario_traced(&spec, &default_registry(), threads, trace_out.is_some())
+            .unwrap_or_else(|e| fail(&e));
     print_result(&spec, &result);
+    if let Some(path) = trace_out {
+        let json = trace.expect("tracing was enabled");
+        match std::fs::write(path, json) {
+            Ok(()) => println!("\nwrote {path} (Chrome trace_event JSON)"),
+            Err(e) => fail(&format!("cannot write trace '{path}': {e}")),
+        }
+    }
     let outcome = ScenarioOutcome {
         spec: spec.clone(),
         result,
@@ -180,6 +208,95 @@ fn execute(spec: ScenarioSpec, out: &str, threads: usize) {
     match tsue_bench::save_json(dir, &spec.name, &outcome) {
         Ok(()) => println!("\nwrote {}/{}.json (spec + result)", out, spec.name),
         Err(e) => eprintln!("\nwarning: could not persist outcome under '{out}': {e}"),
+    }
+}
+
+/// `tsuectl trace-check` — validates a `--trace-out` dump: the file must
+/// parse as Chrome `trace_event` JSON with at least one complete (`"X"`)
+/// span; with `--result <outcome.json>`, every op class the run completed
+/// must have at least one span in the trace. CI runs this against the
+/// rack-failure scenario's trace artifact.
+fn trace_check(rest: &[String]) {
+    let mut path: Option<String> = None;
+    let mut result_path: Option<String> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--result" => {
+                i += 1;
+                result_path = Some(
+                    rest.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| fail("missing value after --result")),
+                );
+            }
+            flag if flag.starts_with('-') => {
+                fail(&format!("unknown flag '{flag}' after 'trace-check'"))
+            }
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => fail(&format!("unexpected argument '{extra}'")),
+        }
+        i += 1;
+    }
+    let path =
+        path.unwrap_or_else(|| fail("usage: tsuectl trace-check <trace.json> [--result FILE]"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read '{path}': {e}")));
+    let v = serde_json::value_from_str(&text)
+        .unwrap_or_else(|e| fail(&format!("'{path}' is not valid JSON: {e}")));
+    let Some(serde::Value::Array(events)) = v.get("traceEvents") else {
+        fail(&format!("'{path}' has no traceEvents array"));
+    };
+    let mut complete = 0usize;
+    let mut op_spans: Vec<String> = Vec::new();
+    for e in events {
+        let ph = e.get("ph").and_then(|p| match p {
+            serde::Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        });
+        if ph != Some("X") {
+            fail(&format!(
+                "'{path}' contains a non-complete event (ph != \"X\")"
+            ));
+        }
+        for key in ["name", "cat", "ts", "dur", "pid", "tid"] {
+            if e.get(key).is_none() {
+                fail(&format!("'{path}' has an event missing '{key}'"));
+            }
+        }
+        complete += 1;
+        if let (Some(serde::Value::Str(cat)), Some(serde::Value::Str(name))) =
+            (e.get("cat"), e.get("name"))
+        {
+            if cat == "op" && !op_spans.contains(name) {
+                op_spans.push(name.clone());
+            }
+        }
+    }
+    if complete == 0 {
+        fail(&format!("'{path}' contains no spans"));
+    }
+    if let Some(rp) = result_path {
+        let text = std::fs::read_to_string(&rp)
+            .unwrap_or_else(|e| fail(&format!("cannot read '{rp}': {e}")));
+        let outcome: ScenarioOutcome = serde_json::from_str(&text)
+            .unwrap_or_else(|e| fail(&format!("cannot parse '{rp}': {e}")));
+        for class in &outcome.result.obs.classes {
+            if class.count > 0 && !op_spans.iter().any(|s| s == &class.name) {
+                fail(&format!(
+                    "run completed {} '{}' ops but the trace has no '{}' span \
+                     (ring may have evicted them — raise the capacity or shorten the run)",
+                    class.count, class.name, class.name
+                ));
+            }
+        }
+        println!(
+            "trace-check ok: {} complete spans, op classes covered: {}",
+            complete,
+            op_spans.join(", ")
+        );
+    } else {
+        println!("trace-check ok: {complete} complete spans");
     }
 }
 
@@ -280,7 +397,7 @@ fn adhoc(args: &[String]) {
         replay_csv(&spec, &path);
         return;
     }
-    execute(spec, &out, threads);
+    execute(spec, &out, threads, None);
 }
 
 /// Replay path: build the scenario's cluster, then install the recorded
@@ -334,6 +451,14 @@ fn print_result(spec: &ScenarioSpec, result: &RunResult) {
     println!(
         "iops={:.0} mean_latency_us={:.1} cache_hits={}",
         result.iops, result.mean_latency_us, result.cache_hits
+    );
+    println!(
+        "latency us: p50={:.1} p90={:.1} p99={:.1} p999={:.1} max={:.1}",
+        result.latency.p50_us,
+        result.latency.p90_us,
+        result.latency.p99_us,
+        result.latency.p999_us,
+        result.latency.max_us
     );
     println!(
         "device: rw_ops={} ({:.2} GiB) overwrites={} ({:.2} GiB) erases={} wa={:.2} seq={:.0}%",
@@ -410,6 +535,15 @@ fn print_result(spec: &ScenarioSpec, result: &RunResult) {
                 p.recovery_mb_s,
                 p.intra_rack_mb,
                 p.cross_rack_mb
+            );
+            let after = p
+                .lat_after
+                .as_ref()
+                .map(|l| format!("{:.1}", l.p99_us))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "  client p99 us: before={:.1} during={:.1} after={after}",
+                p.lat_before.p99_us, p.lat_during.p99_us
             );
         }
         for r in &rec.resyncs {

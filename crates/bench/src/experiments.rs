@@ -539,6 +539,7 @@ mod tests {
             clients: 1,
             iops: 0.0,
             mean_latency_us: 0.0,
+            latency: tsue_obs::LatencySummary::default(),
             per_second: vec![],
             dev: crate::DevSummary {
                 overwrite_ops: erases,
@@ -569,6 +570,7 @@ mod tests {
             torn_discarded: 0,
             replica_replayed_bytes: 0,
             recovery: None,
+            obs: tsue_obs::ObsReport::default(),
         };
         let rows = lifespan(&[mk("FO", 1300), mk("TSUE", 100)]);
         assert_eq!(rows[0].tsue_lifetime_multiple, 13.0);

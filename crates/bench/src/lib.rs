@@ -282,6 +282,7 @@ impl RunConfig {
             checksums: None,
             scrub_mb_s: None,
             log_replicas: None,
+            obs_cadence_ms: None,
         }
     }
 }
@@ -303,6 +304,9 @@ pub struct RunResult {
     pub iops: f64,
     /// Mean op latency, µs.
     pub mean_latency_us: f64,
+    /// Client-op latency distribution (all op classes merged):
+    /// p50/p90/p99/p999/max in µs from the log-bucketed histograms.
+    pub latency: tsue_obs::LatencySummary,
     /// Completions per virtual second (Fig. 6a series).
     pub per_second: Vec<u64>,
     /// Aggregate device statistics (all OSDs).
@@ -365,6 +369,9 @@ pub struct RunResult {
     pub replica_replayed_bytes: u64,
     /// Fault-engine outcome when the scenario scripted faults.
     pub recovery: Option<tsue_fault::FaultReport>,
+    /// Observability section: per-op-class and per-stage latency
+    /// histograms plus the per-node/per-rack utilization time series.
+    pub obs: tsue_obs::ObsReport,
 }
 
 /// Serializable device-stats summary.

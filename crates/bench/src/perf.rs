@@ -7,7 +7,7 @@
 //! `combined_parity_delta`, `encode`) — the pre-refactor small-write path,
 //! which the crate keeps precisely so the comparison cannot rot.
 //!
-//! Schema (`schema: "tsue-bench/v4"`):
+//! Schema (`schema: "tsue-bench/v5"`):
 //!
 //! * `micro` — kernel rows: ops/sec for baseline vs zero-copy, speedup,
 //!   and per-op allocation/copy traffic for both paths.
@@ -25,6 +25,13 @@
 //! * `codec_tiers` — the same codec kernels measured once per available
 //!   GF kernel tier (scalar → portable → SIMD), staking the dispatch
 //!   speedup directly (v4).
+//! * `obs` — observability overhead rows: the same run with op-lifecycle
+//!   tracing off vs on (histograms are always on; the trace ring plus the
+//!   Chrome-JSON dump at harvest is the only optional cost, and on short
+//!   runs it dominates — hence tracing stays opt-in) (v5).
+//! * `hist_record_ns` — the latency-histogram record cost, ns/op — the
+//!   per-completion tax the always-on histograms add to the small-write
+//!   path (v5).
 
 use crate::{default_registry, ScenarioSpec, SchemeSpec, TraceKind};
 use serde::{Deserialize, Serialize};
@@ -115,6 +122,25 @@ pub struct IntegrityRow {
     pub overhead_frac: f64,
 }
 
+/// One observability-overhead row: the same deterministic run with the
+/// op-lifecycle trace ring off vs on (histograms and the metric series
+/// are always on — the ring buffer is the only optional cost).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ObsRow {
+    /// Row name (workload shape).
+    pub name: String,
+    /// Completed client ops (identical on both sides).
+    pub ops: u64,
+    /// Best-of-N wall clock with tracing disabled, milliseconds.
+    pub base_wall_ms: f64,
+    /// Best-of-N wall clock with the trace ring enabled, milliseconds.
+    pub traced_wall_ms: f64,
+    /// `traced / base - 1` — the tracing tax. Span capture plus the
+    /// Chrome-JSON dump at harvest; large on short runs, which is why
+    /// the ring stays off unless `--trace-out` asks for it.
+    pub overhead_frac: f64,
+}
+
 /// One scrub-throughput row: an authoritative full sweep over a
 /// populated cluster, host wall clock.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -184,6 +210,11 @@ pub struct BenchReport {
     pub gf_kernel: String,
     /// Per-tier codec kernel rows (absent from pre-v4 stakes).
     pub codec_tiers: Vec<CodecTierRow>,
+    /// Tracing on/off overhead rows (absent from pre-v5 stakes).
+    pub obs: Vec<ObsRow>,
+    /// Latency-histogram record cost, ns per sample (absent from pre-v5
+    /// stakes) — the per-completion tax of the always-on histograms.
+    pub hist_record_ns: f64,
 }
 
 /// Calibrates a batch of `f` that fills `floor`; returns the batch size.
@@ -615,6 +646,63 @@ fn integrity_row(name: &str, trace: TraceKind, quick: bool) -> IntegrityRow {
     }
 }
 
+/// Runs one scenario with tracing off or on, returning
+/// `(wall_seconds, client_ops)`. The DES outcome is identical either
+/// way; only the host cost of the trace ring moves.
+fn obs_trial(spec: &ScenarioSpec, trace: bool) -> (f64, u64) {
+    let registry = default_registry();
+    let t0 = Instant::now();
+    let (result, _) =
+        crate::run_scenario_traced(spec, &registry, 1, trace).expect("bench scenarios are valid");
+    (t0.elapsed().as_secs_f64(), result.latency.count)
+}
+
+/// Measures the tracing tax on one workload shape: best-of-3 wall clock
+/// for the same run with the trace ring off vs on. Trials alternate so
+/// host noise lands on both sides.
+fn obs_row(name: &str, trace: TraceKind, quick: bool) -> ObsRow {
+    let mut spec = ScenarioSpec::ssd(name, trace, 6, 4, 8, SchemeSpec::tsue());
+    spec.duration_ms = Some(if quick { 150 } else { 400 });
+    spec.file_mb = Some(if quick { 4 } else { 6 });
+    let (mut base, mut traced, mut ops) = (f64::MAX, f64::MAX, 0);
+    for _ in 0..3 {
+        let (w, o) = obs_trial(&spec, false);
+        base = base.min(w);
+        ops = o;
+        let (w, _) = obs_trial(&spec, true);
+        traced = traced.min(w);
+    }
+    ObsRow {
+        name: name.to_string(),
+        ops,
+        base_wall_ms: base * 1e3,
+        traced_wall_ms: traced * 1e3,
+        overhead_frac: traced / base.max(1e-9) - 1.0,
+    }
+}
+
+/// Measures [`tsue_obs::Histogram::record`] in isolation: the ns/op the
+/// always-on latency histograms add per completion on the hot path.
+fn hist_record_cost(floor: Duration) -> f64 {
+    let mut h = tsue_obs::Histogram::new();
+    let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut f = || {
+        // Cheap xorshift so the bucket index varies like real latencies.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        h.record(x & ((1 << 30) - 1));
+    };
+    let n = calibrate(floor, &mut f);
+    let t0 = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    let ns = t0.elapsed().as_secs_f64() * 1e9 / n as f64;
+    std::hint::black_box(&h);
+    ns
+}
+
 /// Times one authoritative full scrub sweep over a freshly populated
 /// cluster (clean: pure verification, no repairs).
 fn scrub_row(quick: bool) -> ScrubRow {
@@ -731,9 +819,14 @@ pub fn bench_report(bench_id: &str, quick: bool, threads: usize) -> BenchReport 
     ];
     let scrub = vec![scrub_row(quick)];
     let codec_tiers = codec_tier_rows(floor);
+    let obs = vec![
+        obs_row("obs-ten", TraceKind::Ten, quick),
+        obs_row("obs-ali", TraceKind::Ali, quick),
+    ];
+    let hist_record_ns = hist_record_cost(floor);
 
     BenchReport {
-        schema: "tsue-bench/v4".into(),
+        schema: "tsue-bench/v5".into(),
         bench_id: bench_id.to_string(),
         quick,
         host_cores: std::thread::available_parallelism()
@@ -750,6 +843,8 @@ pub fn bench_report(bench_id: &str, quick: bool, threads: usize) -> BenchReport 
             .collect(),
         gf_kernel: tsue_gf::kernel_tier().name().to_string(),
         codec_tiers,
+        obs,
+        hist_record_ns,
     }
 }
 
@@ -851,6 +946,25 @@ pub fn render_bench(r: &BenchReport) -> String {
                 s.name, s.blocks, s.bytes, s.repaired, s.wall_ms, s.mb_per_wall_sec
             );
         }
+    }
+    if !r.obs.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<16} {:>8} {:>12} {:>14} {:>9}",
+            "obs (tracing)", "ops", "base_ms", "traced_ms", "overhead"
+        );
+        for o in &r.obs {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>8} {:>12.1} {:>14.1} {:>8.1}%",
+                o.name,
+                o.ops,
+                o.base_wall_ms,
+                o.traced_wall_ms,
+                o.overhead_frac * 100.0
+            );
+        }
+        let _ = writeln!(out, "histogram record: {:.1} ns/op", r.hist_record_ns);
     }
     if !r.codec_tiers.is_empty() {
         let _ = writeln!(

@@ -10,8 +10,16 @@ pub fn render_throughput(rows: &[RunResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<10} {:>8} {:>8} {:>9} {:>12} {:>12}",
-        "SCHEME", "RS(k,m)", "CLIENTS", "TRACE", "IOPS", "LAT(us)"
+        "{:<10} {:>8} {:>8} {:>9} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "SCHEME",
+        "RS(k,m)",
+        "CLIENTS",
+        "TRACE",
+        "IOPS",
+        "LAT(us)",
+        "P50(us)",
+        "P99(us)",
+        "P999(us)"
     );
     let mut group: Option<(String, usize, usize, usize)> = None;
     let mut tsue_iops = 0.0;
@@ -42,13 +50,16 @@ pub fn render_throughput(rows: &[RunResult]) -> String {
         };
         let _ = writeln!(
             out,
-            "{:<10} {:>8} {:>8} {:>9} {:>12.0} {:>12.1}{}",
+            "{:<10} {:>8} {:>8} {:>9} {:>12.0} {:>12.1} {:>10.1} {:>10.1} {:>10.1}{}",
             r.scheme,
             format!("({},{})", r.k, r.m),
             r.clients,
             r.trace,
             r.iops,
             r.mean_latency_us,
+            r.latency.p50_us,
+            r.latency.p99_us,
+            r.latency.p999_us,
             ratio
         );
     }
@@ -186,6 +197,15 @@ mod tests {
             clients: 16,
             iops,
             mean_latency_us: 100.0,
+            latency: tsue_obs::LatencySummary {
+                count: 2,
+                mean_us: 100.0,
+                p50_us: 90.0,
+                p90_us: 150.0,
+                p99_us: 200.0,
+                p999_us: 210.0,
+                max_us: 220.0,
+            },
             per_second: vec![10, 20],
             dev: crate::DevSummary::default(),
             net_payload_gib: 0.5,
@@ -213,6 +233,7 @@ mod tests {
             torn_discarded: 0,
             replica_replayed_bytes: 0,
             recovery: None,
+            obs: tsue_obs::ObsReport::default(),
         }
     }
 

@@ -162,6 +162,10 @@ pub struct ScenarioSpec {
     /// default 1 (no replication). TSUE's data-log replication is the
     /// scheme knob `data_replicas` instead.
     pub log_replicas: Option<usize>,
+    /// Per-node/per-rack metric sampling cadence in virtual ms; default
+    /// 250, `0` disables the time series. The probe only reads counters,
+    /// so the cadence cannot perturb simulated outcomes.
+    pub obs_cadence_ms: Option<u64>,
 }
 
 impl ScenarioSpec {
@@ -198,6 +202,7 @@ impl ScenarioSpec {
             checksums: None,
             scrub_mb_s: None,
             log_replicas: None,
+            obs_cadence_ms: None,
         }
     }
 
@@ -307,6 +312,12 @@ impl ScenarioSpec {
     /// Parity-log replica count with its default (1) applied.
     pub fn log_replicas(&self) -> usize {
         self.log_replicas.unwrap_or(1)
+    }
+
+    /// Metric-sampling cadence in virtual ms with its default (250)
+    /// applied; `0` disables the per-node/per-rack time series.
+    pub fn obs_cadence_ms(&self) -> u64 {
+        self.obs_cadence_ms.unwrap_or(250)
     }
 
     /// The scheme's display name (paper capitalization) when registered,
@@ -483,11 +494,89 @@ pub fn run_scenario_threads(
     registry: &SchemeRegistry,
     threads: usize,
 ) -> Result<RunResult, String> {
+    run_scenario_traced(spec, registry, threads, false).map(|(result, _)| result)
+}
+
+/// Reads per-node/per-rack counters into the obs time series. Strictly
+/// read-only — sampling can never perturb simulated outcomes, so the
+/// cadence (like the thread count) stays an execution-safe knob even
+/// though it lives in the spec for reproducibility of the series shape.
+fn obs_probe(w: &mut Cluster, sim: &mut Sim<Cluster>) {
+    let now = sim.now();
+    let cadence = w.core.metrics.obs.series.cadence_ms;
+    let nodes = (0..w.core.osds.len())
+        .map(|i| {
+            let t = w.core.net.node_traffic(i);
+            let dev = &w.core.osds[i].device;
+            tsue_obs::NodeSample {
+                tx_bytes: t.tx_bytes,
+                rx_bytes: t.rx_bytes,
+                dev_ops: dev.stats().total_ops(),
+                dev_busy_ns: dev.busy_ticks(),
+                queue_ns: dev.queue_ns(now),
+            }
+        })
+        .collect();
+    let elapsed_s = now as f64 / SECOND as f64;
+    let racks = (0..w.core.net.racks())
+        .map(|r| {
+            let t = w.core.net.rack_traffic(r);
+            // Mean egress utilization since run start; 0 on flat
+            // fabrics, which model no uplink.
+            let up_util = match w.core.net.uplink_bandwidth(r) {
+                Some(bw) if bw > 0 && elapsed_s > 0.0 => {
+                    (t.up_bytes as f64 / (bw as f64 * elapsed_s)).min(1.0)
+                }
+                _ => 0.0,
+            };
+            tsue_obs::RackSample {
+                up_bytes: t.up_bytes,
+                down_bytes: t.down_bytes,
+                up_util,
+            }
+        })
+        .collect();
+    w.core.metrics.obs.series.samples.push(tsue_obs::ObsSample {
+        t_ms: now / MILLISECOND,
+        nodes,
+        racks,
+    });
+    if w.core.accepting(now) {
+        sim.schedule(cadence * MILLISECOND, obs_probe);
+    }
+}
+
+/// [`run_scenario_threads`] with op-lifecycle tracing optionally
+/// enabled. Tracing is an execution knob like the thread count: it
+/// never appears in the spec, only records event times the simulation
+/// already produced, and therefore cannot perturb outcomes. When
+/// `trace` is set, the second element is the Chrome `trace_event` JSON
+/// covering the whole run (workload, recovery, flush, and scrub).
+///
+/// # Errors
+/// Fails on an invalid spec (unknown scheme, bad knobs, geometry).
+pub fn run_scenario_traced(
+    spec: &ScenarioSpec,
+    registry: &SchemeRegistry,
+    threads: usize,
+    trace: bool,
+) -> Result<(RunResult, Option<String>), String> {
     let mut world = spec.builder(registry)?.threads(threads).build();
+    if trace {
+        world
+            .core
+            .metrics
+            .obs
+            .enable_trace(tsue_obs::DEFAULT_TRACE_CAPACITY);
+    }
+    world.core.metrics.obs.series.cadence_ms = spec.obs_cadence_ms();
     let mut sim: Sim<Cluster> = Sim::new();
     // Window the zero-copy counters to the run itself (setup excluded).
     let buf_start = tsue_buf::stats();
     mem_probe_start(&mut sim);
+    if spec.obs_cadence_ms() > 0 {
+        sim.schedule(spec.obs_cadence_ms() * MILLISECOND, obs_probe);
+    }
     // Scripted faults are installed before the first client op so kill
     // times line up with the workload clock.
     let fault_tracker = match spec.fault_plan() {
@@ -544,7 +633,23 @@ pub fn run_scenario_threads(
     let mem_peak = world.core.metrics.mem_peak.max(mem_now);
     const GIB: f64 = (1u64 << 30) as f64;
     let tier = *world.core.net.tier_traffic();
-    Ok(RunResult {
+    // Extracted after every phase (recovery, flush, scrub) so the trace
+    // and histograms cover the whole run, not just the client window.
+    let trace_json = world.core.metrics.obs.trace_json();
+    let obs = world.core.metrics.obs.report();
+    let latency = obs.client_summary();
+    let recovery = fault_tracker.map(|t| {
+        let t = t.borrow();
+        let mut report = t.report.clone();
+        // Backfill each phase's post-rebuild latency view: the window
+        // from that phase's finalize instant to the end of the run.
+        let end = world.core.metrics.obs.client_op_hist();
+        for (phase, at_end) in report.phases.iter_mut().zip(&t.phase_end_lat) {
+            phase.lat_after = Some(end.since(at_end).summary());
+        }
+        report
+    });
+    let result = RunResult {
         scheme: spec.scheme_display(registry),
         trace: spec.trace.name(),
         k: spec.k,
@@ -552,6 +657,7 @@ pub fn run_scenario_threads(
         clients: spec.clients,
         iops,
         mean_latency_us,
+        latency,
         per_second,
         dev: world.device_stats().into(),
         net_payload_gib: world.core.net.total_payload() as f64 / GIB,
@@ -578,8 +684,10 @@ pub fn run_scenario_threads(
         torn_replayed: world.core.metrics.torn_replayed,
         torn_discarded: world.core.metrics.torn_discarded,
         replica_replayed_bytes: world.core.replicas.bytes_replayed,
-        recovery: fault_tracker.map(|t| t.borrow().report.clone()),
-    })
+        recovery,
+        obs,
+    };
+    Ok((result, trace_json))
 }
 
 /// Runs a batch of scenarios across OS threads (each run stays

@@ -1004,6 +1004,7 @@ impl Tsue {
                     unit.state = UnitState::Recycled;
                     if let Some(start) = unit.recycle_started {
                         self.residency.data.recycle.add(now.saturating_sub(start));
+                        core.metrics.obs.recycle_merged(osd, uid, start, now);
                     }
                 }
                 // Every append of this unit is now merged into the block
@@ -1024,6 +1025,7 @@ impl Tsue {
                     unit.state = UnitState::Recycled;
                     if let Some(start) = unit.recycle_started {
                         self.residency.delta.recycle.add(now.saturating_sub(start));
+                        core.metrics.obs.recycle_merged(osd, uid, start, now);
                     }
                 }
             }
@@ -1032,6 +1034,7 @@ impl Tsue {
                     unit.state = UnitState::Recycled;
                     if let Some(start) = unit.recycle_started {
                         self.residency.parity.recycle.add(now.saturating_sub(start));
+                        core.metrics.obs.recycle_merged(osd, uid, start, now);
                     }
                 }
             }

@@ -72,6 +72,17 @@ impl HddModel {
         &self.spec
     }
 
+    /// Total actuator busy time, virtual ns.
+    pub fn busy_ticks(&self) -> Time {
+        self.actuator.busy_ticks()
+    }
+
+    /// Time the actuator frees up — `next_free - now` is the drive's
+    /// queue pressure (0 when idle).
+    pub fn next_free(&self) -> Time {
+        self.actuator.next_free()
+    }
+
     /// Submits one op; returns its completion time.
     pub fn submit(
         &mut self,

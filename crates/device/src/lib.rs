@@ -194,6 +194,25 @@ impl Device {
         self.stats.erase_ops
     }
 
+    /// Total device busy time (channel/actuator service ticks), virtual
+    /// ns — the observability "device busy" gauge.
+    pub fn busy_ticks(&self) -> Time {
+        match &self.backend {
+            Backend::Ssd(ssd) => ssd.busy_ticks(),
+            Backend::Hdd(hdd) => hdd.busy_ticks(),
+        }
+    }
+
+    /// Queue pressure at `now`: how far ahead of `now` the device is
+    /// booked, virtual ns (0 when a server is idle).
+    pub fn queue_ns(&self, now: Time) -> Time {
+        let free = match &self.backend {
+            Backend::Ssd(ssd) => ssd.next_free(),
+            Backend::Hdd(hdd) => hdd.next_free(),
+        };
+        free.saturating_sub(now)
+    }
+
     /// Zeroes the accumulated statistics (end of a setup phase); wear state
     /// (FTL mapping, head position) is deliberately preserved.
     pub fn reset_stats(&mut self) {

@@ -91,6 +91,17 @@ impl SsdModel {
         &self.spec
     }
 
+    /// Total busy time summed over the internal channels, virtual ns.
+    pub fn busy_ticks(&self) -> Time {
+        self.channels.busy_ticks()
+    }
+
+    /// Earliest time any channel is free — `next_free - now` is the
+    /// device's queue pressure (0 when a channel is idle).
+    pub fn next_free(&self) -> Time {
+        self.channels.next_free()
+    }
+
     /// Submits one op; returns completion time and updates wear stats.
     pub fn submit(
         &mut self,

@@ -115,6 +115,8 @@ pub fn client_issue(world: &mut Cluster, sim: &mut Sim<Cluster>, cid: usize) {
     let extents = core.cfg.stripe.split_range(op.offset, op.len);
     let op_id = core.pending.insert(cid, extents.len(), now, is_write);
     let client_node = core.clients[cid].node;
+    // Span start: the MDS map above is charged zero time by the model.
+    core.metrics.obs.op_issued(op_id, client_node, now);
 
     // Batched payload generation: each extent's payload is a pure
     // function of `(op_id, ext_idx)`, so a wide multi-extent write fills
@@ -276,10 +278,7 @@ fn degraded_read(
 pub fn client_ack(world: &mut Cluster, sim: &mut Sim<Cluster>, op_id: u64) {
     let finished = world.core.pending.complete_extent(op_id);
     if let Some(op) = finished {
-        world
-            .core
-            .metrics
-            .record_completion(sim.now(), op.issued_at, op.is_write);
+        world.core.metrics.record_completion(&op, op_id, sim.now());
         client_issue(world, sim, op.client);
     }
 }

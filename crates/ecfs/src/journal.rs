@@ -218,6 +218,7 @@ pub(crate) fn park_degraded_write(
     src_node: NodeId,
 ) {
     core.metrics.degraded_writes += 1;
+    core.pending.mark_degraded(op_id);
     let peer = core
         .cfg
         .journal

@@ -546,6 +546,11 @@ impl ClusterCore {
             self.osds[to_osd].node,
             payload_bytes,
         );
+        if matches!(msg, SchemeMsg::DeltaForward { .. }) {
+            self.metrics
+                .obs
+                .delta_forwarded(from_osd, to_osd, sim.now(), arrival);
+        }
         sim.schedule_at(arrival, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
             scheme::deliver_msg(w, sim, to_osd, msg);
         });
@@ -565,12 +570,14 @@ impl ClusterCore {
         let Some(client) = self.pending.client_of(op_id) else {
             return;
         };
+        self.metrics.obs.extent_service_done(op_id, osd, sim.now());
         let arrival = self.net.transfer(
             sim.now(),
             self.osds[osd].node,
             self.client_node(client),
             ACK_BYTES,
         );
+        self.metrics.obs.ack_sent(op_id, client, sim.now(), arrival);
         sim.schedule_at(arrival, move |w: &mut Cluster, sim: &mut Sim<Cluster>| {
             client::client_ack(w, sim, op_id);
         });
@@ -619,6 +626,10 @@ pub struct PendingOp {
     pub issued_at: Time,
     /// True for updates, false for reads.
     pub is_write: bool,
+    /// At least one extent parked in the degraded-write journal (or
+    /// failed over) because its home OSD was dead — completions classify
+    /// as [`tsue_obs::OpClass::DegradedWrite`] when set on a write.
+    pub degraded: bool,
 }
 
 impl PendingTable {
@@ -639,6 +650,7 @@ impl PendingTable {
                 remaining: extents,
                 issued_at,
                 is_write,
+                degraded: false,
             },
         );
         id
@@ -647,6 +659,18 @@ impl PendingTable {
     /// Client that issued `op`, if still pending.
     pub fn client_of(&self, op: u64) -> Option<usize> {
         self.ops.get(&op).map(|p| p.client)
+    }
+
+    /// Issue time of `op`, if still pending.
+    pub fn issued_at(&self, op: u64) -> Option<Time> {
+        self.ops.get(&op).map(|p| p.issued_at)
+    }
+
+    /// Flags `op` as degraded (an extent parked or failed over).
+    pub fn mark_degraded(&mut self, op: u64) {
+        if let Some(p) = self.ops.get_mut(&op) {
+            p.degraded = true;
+        }
     }
 
     /// Decrements the remaining-extent count; returns the finished op when

@@ -2,6 +2,7 @@
 //! arrival log used by correctness tests.
 
 use crate::osd::BlockId;
+use tsue_obs::{ObsState, OpClass};
 use tsue_sim::{Time, SECOND};
 
 /// One update-extent arrival at an OSD, in OSD-serialized order.
@@ -37,10 +38,11 @@ pub struct ClusterMetrics {
     pub extents_received: u64,
     /// Reads fully served from scheme logs/caches.
     pub read_cache_hits: u64,
-    /// Sum of completed-op latencies.
-    pub total_latency: Time,
-    /// Maximum completed-op latency.
-    pub max_latency: Time,
+    /// Latency histograms per op class and pipeline stage, span tracing,
+    /// and the harness time series — the observability layer. Latency
+    /// aggregates ([`Self::mean_latency`], [`Self::max_latency`],
+    /// [`Self::total_latency`]) derive from these histograms.
+    pub obs: ObsState,
     /// Completion counts bucketed per virtual second (Fig. 6a series).
     pub per_second: Vec<u64>,
     /// Time origin of the measurement window.
@@ -113,8 +115,7 @@ impl ClusterMetrics {
             reads_completed: 0,
             extents_received: 0,
             read_cache_hits: 0,
-            total_latency: 0,
-            max_latency: 0,
+            obs: ObsState::new(),
             per_second: Vec::new(),
             window_start: 0,
             arrivals: record_arrivals.then(Vec::new),
@@ -161,17 +162,24 @@ impl ClusterMetrics {
         }
     }
 
-    /// Records one completed client op.
-    pub fn record_completion(&mut self, now: Time, issued_at: Time, is_write: bool) {
+    /// Records one completed client op into the counters and the
+    /// matching op-class histogram. `degraded` marks updates that parked
+    /// in the degraded-write journal (their own class); degraded reads
+    /// stay in the read class — `degraded_reads` counts them separately.
+    pub fn record_completion(&mut self, op: &crate::PendingOp, op_id: u64, now: Time) {
         self.ops_completed += 1;
-        if is_write {
+        if op.is_write {
             self.updates_completed += 1;
         } else {
             self.reads_completed += 1;
         }
-        let lat = now.saturating_sub(issued_at);
-        self.total_latency += lat;
-        self.max_latency = self.max_latency.max(lat);
+        let class = match (op.is_write, op.degraded) {
+            (true, true) => OpClass::DegradedWrite,
+            (true, false) => OpClass::Update,
+            (false, _) => OpClass::Read,
+        };
+        self.obs
+            .op_complete(class, op_id, op.client, op.issued_at, now);
         let bucket = (now.saturating_sub(self.window_start) / SECOND) as usize;
         if self.per_second.len() <= bucket {
             self.per_second.resize(bucket + 1, 0);
@@ -192,12 +200,25 @@ impl ClusterMetrics {
         }
     }
 
-    /// Mean completed-op latency in nanoseconds.
+    /// Sum of completed client-op latencies, ns — derived from the
+    /// op-class histogram sums (every completion lands in exactly one of
+    /// update/read/degraded-write).
+    pub fn total_latency(&self) -> Time {
+        self.obs.total_client_latency()
+    }
+
+    /// Maximum completed client-op latency, ns (histogram-derived).
+    pub fn max_latency(&self) -> Time {
+        self.obs.max_client_latency()
+    }
+
+    /// Mean completed-op latency in nanoseconds, derived from the
+    /// histogram sums so it stays consistent with the quantile fields.
     pub fn mean_latency(&self) -> f64 {
         if self.ops_completed == 0 {
             0.0
         } else {
-            self.total_latency as f64 / self.ops_completed as f64
+            self.total_latency() as f64 / self.ops_completed as f64
         }
     }
 
@@ -216,18 +237,45 @@ impl ClusterMetrics {
 mod tests {
     use super::*;
 
+    fn op(issued_at: Time, is_write: bool, degraded: bool) -> crate::PendingOp {
+        crate::PendingOp {
+            client: 0,
+            remaining: 0,
+            issued_at,
+            is_write,
+            degraded,
+        }
+    }
+
     #[test]
     fn completion_updates_all_counters() {
         let mut m = ClusterMetrics::new(false);
         m.window_start = 0;
-        m.record_completion(SECOND / 2, 0, true);
-        m.record_completion(3 * SECOND / 2, SECOND, false);
+        m.record_completion(&op(0, true, false), 1, SECOND / 2);
+        m.record_completion(&op(SECOND, false, false), 2, 3 * SECOND / 2);
         assert_eq!(m.ops_completed, 2);
         assert_eq!(m.updates_completed, 1);
         assert_eq!(m.reads_completed, 1);
         assert_eq!(m.per_second, vec![1, 1]);
-        assert_eq!(m.max_latency, SECOND / 2);
+        assert_eq!(m.max_latency(), SECOND / 2);
+        assert_eq!(m.total_latency(), SECOND);
         assert!((m.mean_latency() - (SECOND / 2) as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn completions_classify_into_op_class_histograms() {
+        use tsue_obs::OpClass;
+        let mut m = ClusterMetrics::new(false);
+        m.record_completion(&op(0, true, false), 1, 100);
+        m.record_completion(&op(0, true, true), 2, 200);
+        m.record_completion(&op(0, false, false), 3, 300);
+        // Degraded *reads* stay in the read class.
+        m.record_completion(&op(0, false, true), 4, 400);
+        assert_eq!(m.obs.class_hist(OpClass::Update).count(), 1);
+        assert_eq!(m.obs.class_hist(OpClass::DegradedWrite).count(), 1);
+        assert_eq!(m.obs.class_hist(OpClass::Read).count(), 2);
+        assert_eq!(m.total_latency(), 1000);
+        assert_eq!(m.max_latency(), 400);
     }
 
     #[test]
@@ -235,7 +283,7 @@ mod tests {
         let mut m = ClusterMetrics::new(false);
         m.window_start = SECOND;
         for i in 0..100 {
-            m.record_completion(SECOND + i * 10_000_000, SECOND, true);
+            m.record_completion(&op(SECOND, true, false), i, SECOND + i * 10_000_000);
         }
         let iops = m.iops(2 * SECOND);
         assert!((iops - 100.0).abs() < 1e-6, "iops {iops}");

@@ -217,10 +217,7 @@ pub fn reap_stalled_ops(world: &mut Cluster, sim: &mut Sim<Cluster>, deadline: T
         };
         reaped += 1;
         world.core.metrics.reaped_ops += 1;
-        world
-            .core
-            .metrics
-            .record_completion(sim.now(), op.issued_at, op.is_write);
+        world.core.metrics.record_completion(&op, op_id, sim.now());
         crate::client::client_issue(world, sim, op.client);
     }
     reaped
@@ -428,6 +425,17 @@ fn spawn_rebuild(world: &mut Cluster, sim: &mut Sim<Cluster>, block: BlockId, ph
             crate::osd::STREAM_BLOCK,
         )
     };
+    // The whole per-block rebuild chain (survivor reads → transfers →
+    // decode → device write) is deterministic at spawn time, so the
+    // recovery-decode round records here. Lane id = stripe/role, a
+    // namespace the client span table never uses.
+    core.metrics.obs.op_complete(
+        tsue_obs::OpClass::RecoveryDecode,
+        (gstripe << 8) | block.role as u64,
+        target,
+        now,
+        t_written,
+    );
     core.recovery.inflight += 1;
     core.recovery
         .inflight_targets

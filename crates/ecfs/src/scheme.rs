@@ -405,6 +405,13 @@ pub fn deliver_update(world: &mut Cluster, sim: &mut Sim<Cluster>, osd: usize, r
             .record_arrival(req.op_id, req.ext, req.block, req.off, req.data.len);
     }
     world.core.metrics.extents_received += 1;
+    if let Some(issued) = world.core.pending.issued_at(req.op_id) {
+        world
+            .core
+            .metrics
+            .obs
+            .update_arrival(req.op_id, osd, issued, sim.now());
+    }
     let mut s = world.schemes[osd].take().expect("scheme reentrancy");
     s.on_update(&mut world.core, sim, osd, req);
     world.schemes[osd] = Some(s);

@@ -123,9 +123,14 @@ fn scrub_tick(world: &mut Cluster, sim: &mut Sim<Cluster>) {
 fn scrub_one(core: &mut ClusterCore, sim: &mut Sim<Cluster>, osd: usize, block: BlockId) {
     let bs = core.cfg.stripe.block_size;
     let dev = core.osds[osd].block_offset(block);
-    core.osds[osd]
+    let done = core.osds[osd]
         .device
         .submit(sim.now(), IoKind::Read, dev, bs, STREAM_BLOCK);
+    // One scrub round = the full-block verification read.
+    let round = core.metrics.blocks_scrubbed;
+    core.metrics
+        .obs
+        .op_complete(tsue_obs::OpClass::ScrubRound, round, osd, sim.now(), done);
     core.metrics.blocks_scrubbed += 1;
     if core.osds[osd].corrupt_pages(block).is_empty() {
         return;

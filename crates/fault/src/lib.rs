@@ -28,6 +28,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use tsue_ecfs::{fail_node, reap_stalled_ops, start_recovery, Cluster, HealStats, SplitRng};
 use tsue_net::TierTraffic;
+use tsue_obs::{Histogram, LatencySummary};
 use tsue_sim::{Sim, Time, MILLISECOND};
 
 /// One scripted fault.
@@ -402,6 +403,17 @@ pub struct PhaseReport {
     pub cross_rack_mb: f64,
     /// Degraded reads served while the phase ran.
     pub degraded_reads: u64,
+    /// Client-op latency distribution accumulated *before* the kill
+    /// landed (cumulative from run start to the phase trigger).
+    pub lat_before: LatencySummary,
+    /// Client-op latency distribution over the phase window itself
+    /// (drain + rebuild) — the degraded-mode tail the paper's online
+    /// recovery experiments measure.
+    pub lat_during: LatencySummary,
+    /// Client-op latency distribution from phase end to run end.
+    /// `None` until the harness backfills it after the workload drains
+    /// (and stays `None` for reports loaded from older JSON).
+    pub lat_after: Option<LatencySummary>,
 }
 
 /// One heal event's rejoin & re-sync outcome.
@@ -469,6 +481,11 @@ pub struct FaultTracker {
     active_phases: usize,
     /// The accumulating report.
     pub report: FaultReport,
+    /// Cumulative client-op latency histogram captured at each phase's
+    /// finalize instant, in [`FaultReport::phases`] order. The harness
+    /// diffs these against the end-of-run histogram to backfill
+    /// [`PhaseReport::lat_after`]; runtime-only, never serialized.
+    pub phase_end_lat: Vec<Histogram>,
     watchdog_armed: bool,
 }
 
@@ -607,6 +624,9 @@ struct PhaseSnapshot {
     backlog_at_failure: u64,
     tier0: TierTraffic,
     degraded0: u64,
+    /// Cumulative client-op latency histogram at the kill instant; the
+    /// phase window's distribution is recovered with [`Histogram::since`].
+    lat0: Histogram,
 }
 
 /// Kill landed: snapshot, arm the watchdog, enter the drain gate.
@@ -625,6 +645,7 @@ fn phase_start(
         backlog_at_failure: world.total_scheme_backlog(),
         tier0: *world.core.net.tier_traffic(),
         degraded0: world.core.metrics.degraded_reads,
+        lat0: world.core.metrics.obs.client_op_hist(),
     };
     arm_watchdog(world, sim, tracker.clone(), cfg);
     let best = snap.backlog_at_failure;
@@ -819,8 +840,17 @@ fn finalize_phase(
         intra_rack_mb: tier.intra_wire as f64 / MB,
         cross_rack_mb: tier.cross_wire as f64 / MB,
         degraded_reads: core.metrics.degraded_reads - snap.degraded0,
+        lat_before: snap.lat0.summary(),
+        lat_during: core
+            .metrics
+            .obs
+            .client_op_hist()
+            .since(&snap.lat0)
+            .summary(),
+        lat_after: None,
     };
     let mut t = tracker.borrow_mut();
+    t.phase_end_lat.push(core.metrics.obs.client_op_hist());
     t.report.phases.push(phase);
     t.report.rebuild_intra_bytes = core.recovery.intra_rack_bytes;
     t.report.rebuild_cross_bytes = core.recovery.cross_rack_bytes;

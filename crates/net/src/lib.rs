@@ -417,6 +417,13 @@ impl NetModel {
         self.rack_of[node]
     }
 
+    /// Modeled ToR-uplink bandwidth of `rack` in bytes/sec, or `None` on
+    /// flat (single-rack) topologies with no uplink — the capacity the
+    /// observability layer divides byte counters by for utilization.
+    pub fn uplink_bandwidth(&self, rack: usize) -> Option<u64> {
+        self.uplink_bw.get(rack).copied()
+    }
+
     /// Marks `node`'s NIC as degraded: lane service times are multiplied
     /// by `factor` for transfers starting before `until` (transient
     /// straggler injection). `factor <= 1.0` (or a past deadline) heals.

@@ -1,0 +1,158 @@
+//! Bounded op-lifecycle event ring with a Chrome `trace_event` exporter.
+//!
+//! Every span is a *complete* event (`ph: "X"`): the recording site knows
+//! both endpoints in virtual time when it fires, so no begin/end pairing
+//! is needed. Timestamps are virtual nanoseconds converted to the
+//! microsecond floats Chrome/Perfetto expect; `pid` carries the node id
+//! and `tid` the op (or unit) id, so Perfetto lays spans out per node
+//! with one lane per in-flight op.
+
+use serde::Value;
+use std::collections::VecDeque;
+use tsue_sim::Time;
+
+/// Default ring capacity used by `tsuectl run --trace-out`.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 18;
+
+/// One complete span in virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (op-class or stage token).
+    pub name: &'static str,
+    /// Category: `"op"` for whole-op spans, `"stage"` for pipeline stages.
+    pub cat: &'static str,
+    /// Span start, virtual ns.
+    pub ts: Time,
+    /// Span duration, virtual ns.
+    pub dur: Time,
+    /// Node id (client or OSD) the span ran on.
+    pub pid: u64,
+    /// Op id (or recycle-unit / rebuild id) the span belongs to.
+    pub tid: u64,
+}
+
+/// Fixed-capacity ring of [`TraceEvent`]s; the oldest events are evicted
+/// once full, with an eviction counter so truncation is never silent.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    cap: usize,
+    events: VecDeque<TraceEvent>,
+    /// Events evicted because the ring was full.
+    pub dropped: u64,
+}
+
+impl TraceRing {
+    /// An empty ring holding at most `cap` events (min 1).
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            cap: cap.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when at capacity.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates the held events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Renders the ring as Chrome `trace_event` JSON (the object form,
+    /// `{"traceEvents": [...]}`), loadable in Perfetto or
+    /// `chrome://tracing`. `ts`/`dur` are microsecond floats per the
+    /// format spec.
+    pub fn chrome_json(&self) -> String {
+        let events: Vec<Value> = self
+            .events
+            .iter()
+            .map(|ev| {
+                Value::Object(vec![
+                    ("name".into(), Value::Str(ev.name.to_string())),
+                    ("cat".into(), Value::Str(ev.cat.to_string())),
+                    ("ph".into(), Value::Str("X".into())),
+                    ("ts".into(), Value::Float(ev.ts as f64 / 1e3)),
+                    ("dur".into(), Value::Float(ev.dur as f64 / 1e3)),
+                    ("pid".into(), Value::UInt(ev.pid)),
+                    ("tid".into(), Value::UInt(ev.tid)),
+                ])
+            })
+            .collect();
+        let doc = Value::Object(vec![
+            ("traceEvents".into(), Value::Array(events)),
+            ("displayTimeUnit".into(), Value::Str("ms".into())),
+            ("droppedEvents".into(), Value::UInt(self.dropped)),
+        ]);
+        serde_json::to_string(&doc).expect("trace values are finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: Time) -> TraceEvent {
+        TraceEvent {
+            name: "update",
+            cat: "op",
+            ts,
+            dur: 10,
+            pid: 1,
+            tid: 7,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = TraceRing::new(2);
+        r.push(ev(1));
+        r.push(ev(2));
+        r.push(ev(3));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped, 1);
+        let ts: Vec<Time> = r.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![2, 3]);
+    }
+
+    #[test]
+    fn chrome_json_parses_and_has_complete_events() {
+        let mut r = TraceRing::new(8);
+        r.push(ev(1500));
+        let json = r.chrome_json();
+        let v: Value = serde_json::from_str(&json).expect("valid JSON");
+        let Value::Object(fields) = v else {
+            panic!("object root")
+        };
+        let (_, evs) = fields
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .expect("traceEvents");
+        let Value::Array(evs) = evs else {
+            panic!("array")
+        };
+        assert_eq!(evs.len(), 1);
+        let Value::Object(e) = &evs[0] else {
+            panic!("event object")
+        };
+        let get = |k: &str| &e.iter().find(|(n, _)| n == k).expect("field").1;
+        assert_eq!(get("ph"), &Value::Str("X".into()));
+        assert_eq!(get("ts"), &Value::Float(1.5));
+    }
+}

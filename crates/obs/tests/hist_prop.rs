@@ -1,0 +1,89 @@
+//! Property tests pinning the histogram's quantile error bound and the
+//! algebra (associativity/commutativity of `merge`) that the sorted-merge
+//! determinism invariant rests on.
+
+use proptest::prelude::*;
+use tsue_obs::{Histogram, SUB_BUCKETS};
+
+fn from_vals(vals: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Every bucketed quantile is within one bucket's relative error of
+    /// the exact sorted-vector quantile: |approx - exact| <= exact/16 + 1.
+    #[test]
+    fn quantiles_within_one_bucket_relative_error(
+        mut vals in proptest::collection::vec(0u64..u64::MAX / 2, 1..400),
+        qs in proptest::collection::vec(0u64..=1000, 1..8),
+    ) {
+        let h = from_vals(&vals);
+        vals.sort_unstable();
+        for q in qs.into_iter().map(|permille| permille as f64 / 1000.0) {
+            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let exact = vals[rank - 1];
+            let approx = h.quantile(q);
+            let tol = exact / SUB_BUCKETS as u64 + 1;
+            prop_assert!(
+                approx.abs_diff(exact) <= tol,
+                "q={q} approx={approx} exact={exact} tol={tol}"
+            );
+        }
+    }
+
+    /// merge is commutative: a+b == b+a.
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..1 << 48, 0..100),
+        b in proptest::collection::vec(0u64..1 << 48, 0..100),
+    ) {
+        let (ha, hb) = (from_vals(&a), from_vals(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// merge is associative: (a+b)+c == a+(b+c), and both equal recording
+    /// everything into one histogram.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..1 << 48, 0..80),
+        b in proptest::collection::vec(0u64..1 << 48, 0..80),
+        c in proptest::collection::vec(0u64..1 << 48, 0..80),
+    ) {
+        let (ha, hb, hc) = (from_vals(&a), from_vals(&b), from_vals(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &from_vals(&all));
+    }
+
+    /// since() after a merge-window recovers exactly the window's counts.
+    #[test]
+    fn since_recovers_window_counts(
+        before in proptest::collection::vec(0u64..1 << 48, 0..100),
+        window in proptest::collection::vec(0u64..1 << 48, 0..100),
+    ) {
+        let snap = from_vals(&before);
+        let mut cum = snap.clone();
+        for &v in &window {
+            cum.record(v);
+        }
+        let w = cum.since(&snap);
+        prop_assert_eq!(w.count(), window.len() as u64);
+        prop_assert_eq!(w.sum(), window.iter().sum::<u64>());
+        prop_assert_eq!(w.nonzero_buckets(), from_vals(&window).nonzero_buckets());
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`trace`] — synthetic Ali-Cloud / Ten-Cloud / MSR workload generators.
 //! * [`integrity`] — block checksums, torn-record framing, and the typed
 //!   corruption errors behind the scrub/power-loss machinery.
+//! * [`obs`] — observability: latency histograms per op class and
+//!   pipeline stage, op-lifecycle span tracing (Chrome `trace_event`
+//!   export), and per-node/per-rack time-series metric families.
 //! * [`ecfs`] — the erasure-coded cluster file system (MDS, OSD, Client).
 //! * [`fault`] — scripted fault injection (node/rack kills, stragglers,
 //!   heals) driving online recovery under load.
@@ -34,6 +37,7 @@ pub use tsue_fault as fault;
 pub use tsue_gf as gf;
 pub use tsue_integrity as integrity;
 pub use tsue_net as net;
+pub use tsue_obs as obs;
 pub use tsue_schemes as schemes;
 pub use tsue_sim as sim;
 pub use tsue_trace as trace;

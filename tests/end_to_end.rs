@@ -80,7 +80,7 @@ fn simulation_is_deterministic() {
         run_workload(&mut world, &mut sim, SECOND);
         (
             world.core.metrics.ops_completed,
-            world.core.metrics.total_latency,
+            world.core.metrics.total_latency(),
             world.device_stats().total_ops(),
             world.core.net.total_wire(),
         )
