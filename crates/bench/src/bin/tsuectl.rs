@@ -6,6 +6,7 @@
 //! tsuectl bench [--quick] [--out FILE]        perf-regression report (BENCH_NN.json)
 //! tsuectl trace-check <trace.json> [--result FILE]
 //!                                             validate an emitted Chrome trace
+//! tsuectl lint [--json] [--json-out FILE]     workspace invariant checker (tsue_lint)
 //! tsuectl list                                registered schemes + bundled scenarios
 //! tsuectl [flags...]                          ad-hoc single run (see --help)
 //! ```
@@ -41,6 +42,9 @@ subcommands:\n\
                                           validate a --trace-out dump: parses the JSON and\n\
                                           requires ≥1 complete span; with --result, requires\n\
                                           a span per op class the run actually completed\n\
+  lint [--json] [--json-out FILE]         run the workspace invariant checker\n\
+                                          (tsue_lint); exits nonzero on violations or\n\
+                                          an exceeded exemption budget\n\
   list                                    print registered schemes and bundled scenarios\n\n\
 ad-hoc flags (assembled into a scenario spec):\n\
   --scheme NAME                           update scheme by registry name (default tsue)\n\
@@ -77,10 +81,59 @@ fn main() {
             list();
         }
         Some("run") => run_file(&args[1..]),
+        Some("lint") => lint(&args[1..]),
         Some("bench") => bench(&args[1..]),
         Some("trace-check") => trace_check(&args[1..]),
         Some("--help") | Some("-h") => println!("{HELP}"),
         _ => adhoc(&args),
+    }
+}
+
+/// `tsuectl lint` — the workspace invariant checker, exposed beside the
+/// run/bench entry points so one binary covers the whole workflow. Walks
+/// up from the current directory to the `lint.toml` root and exits
+/// nonzero unless the workspace is clean.
+fn lint(rest: &[String]) {
+    let mut json = false;
+    let mut json_out: Option<String> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--json" => json = true,
+            "--json-out" => {
+                i += 1;
+                json_out = Some(
+                    rest.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| fail("missing value after --json-out")),
+                );
+            }
+            other => fail(&format!("unknown lint flag '{other}'")),
+        }
+        i += 1;
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    let root = tsue_lint::find_root(&cwd)
+        .unwrap_or_else(|| fail(&format!("no lint.toml found above {}", cwd.display())));
+    let report = match tsue_lint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("lint failed: {e}")),
+    };
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, report.render_json()) {
+            fail(&format!("cannot write {path}: {e}"));
+        }
+    }
+    print!(
+        "{}",
+        if json {
+            report.render_json()
+        } else {
+            report.render_text()
+        }
+    );
+    if !report.clean() {
+        std::process::exit(1);
     }
 }
 

@@ -131,6 +131,8 @@ impl LiveLogPool {
                             }
                         }
                     })
+                    // INVARIANT: OS thread spawn fails only on resource exhaustion at
+                    // startup; the live pool cannot operate without its recyclers.
                     .expect("spawn recycler"),
             );
         }
@@ -225,6 +227,8 @@ impl LiveLogPool {
     /// Extracts merged jobs from a sealed unit and dispatches them with
     /// per-key affinity; the unit becomes a Recycled read cache.
     fn dispatch_unit(&self, pool: &mut LogPool<u64>, uid: crate::logunit::UnitId) {
+        // INVARIANT: the caller seals `uid` under this same pool lock just
+        // before dispatching, and sealed units are never evicted.
         let unit = pool.unit_mut(uid).expect("sealed unit");
         unit.state = UnitState::Recycling;
         let mut jobs = Vec::new();
@@ -233,6 +237,8 @@ impl LiveLogPool {
                 jobs.push(Job {
                     key,
                     off,
+                    // INVARIANT: the live pool appends only materialized chunks,
+                    // never ghosts, so every merged range carries bytes.
                     data: chunk.bytes.clone().expect("live pool stores real bytes"),
                 });
             }
@@ -244,6 +250,8 @@ impl LiveLogPool {
         for job in jobs {
             self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
             let w = (job.key as usize).wrapping_mul(0x9e3779b9) >> 16;
+            // INVARIANT: worker receivers live until drop() joins the pool,
+            // and nothing dispatches after drop.
             self.senders[w % n].send(job).expect("worker alive");
         }
     }

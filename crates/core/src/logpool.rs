@@ -10,7 +10,6 @@
 
 use crate::logunit::{LogUnit, UnitId, UnitState};
 use std::collections::VecDeque;
-use std::hash::Hash;
 use tsue_sim::Time;
 
 /// A FIFO queue of log units with a single active tail.
@@ -27,7 +26,7 @@ pub struct LogPool<K> {
     id_stride: u64,
 }
 
-impl<K: Eq + Hash + Copy> LogPool<K> {
+impl<K: Ord + Copy> LogPool<K> {
     /// Creates a pool; `pool_tag` disambiguates unit ids across pools.
     pub fn new(unit_size: u64, max_units: usize, pool_tag: u64) -> Self {
         assert!(max_units >= 1, "pool needs at least one unit");
@@ -61,6 +60,8 @@ impl<K: Eq + Hash + Copy> LogPool<K> {
     /// # Panics
     /// Panics if there is no active unit.
     pub fn active_mut(&mut self) -> &mut LogUnit<K> {
+        // INVARIANT: documented contract (# Panics above) — callers
+        // provision an active unit before appending.
         let u = self.units.back_mut().expect("no units in pool");
         assert_eq!(u.state, UnitState::Empty, "back unit is not active");
         u
@@ -97,6 +98,8 @@ impl<K: Eq + Hash + Copy> LogPool<K> {
             .iter()
             .position(|u| u.state == UnitState::Recycled)
         {
+            // INVARIANT: `pos` came from position() on this deque with no
+            // mutation in between.
             let mut u = self.units.remove(pos).expect("position valid");
             u.reset();
             self.units.push_back(u);

@@ -12,8 +12,7 @@
 //! list, and recycle processes every record individually — the Baseline /
 //! O1 / O2 comparison points.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 use tsue_ecfs::rangemap::{Discipline, RangeMap};
 use tsue_ecfs::Chunk;
 use tsue_sim::Time;
@@ -88,8 +87,10 @@ pub struct LogUnit<K> {
     pub id: UnitId,
     /// Lifecycle state.
     pub state: UnitState,
-    /// Level-one index: block → level-two entry.
-    pub index: HashMap<K, BlockIndex>,
+    /// Level-one index: block → level-two entry. Ordered so that every
+    /// whole-index walk (recycle job collection, work accounting) visits
+    /// blocks in the same order on every run.
+    pub index: BTreeMap<K, BlockIndex>,
     /// Appended payload bytes (including per-record headers).
     pub bytes: u64,
     /// Number of raw records appended (pre-merge).
@@ -105,13 +106,13 @@ pub struct LogUnit<K> {
 /// Per-record header bytes accounted in the unit fill level.
 pub const RECORD_HEADER: u64 = 24;
 
-impl<K: Eq + Hash + Copy> LogUnit<K> {
+impl<K: Ord + Copy> LogUnit<K> {
     /// Creates an Empty unit.
     pub fn new(id: UnitId) -> Self {
         LogUnit {
             id,
             state: UnitState::Empty,
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             bytes: 0,
             raw_records: 0,
             first_append: None,

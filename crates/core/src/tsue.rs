@@ -23,7 +23,7 @@
 use crate::logpool::LogPool;
 use crate::logunit::{UnitId, UnitState, RECORD_HEADER};
 use crate::residency::ResidencyStats;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use tsue_ecfs::logregion::LogRegion;
 use tsue_ecfs::rangemap::{Discipline, RangeMap};
 use tsue_ecfs::scheme::{DeltaKind, PowerLossReport, ReadServe, SchemeMsg, UpdateReq};
@@ -223,7 +223,7 @@ struct Layer<K> {
     timer_armed: Vec<bool>,
 }
 
-impl<K: Eq + std::hash::Hash + Copy> Layer<K> {
+impl<K: Ord + Copy> Layer<K> {
     fn new(cfg: &TsueConfig, layer_idx: u64, stream_base: u32) -> Self {
         let pools = cfg.effective_pools();
         let region_cap = cfg.unit_size * cfg.max_units as u64 + (4 << 20);
@@ -314,14 +314,14 @@ pub struct Tsue {
     delta_replica_region: LogRegion,
     threads: MultiResource,
     acks: tsue_ecfs::scheme::AckTable,
-    inflight: HashMap<UnitId, InflightUnit>,
+    inflight: BTreeMap<UnitId, InflightUnit>,
     /// Monotonic sequence stamped on each replicated DataLog append, so
     /// peer replica stores can prune exactly the recycled prefix.
     data_seq: u64,
     /// `(min, max)` replica seq held by each not-yet-recycled data unit;
     /// the prune watermark at unit finish is the smallest remaining `min`
     /// minus one (seqs below it are durably merged into the block store).
-    unit_seqs: HashMap<UnitId, (u64, u64)>,
+    unit_seqs: BTreeMap<UnitId, (u64, u64)>,
     /// The newest append on this OSD (power-loss torn-write candidate).
     tail: Option<TailAppend>,
     /// Residence-time statistics (Table 2).
@@ -344,9 +344,9 @@ impl Tsue {
             delta_replica_region: LogRegion::new(cfg.unit_size * cfg.max_units as u64, 132),
             threads: MultiResource::new(cfg.recycle_threads),
             acks: tsue_ecfs::scheme::AckTable::default(),
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             data_seq: 0,
-            unit_seqs: HashMap::new(),
+            unit_seqs: BTreeMap::new(),
             tail: None,
             residency: ResidencyStats::default(),
             cache_hits: 0,
@@ -566,6 +566,8 @@ impl Tsue {
     ) {
         let now = sim.now();
         let jobs: Vec<(BlockId, u64, Chunk)> = {
+            // INVARIANT: the recycle event was scheduled with this unit id at
+            // seal time, and units are never evicted while Recyclable.
             let unit = self.data.pools[pool].unit_mut(uid).expect("unit exists");
             unit.state = UnitState::Recycling;
             unit.recycle_started = Some(now);
@@ -587,6 +589,8 @@ impl Tsue {
                     // no intermediate materialization of the old data.
                     let d = store
                         .delta_poke_range(block, off, new)
+                        // INVARIANT: jobs carry bytes only in materialized runs, where
+                        // every hosted block has backing data.
                         .expect("materialized block");
                     Chunk::real(d)
                 }
@@ -784,14 +788,18 @@ impl Tsue {
         let mut cpu: Time = 0;
         let mut sends: Vec<(usize, BlockId, u64, Chunk, usize)> = Vec::new();
         {
+            // INVARIANT: the recycle event was scheduled with this unit id at
+            // seal time, and units are never evicted while Recyclable.
             let unit = self.delta.pools[pool].unit_mut(uid).expect("unit exists");
             unit.state = UnitState::Recycling;
             unit.recycle_started = Some(now);
             if let Some(fa) = unit.first_append {
                 self.residency.delta.buffer.add(now.saturating_sub(fa));
             }
-            // Stripe → [(role, ranges)] view over the index, borrowed; the
-            // hash index yields roles in arbitrary order, so pin it.
+            // Stripe → [(role, ranges)] view over the index, borrowed.
+            // The unit index is a BTreeMap keyed by (gstripe, role), so
+            // this walk already yields roles in ascending order within
+            // each stripe — no post-sort needed.
             let mut grouped: std::collections::BTreeMap<u64, Vec<(usize, &RangeMap)>> =
                 std::collections::BTreeMap::new();
             for (&(gstripe, role), entry) in unit.index.iter() {
@@ -799,9 +807,6 @@ impl Tsue {
                     .entry(gstripe)
                     .or_default()
                     .push((role, &entry.ranges));
-            }
-            for roles in grouped.values_mut() {
-                roles.sort_by_key(|(role, _)| *role);
             }
             // Pass 1 (coordinator): group spans per (stripe, parity)
             // target and charge the CPU model — workers below need only
@@ -922,6 +927,8 @@ impl Tsue {
     ) {
         let now = sim.now();
         let jobs: Vec<(BlockId, u64, Chunk)> = {
+            // INVARIANT: the recycle event was scheduled with this unit id at
+            // seal time, and units are never evicted while Recyclable.
             let unit = self.parity.pools[pool].unit_mut(uid).expect("unit exists");
             unit.state = UnitState::Recycling;
             unit.recycle_started = Some(now);
@@ -996,6 +1003,8 @@ impl Tsue {
         uid: UnitId,
     ) {
         let now = sim.now();
+        // INVARIANT: unit_job_done fires exactly once per recycle dispatch,
+        // which inserted this entry.
         let inf = self.inflight.remove(&uid).expect("inflight unit");
         let (layer, pool) = (inf.layer, inf.pool);
         match layer {
@@ -1273,6 +1282,8 @@ impl UpdateScheme for Tsue {
                     core.extent_done(sim, osd, op_id);
                 }
             }
+            // INVARIANT: TSUE peers exchange only the kinds above; a Control
+            // frame here is a message-routing bug.
             SchemeMsg::Control { .. } => unreachable!("TSUE sends no Control messages"),
         }
     }
@@ -1292,6 +1303,8 @@ impl UpdateScheme for Tsue {
                 let uid = tag >> 4;
                 self.unit_job_done(core, sim, osd, uid);
             }
+            // INVARIANT: every TSUE timer is scheduled by this scheme with a
+            // TK_* tag, matched exhaustively above.
             _ => unreachable!("unknown TSUE timer tag {tag:#x}"),
         }
     }

@@ -247,6 +247,8 @@ impl ClusterBuilder {
     pub fn build(self) -> Cluster {
         let make = self
             .make
+            // INVARIANT: documented build() contract — a cluster cannot be
+            // assembled without a scheme; the message names the fix.
             .expect("ClusterBuilder: no scheme chosen — call .scheme() or .scheme_fn()");
         let mut world = Cluster::new(self.cfg, make);
         match &self.workload {

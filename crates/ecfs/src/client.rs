@@ -101,6 +101,8 @@ pub fn client_issue(world: &mut Cluster, sim: &mut Sim<Cluster>, cid: usize) {
     let op = core.clients[cid]
         .gen
         .as_mut()
+        // INVARIANT: the driver installs a generator on every client
+        // (set_workload) before the first issue event is scheduled.
         .expect("workload not installed — call set_workload first")
         .next_op();
     core.clients[cid].ops_issued += 1;

@@ -25,7 +25,7 @@
 use crate::osd::{BlockId, STREAM_BLOCK, STREAM_JOURNAL};
 use crate::scheme::Chunk;
 use crate::{payload_into, Cluster, ClusterCore};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use tsue_device::IoKind;
 use tsue_net::NodeId;
 use tsue_sim::Sim;
@@ -47,7 +47,8 @@ pub struct JournalEntry {
 #[derive(Debug, Default)]
 pub struct DegradedJournal {
     /// Parked extents per target block, in append (arrival) order.
-    entries: HashMap<BlockId, Vec<JournalEntry>>,
+    /// Ordered by block so pending-work accounting walks deterministically.
+    entries: BTreeMap<BlockId, Vec<JournalEntry>>,
     /// Dedupe set: `(op_id, ext)` pairs already journaled (duplicate
     /// delivery must not replay an extent twice).
     seen: HashSet<(u64, usize)>,

@@ -291,6 +291,9 @@ impl Cluster {
     where
         F: FnMut(usize) -> Box<dyn UpdateScheme>,
     {
+        // INVARIANT: supported configs keep 1 <= k, 1 <= m, k + m <= 255
+        // (GF(256) code width); a bad stripe shape is a configuration bug
+        // worth stopping at construction.
         let rs = RsCode::new(cfg.stripe.k, cfg.stripe.m).expect("valid RS parameters");
         let placement = cfg.placement.build(cfg.osds, cfg.topology.racks);
         assert!(
@@ -391,6 +394,8 @@ impl Cluster {
                 if self.core.osds[osd].dead {
                     continue;
                 }
+                // INVARIANT: scheme slots are taken for one event callback and
+                // restored before return; DES events never nest.
                 let mut s = self.schemes[osd].take().expect("scheme missing");
                 s.flush(&mut self.core, sim, osd);
                 self.schemes[osd] = Some(s);
@@ -424,6 +429,8 @@ impl Cluster {
         node: usize,
         seed: u64,
     ) -> PowerLossReport {
+        // INVARIANT: scheme slots are taken for one event callback and
+        // restored before return; DES events never nest.
         let mut s = self.schemes[node].take().expect("scheme reentrancy");
         let report = s.power_loss(&mut self.core, sim, node, seed);
         self.schemes[node] = Some(s);
@@ -613,7 +620,7 @@ pub fn fail_over_ack(sim: &mut Sim<Cluster>, op_id: u64) {
 #[derive(Default)]
 pub struct PendingTable {
     next_id: u64,
-    ops: std::collections::HashMap<u64, PendingOp>,
+    ops: std::collections::BTreeMap<u64, PendingOp>,
 }
 
 /// One in-flight client op (possibly spanning several extents).

@@ -95,6 +95,8 @@ impl Mds {
                 return (i as FileId, gstripe - f.base_stripe);
             }
         }
+        // INVARIANT: documented contract (# Panics above) — every global
+        // stripe handled by the cluster was minted from a registered file.
         panic!("global stripe {gstripe} not registered");
     }
 

@@ -124,6 +124,8 @@ impl Osd {
     pub fn block_offset(&self, id: BlockId) -> u64 {
         self.store
             .with(&id, |b| b.map(|b| b.dev_offset))
+            // INVARIANT: documented contract (# Panics above) — callers
+            // resolve placement (owner_of) before touching a block.
             .expect("block not hosted here")
     }
 
@@ -152,6 +154,8 @@ impl Osd {
         len: u64,
     ) -> (Time, Option<Bytes>) {
         let (dev_off, data) = self.store.with(&id, |b| {
+            // INVARIANT: callers route I/O through owner_of placement, so
+            // the block is hosted on this OSD.
             let b = b.expect("block not hosted here");
             let data = b.data.as_ref().map(|d| {
                 assert!((off + len) as usize <= d.len(), "read beyond block");
@@ -179,6 +183,8 @@ impl Osd {
         data: Option<&[u8]>,
     ) -> Time {
         let dev_off = {
+            // INVARIANT: callers route I/O through owner_of placement, so
+            // the block is hosted on this OSD.
             let b = self.store.get_mut(&id).expect("block not hosted here");
             if let (Some(store), Some(src)) = (b.data.as_mut(), data) {
                 assert_eq!(src.len() as u64, len, "payload length mismatch");
@@ -214,6 +220,8 @@ impl Osd {
         // The XOR is applied directly into the block store — no buffer
         // materializes on this path.
         let dev_off = {
+            // INVARIANT: callers route I/O through owner_of placement, so
+            // the block is hosted on this OSD.
             let b = self.store.get_mut(&id).expect("block not hosted here");
             if let (Some(store), Some(d)) = (b.data.as_mut(), delta) {
                 assert_eq!(d.len() as u64, len, "delta length mismatch");
@@ -364,6 +372,8 @@ impl Osd {
     /// what bit rot looks like. Returns the number of bits flipped (0 in
     /// timing-only mode, where there are no bytes to rot).
     pub fn corrupt_bits(&mut self, id: BlockId, rng: &mut SplitRng, flips: usize) -> usize {
+        // INVARIANT: fault injection targets blocks the placement map
+        // hosts on this OSD.
         let b = self.store.get_mut(&id).expect("block not hosted here");
         let Some(store) = b.data.as_mut() else {
             return 0;
@@ -459,11 +469,11 @@ impl Osd {
     pub fn install_repaired_page(&self, id: BlockId, page: usize, bytes: &[u8]) {
         self.store.with_mut(&id, |b| {
             if let Some(b) = b {
-                if let (Some(store), Some(sums)) = (b.data.as_mut(), b.sums.as_mut()) {
+                if let (Some(data), Some(sums)) = (b.data.as_mut(), b.sums.as_mut()) {
                     let s = page * tsue_integrity::PAGE as usize;
-                    let e = (s + tsue_integrity::PAGE as usize).min(store.len());
-                    store[s..e].copy_from_slice(&bytes[..e - s]);
-                    sums.update_range(store, s as u64, (e - s) as u64);
+                    let e = (s + tsue_integrity::PAGE as usize).min(data.len());
+                    data[s..e].copy_from_slice(&bytes[..e - s]);
+                    sums.update_range(data, s as u64, (e - s) as u64);
                     sums.clear_taint(page);
                 }
             }

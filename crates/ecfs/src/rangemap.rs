@@ -118,6 +118,8 @@ impl RangeMap {
                 // Carve out the overlapped parts of existing entries, then
                 // insert the new chunk whole.
                 for k in overlapping {
+                    // INVARIANT: `overlapping` keys were collected from this map
+                    // above, and nothing was removed since.
                     let existing = self.entries.remove(&k).unwrap();
                     self.covered -= existing.len;
                     let (left, _mid, right) = split3(k, existing, off, end);
@@ -160,6 +162,8 @@ impl RangeMap {
                 let mut cursor = off;
                 let mut to_insert: Vec<(u64, Chunk)> = Vec::new();
                 for &k in &overlapping {
+                    // INVARIANT: `overlapping` keys were collected from this map
+                    // above, and nothing was removed since.
                     let existing = self.entries.remove(&k).unwrap();
                     self.covered -= existing.len;
                     let e_end = k + existing.len;
@@ -181,6 +185,8 @@ impl RangeMap {
                         if let Some((ro, rc)) = right {
                             to_insert.push((ro, rc));
                         }
+                        // INVARIANT: guarded by `i_end > i_start`, so split3 returned
+                        // a middle piece.
                         let (mo, mut mc) = mid.expect("mid overlap exists");
                         let patch = slice_chunk(&chunk, mo - off, mc.len);
                         mc.xor_in(&patch);
@@ -265,7 +271,11 @@ impl RangeMap {
             if !mergeable {
                 continue;
             }
+            // INVARIANT: `a` and `b` were both read from the map in this
+            // same loop iteration.
             let cb = self.entries.remove(&b).unwrap();
+            // INVARIANT: as above — `a` is still present; only `b` was
+            // removed.
             let ca = self.entries.get_mut(&a).unwrap();
             if let (Some(av), Some(bv)) = (ca.bytes.as_mut(), cb.bytes.as_ref()) {
                 // Contiguous views of one backing buffer join for free

@@ -517,12 +517,16 @@ fn spawn_rebuild(world: &mut Cluster, sim: &mut Sim<Cluster>, block: BlockId, ph
                             .map(|(r, b)| (*r, &b.as_slice()[s..e]))
                             .collect();
                         rs.reconstruct_one(&seg, block.role, seg_out)
+                            // INVARIANT: the shard set was assembled from exactly k live
+                            // roles above; decode only fails with fewer than k.
                             .expect("k survivors by construction");
                     });
                 } else {
                     let borrowed: Vec<(usize, &[u8])> =
                         shards.iter().map(|(r, b)| (*r, b.as_slice())).collect();
                     rs.reconstruct_one(&borrowed, block.role, out)
+                        // INVARIANT: the shard set was assembled from exactly k live
+                        // roles above; decode only fails with fewer than k.
                         .expect("k survivors by construction");
                 }
             }

@@ -21,7 +21,7 @@
 use crate::osd::{BlockId, STREAM_BLOCK};
 use crate::scheme::Chunk;
 use crate::Cluster;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tsue_device::IoKind;
 use tsue_sim::Sim;
 
@@ -42,7 +42,7 @@ pub struct ReplicaRecord {
 /// shadow. Owned by [`crate::ClusterCore`].
 #[derive(Debug, Default)]
 pub struct ReplicaStore {
-    by_home: HashMap<usize, Vec<ReplicaRecord>>,
+    by_home: BTreeMap<usize, Vec<ReplicaRecord>>,
     /// Cumulative bytes replayed onto rebuilt blocks.
     pub bytes_replayed: u64,
 }

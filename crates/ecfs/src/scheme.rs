@@ -412,6 +412,8 @@ pub fn deliver_update(world: &mut Cluster, sim: &mut Sim<Cluster>, osd: usize, r
             .obs
             .update_arrival(req.op_id, osd, issued, sim.now());
     }
+    // INVARIANT: scheme slots are taken for one event callback and
+    // restored before return; DES events never nest.
     let mut s = world.schemes[osd].take().expect("scheme reentrancy");
     s.on_update(&mut world.core, sim, osd, req);
     world.schemes[osd] = Some(s);
@@ -467,6 +469,8 @@ pub fn deliver_msg(world: &mut Cluster, sim: &mut Sim<Cluster>, osd: usize, msg:
         }
         return;
     }
+    // INVARIANT: scheme slots are taken for one event callback and
+    // restored before return; DES events never nest.
     let mut s = world.schemes[osd].take().expect("scheme reentrancy");
     s.on_message(&mut world.core, sim, osd, msg);
     world.schemes[osd] = Some(s);
@@ -477,6 +481,8 @@ pub fn deliver_timer(world: &mut Cluster, sim: &mut Sim<Cluster>, osd: usize, ta
     if world.core.osds[osd].dead {
         return;
     }
+    // INVARIANT: scheme slots are taken for one event callback and
+    // restored before return; DES events never nest.
     let mut s = world.schemes[osd].take().expect("scheme reentrancy");
     s.on_timer(&mut world.core, sim, osd, tag);
     world.schemes[osd] = Some(s);
@@ -522,6 +528,8 @@ pub fn deliver_read(
         return;
     }
     // Ask the scheme whether its logs cover the range.
+    // INVARIANT: scheme slots are taken for one event callback and
+    // restored before return; DES events never nest.
     let mut s = world.schemes[osd].take().expect("scheme reentrancy");
     let serve = s.read_overlay(&mut world.core, osd, block, off, len, None);
     world.schemes[osd] = Some(s);

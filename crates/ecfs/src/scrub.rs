@@ -26,7 +26,7 @@
 
 use crate::osd::{BlockId, STREAM_BLOCK};
 use crate::{Cluster, ClusterCore};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use tsue_device::IoKind;
 use tsue_integrity::{checksum, PAGE};
 use tsue_sim::{Sim, Time, SECOND};
@@ -41,7 +41,7 @@ pub struct ScrubState {
     /// Blocks with detected corruption awaiting a safe repair point.
     queue: Vec<(usize, BlockId)>,
     /// Dedup set over `queue`.
-    queued: HashSet<(usize, BlockId)>,
+    queued: BTreeSet<(usize, BlockId)>,
     /// True while paced sweep ticks are scheduled.
     pub active: bool,
 }
@@ -234,6 +234,8 @@ fn repair_block(
                 shards.iter().map(|(r, b)| (*r, b.as_slice())).collect();
             core.rs
                 .reconstruct_one(&borrowed, block.role, &mut out)
+                // INVARIANT: the shard set was assembled from exactly k clean
+                // live roles above; decode only fails with fewer than k.
                 .expect("k clean survivors by construction");
         }
         if mode == RepairMode::Guarded
@@ -251,6 +253,8 @@ fn repair_block(
                 .iter()
                 .find(|&&(r, _)| r == role)
                 .map(|&(_, o)| o)
+                // INVARIANT: `shards` was built by reading from `siblings`, so
+                // every shard role has an owner entry there.
                 .expect("shard came from a sibling");
             let sib_dev = core.osds[owner].block_offset(block_for(block, role));
             let t_read =

@@ -21,6 +21,8 @@ pub fn reference_data(world: &Cluster) -> HashMap<BlockId, Vec<u8>> {
         .metrics
         .arrivals
         .as_ref()
+        // INVARIANT: verification-harness precondition — the message
+        // names the config flag the caller must set.
         .expect("reference_data needs cfg.record_arrivals");
     let bs = world.core.cfg.stripe.block_size as usize;
     let mut blocks: HashMap<BlockId, Vec<u8>> = HashMap::new();
@@ -71,6 +73,8 @@ pub fn check_parity(world: &Cluster) -> Result<usize, String> {
     let k = world.core.cfg.stripe.k;
     let m = world.core.cfg.stripe.m;
     let mut verified = 0;
+    // cast: file ids are u32 everywhere (BlockId::file); file_count is
+    // bounded by the configured file set, far below u32::MAX.
     for file in 0..world.core.mds.file_count() as u32 {
         let stripes = world.core.mds.file(file).stripes;
         for stripe in 0..stripes {

@@ -472,6 +472,8 @@ mod x86 {
     ///
     /// # Safety
     /// Caller must have verified SSSE3 support.
+    // SAFETY: register-only and/shift/shuffle/xor intrinsics — no memory
+    // access; sound whenever SSSE3 is present, which the contract gives.
     #[inline]
     #[target_feature(enable = "ssse3")]
     unsafe fn mul16(lo: __m128i, hi: __m128i, mask: __m128i, x: __m128i) -> __m128i {
@@ -482,6 +484,10 @@ mod x86 {
 
     /// # Safety
     /// Caller must have verified SSSE3 support.
+    // SAFETY: table loads read exactly 16 bytes from the `[u8; 16]` rows
+    // of NIB_LO/NIB_HI; loop loads/stores are unaligned 16-byte accesses
+    // at `i` with `i + 16 <= n <= src.len() == dst.len()` (lengths
+    // asserted equal by the public wrappers).
     #[target_feature(enable = "ssse3")]
     unsafe fn mul_slice_ssse3_impl(c: u8, src: &[u8], dst: &mut [u8]) {
         let lo = _mm_loadu_si128(tables::NIB_LO[c as usize].as_ptr().cast());
@@ -499,6 +505,9 @@ mod x86 {
 
     /// # Safety
     /// Caller must have verified SSSE3 support.
+    // SAFETY: bounds as in mul_slice_ssse3_impl — 16-byte rows for the
+    // tables, `i + 16 <= n <= src.len() == dst.len()` for the loop; the
+    // extra dst load reads the same in-bounds 16 bytes the store writes.
     #[target_feature(enable = "ssse3")]
     unsafe fn mul_add_slice_ssse3_impl(c: u8, src: &[u8], dst: &mut [u8]) {
         let lo = _mm_loadu_si128(tables::NIB_LO[c as usize].as_ptr().cast());
@@ -518,6 +527,9 @@ mod x86 {
 
     /// # Safety
     /// Caller must have verified SSSE3 support.
+    // SAFETY: single-buffer variant — each iteration loads and stores
+    // the same 16 in-bounds bytes (`i + 16 <= n <= buf.len()`); table
+    // loads stay within the `[u8; 16]` rows.
     #[target_feature(enable = "ssse3")]
     unsafe fn mul_slice_assign_ssse3_impl(c: u8, buf: &mut [u8]) {
         let lo = _mm_loadu_si128(tables::NIB_LO[c as usize].as_ptr().cast());
@@ -555,6 +567,8 @@ mod x86 {
     ///
     /// # Safety
     /// Caller must have verified AVX2 support.
+    // SAFETY: register-only 256-bit and/shift/shuffle/xor — no memory
+    // access; sound whenever AVX2 is present, which the contract gives.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn mul32(lo: __m256i, hi: __m256i, mask: __m256i, x: __m256i) -> __m256i {
@@ -567,6 +581,8 @@ mod x86 {
     ///
     /// # Safety
     /// Caller must have verified AVX2 support.
+    // SAFETY: the two loads read exactly 16 bytes from the `[u8; 16]`
+    // rows of NIB_LO/NIB_HI; the broadcasts are register-only.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn tables256(c: u8) -> (__m256i, __m256i) {
@@ -580,6 +596,10 @@ mod x86 {
 
     /// # Safety
     /// Caller must have verified AVX2 support.
+    // SAFETY: unaligned 32-byte loads/stores at `i` with
+    // `i + 32 <= n <= src.len() == dst.len()` (lengths asserted equal by
+    // the public wrappers); the sub-32 tail goes to the SSSE3 impl, whose
+    // contract holds because AVX2 implies SSSE3.
     #[target_feature(enable = "avx2")]
     unsafe fn mul_slice_avx2_impl(c: u8, src: &[u8], dst: &mut [u8]) {
         let (lo, hi) = tables256(c);
@@ -596,6 +616,9 @@ mod x86 {
 
     /// # Safety
     /// Caller must have verified AVX2 support.
+    // SAFETY: bounds as in mul_slice_avx2_impl; the extra dst load reads
+    // the same in-bounds 32 bytes the store writes; AVX2 implies SSSE3
+    // for the tail call.
     #[target_feature(enable = "avx2")]
     unsafe fn mul_add_slice_avx2_impl(c: u8, src: &[u8], dst: &mut [u8]) {
         let (lo, hi) = tables256(c);
@@ -614,6 +637,9 @@ mod x86 {
 
     /// # Safety
     /// Caller must have verified AVX2 support.
+    // SAFETY: single-buffer variant — each iteration loads and stores
+    // the same 32 in-bounds bytes (`i + 32 <= n <= buf.len()`); AVX2
+    // implies SSSE3 for the tail call.
     #[target_feature(enable = "avx2")]
     unsafe fn mul_slice_assign_avx2_impl(c: u8, buf: &mut [u8]) {
         let (lo, hi) = tables256(c);
@@ -680,6 +706,9 @@ mod x86 {
 
     /// # Safety
     /// Caller must have verified AVX2 support.
+    // SAFETY: unaligned 32-byte loads/stores at `i` with
+    // `i + 32 <= n <= src.len() == dst.len()` (lengths asserted equal by
+    // the public wrappers); tail handled by portable code.
     #[target_feature(enable = "avx2")]
     unsafe fn xor_slice_avx2_impl(src: &[u8], dst: &mut [u8]) {
         let n = src.len() & !31;
@@ -695,6 +724,9 @@ mod x86 {
 
     /// # Safety
     /// Caller must have verified AVX2 support.
+    // SAFETY: three-slice variant — all three are at least `a.len()`
+    // long (asserted by the public wrappers), so the 32-byte accesses at
+    // `i < n <= a.len()` are in bounds on each.
     #[target_feature(enable = "avx2")]
     unsafe fn xor_into_avx2_impl(a: &[u8], b: &[u8], dst: &mut [u8]) {
         let n = a.len() & !31;
@@ -731,6 +763,8 @@ mod neon {
     ///
     /// # Safety
     /// NEON must be available (always true on aarch64).
+    // SAFETY: register-only and/shift/table-lookup/xor intrinsics — no
+    // memory access; NEON is baseline on aarch64.
     #[inline]
     #[target_feature(enable = "neon")]
     unsafe fn mul16(lo: uint8x16_t, hi: uint8x16_t, x: uint8x16_t) -> uint8x16_t {
@@ -741,6 +775,10 @@ mod neon {
 
     /// # Safety
     /// NEON must be available (always true on aarch64).
+    // SAFETY: table loads read exactly 16 bytes from the `[u8; 16]` rows
+    // of NIB_LO/NIB_HI; loop loads/stores access 16 bytes at `i` with
+    // `i + 16 <= n <= src.len() == dst.len()` (lengths asserted equal by
+    // the public wrappers).
     #[target_feature(enable = "neon")]
     unsafe fn mul_slice_neon_impl(c: u8, src: &[u8], dst: &mut [u8]) {
         let lo = vld1q_u8(tables::NIB_LO[c as usize].as_ptr());
@@ -757,6 +795,8 @@ mod neon {
 
     /// # Safety
     /// NEON must be available (always true on aarch64).
+    // SAFETY: bounds as in mul_slice_neon_impl; the extra dst load reads
+    // the same in-bounds 16 bytes the store writes.
     #[target_feature(enable = "neon")]
     unsafe fn mul_add_slice_neon_impl(c: u8, src: &[u8], dst: &mut [u8]) {
         let lo = vld1q_u8(tables::NIB_LO[c as usize].as_ptr());
@@ -774,6 +814,9 @@ mod neon {
 
     /// # Safety
     /// NEON must be available (always true on aarch64).
+    // SAFETY: single-buffer variant — each iteration loads and stores
+    // the same 16 in-bounds bytes (`i + 16 <= n <= buf.len()`); table
+    // loads stay within the `[u8; 16]` rows.
     #[target_feature(enable = "neon")]
     unsafe fn mul_slice_assign_neon_impl(c: u8, buf: &mut [u8]) {
         let lo = vld1q_u8(tables::NIB_LO[c as usize].as_ptr());
@@ -790,6 +833,9 @@ mod neon {
 
     /// # Safety
     /// NEON must be available (always true on aarch64).
+    // SAFETY: 16-byte loads/stores at `i` with
+    // `i + 16 <= n <= src.len() == dst.len()` (lengths asserted equal by
+    // the public wrappers); tail handled by portable code.
     #[target_feature(enable = "neon")]
     unsafe fn xor_slice_neon_impl(src: &[u8], dst: &mut [u8]) {
         let n = src.len() & !15;
@@ -805,6 +851,9 @@ mod neon {
 
     /// # Safety
     /// NEON must be available (always true on aarch64).
+    // SAFETY: three-slice variant — all three are at least `a.len()`
+    // long (asserted by the public wrappers), so the 16-byte accesses at
+    // `i < n <= a.len()` are in bounds on each.
     #[target_feature(enable = "neon")]
     unsafe fn xor_into_neon_impl(a: &[u8], b: &[u8], dst: &mut [u8]) {
         let n = a.len() & !15;

@@ -14,6 +14,8 @@
 //! See [`kernel`] for the backend design, the `TSUE_GF_KERNEL` override, and
 //! the byte-identical-tiers invariant.
 
+#![warn(missing_docs)]
+
 pub mod kernel;
 pub mod matrix;
 pub mod tables;

@@ -103,6 +103,8 @@ impl std::error::Error for IntegrityError {}
 #[must_use]
 pub fn checksum(bytes: &[u8]) -> u64 {
     const SEED: u64 = 0x16f1_1fe8_9b0d_677c;
+    // INVARIANT: `word` is only applied to 8-byte subslices produced by
+    // chunks_exact(32) / the padded tail below, so the conversion holds.
     let word = |b: &[u8]| u64::from_le_bytes(b.try_into().expect("8-byte chunk"));
 
     // Distinct lane seeds (consecutive splitmix-style offsets of SEED) so
@@ -326,7 +328,11 @@ pub struct ScannedRecord {
 pub fn frame_record(seq: u64, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
     out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    // INVARIANT: the frame header stores a 32-bit length; callers frame
+    // single log records (≤ unit size, far below 4 GiB), so a larger
+    // payload is a caller bug worth stopping on, not truncating.
+    let len = u32::try_from(payload.len()).expect("record payload fits the u32 frame length");
+    out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(&checksum(payload).to_le_bytes());
     out.extend_from_slice(payload);
@@ -349,13 +355,18 @@ pub fn scan_log(log: &[u8]) -> (Vec<ScannedRecord>, Option<IntegrityError>) {
         let Some(header) = log.get(off..off + FRAME_HEADER) else {
             return (out, Some(IntegrityError::TornRecord { offset: off }));
         };
+        // INVARIANT: `header` is exactly FRAME_HEADER (24) bytes — the
+        // `get` above returned Some — so each fixed subrange converts.
         let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
         if magic != FRAME_MAGIC {
             return (out, Some(IntegrityError::TornRecord { offset: off }));
         }
-        let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
-        let seq = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
-        let digest = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+        let len = // INVARIANT: header[4..8] is 4 bytes (see above)
+            u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+        let seq = // INVARIANT: header[8..16] is 8 bytes (see above)
+            u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let digest = // INVARIANT: header[16..24] is 8 bytes (see above)
+            u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
         let Some(payload) = log.get(off + FRAME_HEADER..off + FRAME_HEADER + len) else {
             return (out, Some(IntegrityError::TornRecord { offset: off }));
         };

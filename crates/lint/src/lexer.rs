@@ -1,0 +1,405 @@
+//! A comment/string-aware Rust lexer — just enough tokenization for the
+//! rule engine, with zero dependencies.
+//!
+//! The rules never need full parsing: they match short token sequences
+//! (`Instant :: now`, `. unwrap (`), walk backwards over type paths, and
+//! balance parentheses. What they *do* need — and what plain text
+//! matching gets wrong — is knowing that `"unsafe"` inside a string
+//! literal is data, that `// HashMap iteration here would be bad` is
+//! prose, and which comment sits next to which line of code. The lexer
+//! provides exactly that: a token stream with line numbers, a parallel
+//! comment stream, and a per-line code/comment classification.
+
+/// One lexed token: a word (identifier/keyword/number/lifetime) or a
+/// single punctuation character, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text. Words are maximal ident/number runs; punctuation is
+    /// one character per token (`::` arrives as two `:` tokens).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Whether this is a word (ident / keyword / number / lifetime).
+    pub word: bool,
+}
+
+/// One comment with its source position.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body, delimiters stripped (`//`, `///`, `/* */`, ...).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Last 1-based line the comment covers (block comments span lines).
+    pub end_line: u32,
+    /// Whether this is a doc comment (`///`, `//!`, `/** */`, `/*! */`).
+    pub doc: bool,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (comments and literals stripped).
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+    /// `lines_with_code[l]` is true when 1-based line `l` carries at
+    /// least one code token (index 0 unused).
+    pub lines_with_code: Vec<bool>,
+    /// Total number of source lines.
+    pub n_lines: u32,
+}
+
+impl Lexed {
+    /// All comments that start on `line`.
+    pub fn comments_on(&self, line: u32) -> impl Iterator<Item = &Comment> {
+        self.comments
+            .iter()
+            .filter(move |c| c.line <= line && line <= c.end_line)
+    }
+
+    /// Whether 1-based `line` carries code.
+    pub fn has_code(&self, line: u32) -> bool {
+        self.lines_with_code
+            .get(line as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+fn is_word_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_word_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens + comments. Never fails: unterminated
+/// literals or comments simply consume the rest of the file (the real
+/// compiler rejects those files long before the lint matters).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+    let n = b.len();
+    let mut lines_with_code = vec![false; src.lines().count() + 2];
+
+    macro_rules! bump_lines {
+        ($ch:expr) => {
+            if $ch == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        // Line comment (incl. doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start_line = line;
+            let mut j = i + 2;
+            // `///` and `//!` are docs; `////...` dividers are plain.
+            let doc = j < n && (b[j] == '!' || (b[j] == '/' && !(j + 1 < n && b[j + 1] == '/')));
+            if j < n && (b[j] == '/' || b[j] == '!') {
+                j += 1;
+            }
+            let text_start = j;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                text: b[text_start..j].iter().collect(),
+                line: start_line,
+                end_line: start_line,
+                doc,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (Rust block comments nest).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start_line = line;
+            let mut j = i + 2;
+            let doc = j < n && (b[j] == '*' || b[j] == '!') && !(j + 1 < n && b[j + 1] == '/');
+            let text_start = j;
+            let mut depth = 1;
+            while j < n && depth > 0 {
+                if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    bump_lines!(b[j]);
+                    j += 1;
+                }
+            }
+            let text_end = j.saturating_sub(2).max(text_start);
+            out.comments.push(Comment {
+                text: b[text_start..text_end].iter().collect(),
+                line: start_line,
+                end_line: line,
+                doc,
+            });
+            i = j;
+            continue;
+        }
+        // Raw strings: r"...", r#"..."#, br"...", br#"..."#.
+        if (c == 'r' || c == 'b')
+            && i + 1 < n
+            && (b[i + 1] == '"' || b[i + 1] == '#' || (c == 'b' && b[i + 1] == 'r'))
+        {
+            let mut j = i + 1;
+            if c == 'b' && j < n && b[j] == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' && (c == 'r' || (c == 'b' && b[i + 1] != '"')) {
+                // A raw (possibly byte) string.
+                j += 1;
+                'raw: while j < n {
+                    if b[j] == '"' {
+                        let mut k = j + 1;
+                        let mut seen = 0;
+                        while k < n && b[k] == '#' && seen < hashes {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            j = k;
+                            break 'raw;
+                        }
+                    }
+                    bump_lines!(b[j]);
+                    j += 1;
+                }
+                lines_with_code[line as usize] = true;
+                i = j;
+                continue;
+            }
+            // Not a raw string (`r` / `b` identifier, or `b"..."` handled
+            // below): fall through to word/string handling.
+        }
+        // Plain / byte string.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            while j < n {
+                match b[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    ch => {
+                        bump_lines!(ch);
+                        j += 1;
+                    }
+                }
+            }
+            lines_with_code[line as usize] = true;
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime. `'a'` is a char, `'a` (no closing
+        // quote after one item) is a lifetime label.
+        if c == '\'' {
+            // Escaped char literal: '\n', '\x7f', '\u{..}'.
+            if i + 1 < n && b[i + 1] == '\\' {
+                let mut j = i + 2;
+                while j < n && b[j] != '\'' {
+                    j += 1;
+                }
+                lines_with_code[line as usize] = true;
+                i = j + 1;
+                continue;
+            }
+            // 'x' — single char then closing quote.
+            if i + 2 < n && b[i + 2] == '\'' {
+                lines_with_code[line as usize] = true;
+                i += 3;
+                continue;
+            }
+            // Lifetime: consume the ident run as one word token.
+            let mut j = i + 1;
+            while j < n && is_word_cont(b[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                text: b[i..j].iter().collect(),
+                line,
+                word: true,
+            });
+            lines_with_code[line as usize] = true;
+            i = j;
+            continue;
+        }
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if is_word_start(c) || c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n && is_word_cont(b[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                text: b[i..j].iter().collect(),
+                line,
+                word: true,
+            });
+            lines_with_code[line as usize] = true;
+            i = j;
+            continue;
+        }
+        // Single punctuation character.
+        out.toks.push(Tok {
+            text: c.to_string(),
+            line,
+            word: false,
+        });
+        lines_with_code[line as usize] = true;
+        i += 1;
+    }
+
+    out.n_lines = line;
+    out.lines_with_code = lines_with_code;
+    out
+}
+
+/// Line spans (1-based, inclusive) of `#[cfg(test)]` / `#[test]` items:
+/// the attribute line through the matching close brace of the item that
+/// follows. Rules scoped to production code skip these spans.
+pub fn test_spans(lx: &Lexed) -> Vec<(u32, u32)> {
+    let t = &lx.toks;
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 3 < t.len() {
+        // `# [ cfg ( ... test ... ) ]`  or  `# [ test ]`
+        let is_attr = t[i].text == "#" && t[i + 1].text == "[";
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        let mut is_test_attr = false;
+        let mut j = i + 2;
+        if t[j].text == "test" && t.get(j + 1).map(|x| x.text.as_str()) == Some("]") {
+            is_test_attr = true;
+            j += 2;
+        } else if t[j].text == "cfg" {
+            // Scan the attribute's bracket span for a bare `test` token.
+            let mut depth = 0;
+            let mut saw_test = false;
+            while j < t.len() {
+                match t[j].text.as_str() {
+                    "[" | "(" => depth += 1,
+                    "]" | ")" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    "test" => saw_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            is_test_attr = saw_test;
+            j += 1; // past the closing `]`
+        }
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        // Find the item's opening brace, then its matching close.
+        let mut k = j;
+        while k < t.len() && t[k].text != "{" && t[k].text != ";" {
+            k += 1;
+        }
+        if k >= t.len() || t[k].text == ";" {
+            i = k.min(t.len());
+            continue;
+        }
+        let start_line = t[i].line;
+        let mut depth = 0i32;
+        while k < t.len() {
+            match t[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let end_line = t.get(k).map(|x| x.line).unwrap_or(lx.n_lines);
+        spans.push((start_line, end_line));
+        i = k + 1;
+    }
+    spans
+}
+
+/// Whether 1-based `line` falls inside any of `spans`.
+pub fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
+    spans.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let lx =
+            lex("let x = \"unsafe // not a comment\"; // trailing\n/* block\nspans */ fn f() {}\n");
+        assert!(lx.toks.iter().all(|t| t.text != "unsafe"));
+        assert_eq!(lx.comments.len(), 2);
+        assert_eq!(lx.comments[0].text.trim(), "trailing");
+        assert!(lx.comments[1].text.contains("block"));
+        assert_eq!(lx.comments[1].end_line, 3);
+        // `fn` lands on line 3 after the multi-line block comment.
+        let f = lx.toks.iter().find(|t| t.text == "fn").unwrap();
+        assert_eq!(f.line, 3);
+    }
+
+    #[test]
+    fn lifetimes_and_chars() {
+        let lx = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(lx.toks.iter().filter(|t| t.text == "'a").count(), 2);
+        // char literal contents never become tokens
+        assert!(lx.toks.iter().all(|t| t.text != "x'" && t.text != "n"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let lx = lex("let s = r#\"a \" b\"#; let t = 1;");
+        assert!(lx.toks.iter().any(|t| t.text == "t"));
+        assert!(lx.toks.iter().all(|t| t.text != "a" && t.text != "b"));
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_mod() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() {}\n}\nfn after() {}\n";
+        let lx = lex(src);
+        let spans = test_spans(&lx);
+        assert!(in_spans(&spans, 3));
+        assert!(in_spans(&spans, 5));
+        assert!(!in_spans(&spans, 1));
+        assert!(!in_spans(&spans, 7));
+    }
+}

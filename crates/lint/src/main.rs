@@ -1,0 +1,97 @@
+//! `tsue_lint` CLI — run the workspace invariant checker.
+//!
+//! ```text
+//! tsue_lint [--json] [--json-out FILE] [--root DIR]
+//! ```
+//!
+//! Exit status 0 iff the workspace is clean (no error-severity
+//! violations and the exemption budget holds).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut json_out: Option<String> = None;
+    let mut root_arg: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--json-out" => {
+                i += 1;
+                json_out = Some(match args.get(i) {
+                    Some(p) => p.clone(),
+                    None => return usage("--json-out needs a file path"),
+                });
+            }
+            "--root" => {
+                i += 1;
+                root_arg = Some(match args.get(i) {
+                    Some(p) => p.clone(),
+                    None => return usage("--root needs a directory"),
+                });
+            }
+            "--help" | "-h" => {
+                println!(
+                    "tsue_lint — workspace invariant checker\n\n\
+                     usage: tsue_lint [--json] [--json-out FILE] [--root DIR]\n\n\
+                     --json          print the report as JSON instead of text\n\
+                     --json-out FILE additionally write the JSON report to FILE\n\
+                     --root DIR      workspace root (default: walk up to lint.toml)\n\n\
+                     rules: {}\n",
+                    tsue_lint::rules::RULES.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+
+    let root = match root_arg {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+            match tsue_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("tsue_lint: no lint.toml found above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let report = match tsue_lint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tsue_lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("tsue_lint: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    print!(
+        "{}",
+        if json {
+            report.render_json()
+        } else {
+            report.render_text()
+        }
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("tsue_lint: {msg}\nusage: tsue_lint [--json] [--json-out FILE] [--root DIR]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,230 @@
+//! Violation records and report rendering (text + JSON).
+
+/// How a violation affects the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint (CI gate goes red).
+    Error,
+    /// Reported but does not fail the lint.
+    Warning,
+}
+
+impl Severity {
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule id (e.g. `unsafe-safety`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Exit-status class.
+    pub severity: Severity,
+    /// What is wrong and what would fix it.
+    pub message: String,
+}
+
+/// One spent exemption (an inline pragma or a `lint.toml` entry).
+#[derive(Debug, Clone)]
+pub struct Exemption {
+    /// `pragma` or `allowlist`.
+    pub kind: &'static str,
+    /// Rule id the exemption silences.
+    pub rule: String,
+    /// Location: `path:line` for pragmas, `path` for allowlist entries.
+    pub site: String,
+    /// The written justification.
+    pub reason: String,
+    /// How many violations it actually silenced in this run.
+    pub used: usize,
+}
+
+/// A full lint run over the workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations, sorted by (path, line, rule).
+    pub violations: Vec<Violation>,
+    /// Exemptions spent (every one counts toward the budget).
+    pub exemptions: Vec<Exemption>,
+    /// Budget from `lint.toml`.
+    pub max_exemptions: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the run passes: no error-severity violations and the
+    /// exemption budget holds.
+    pub fn clean(&self) -> bool {
+        self.error_count() == 0 && self.exemptions.len() <= self.max_exemptions
+    }
+
+    /// Number of error-severity violations.
+    pub fn error_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Error)
+            .count()
+    }
+
+    /// Canonical ordering so output (and the JSON artifact) is stable.
+    pub fn sort(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        self.exemptions
+            .sort_by(|a, b| (&a.site, &a.rule).cmp(&(&b.site, &b.rule)));
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{}:{}: {}[{}] {}\n",
+                v.path,
+                v.line,
+                if v.severity == Severity::Error {
+                    ""
+                } else {
+                    "warning "
+                },
+                v.rule,
+                v.message
+            ));
+        }
+        if !self.violations.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "tsue_lint: {} file(s) scanned, {} violation(s) ({} error), \
+             {} exemption(s) spent of {} budgeted\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.error_count(),
+            self.exemptions.len(),
+            self.max_exemptions
+        ));
+        if self.exemptions.len() > self.max_exemptions {
+            out.push_str(&format!(
+                "tsue_lint: exemption budget exceeded ({} > {}) — trim lint.toml/pragmas before adding more\n",
+                self.exemptions.len(),
+                self.max_exemptions
+            ));
+        }
+        for e in &self.exemptions {
+            out.push_str(&format!(
+                "  exemption [{}] {} at {} — {} (silenced {})\n",
+                e.kind, e.rule, e.site, e.reason, e.used
+            ));
+        }
+        out.push_str(if self.clean() {
+            "tsue_lint: PASS\n"
+        } else {
+            "tsue_lint: FAIL\n"
+        });
+        out
+    }
+
+    /// Machine-readable report (the CI artifact).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"clean\": {},\n", self.clean()));
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"error_count\": {},\n", self.error_count()));
+        out.push_str(&format!(
+            "  \"exemptions_used\": {},\n  \"max_exemptions\": {},\n",
+            self.exemptions.len(),
+            self.max_exemptions
+        ));
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"severity\": {}, \"message\": {}}}",
+                json_str(v.rule),
+                json_str(&v.path),
+                v.line,
+                json_str(v.severity.name()),
+                json_str(&v.message)
+            ));
+        }
+        out.push_str("\n  ],\n  \"exemptions\": [");
+        for (i, e) in self.exemptions.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"kind\": {}, \"rule\": {}, \"site\": {}, \"reason\": {}, \"used\": {}}}",
+                json_str(e.kind),
+                json_str(&e.rule),
+                json_str(&e.site),
+                json_str(&e.reason),
+                e.used
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn clean_accounts_for_budget() {
+        let mut r = Report {
+            max_exemptions: 1,
+            ..Default::default()
+        };
+        assert!(r.clean());
+        r.exemptions.push(Exemption {
+            kind: "pragma",
+            rule: "x".into(),
+            site: "a.rs:1".into(),
+            reason: "r".into(),
+            used: 1,
+        });
+        assert!(r.clean());
+        r.exemptions.push(Exemption {
+            kind: "allowlist",
+            rule: "y".into(),
+            site: "b.rs".into(),
+            reason: "r".into(),
+            used: 1,
+        });
+        assert!(!r.clean(), "budget overflow must fail the run");
+    }
+}

@@ -1,0 +1,33 @@
+// Fixture: cast-discipline. Lines tagged `//~ cast-discipline` must be
+// flagged at exactly that line; everything else must stay clean.
+// This file is lexed by the self-test, never compiled.
+
+fn bare_narrowing(payload_len: u64) -> u32 {
+    payload_len as u32 //~ cast-discipline
+}
+
+fn call_result(v: &[u8]) -> u16 {
+    v.len() as u16 //~ cast-discipline
+}
+
+fn annotated(frame_len: u64) -> u32 {
+    // cast: frames are bounded by the unit size, far below u32::MAX.
+    frame_len as u32
+}
+
+fn invariant_marker_also_satisfies(end_off: u64) -> u32 {
+    // INVARIANT: offsets are block-relative and blocks are < 4 GiB.
+    end_off as u32
+}
+
+fn widening_is_fine(buf: &[u8]) -> u64 {
+    buf.len() as u64
+}
+
+fn non_size_names_are_fine(flags: u64) -> u8 {
+    flags as u8
+}
+
+fn checked_conversion(total_bytes: u64) -> u32 {
+    u32::try_from(total_bytes).unwrap_or(u32::MAX)
+}

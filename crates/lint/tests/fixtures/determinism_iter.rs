@@ -1,0 +1,44 @@
+// Fixture: determinism-iter. Lines tagged `//~ determinism-iter` must
+// be flagged at exactly that line; everything else must stay clean.
+// This file is lexed by the self-test, never compiled.
+use std::collections::{BTreeMap, HashMap};
+
+struct State {
+    by_seq: HashMap<u64, u32>,
+    ordered: BTreeMap<u64, u32>,
+}
+
+impl State {
+    fn checksum(&self) -> u64 {
+        let mut acc = 0u64;
+        for (k, v) in &self.by_seq { //~ determinism-iter
+            acc ^= k.wrapping_mul(u64::from(*v));
+        }
+        acc
+    }
+
+    fn drain_all(&mut self) -> Vec<(u64, u32)> {
+        self.by_seq.drain().collect() //~ determinism-iter
+    }
+
+    fn keys_unordered(&self) -> Vec<u64> {
+        self.by_seq.keys().copied().collect() //~ determinism-iter
+    }
+
+    fn ordered_walks_are_fine(&self) -> u64 {
+        let mut acc = 0u64;
+        for v in self.ordered.values() {
+            acc += u64::from(*v);
+        }
+        acc
+    }
+
+    fn point_lookups_are_fine(&self, k: u64) -> Option<u32> {
+        self.by_seq.get(&k).copied()
+    }
+}
+
+fn untracked_locals_are_fine(rows: &BTreeMap<u64, u32>) -> u64 {
+    // Same method names on an ordered container: out of scope.
+    rows.values().map(|v| u64::from(*v)).sum()
+}

@@ -1,0 +1,36 @@
+// Fixture: lock-discipline. Lines tagged `//~ lock-discipline` must be
+// flagged at exactly that line; everything else must stay clean.
+// This file is lexed by the self-test, never compiled.
+
+struct Plane {
+    store: ShardedMap<u64, Vec<u8>>,
+    index: ShardedMap<u64, u64>,
+}
+
+impl Plane {
+    fn nested_same_map(&self) -> bool {
+        self.store.with_mut(&1, |_| self.store.read(&2).is_some()) //~ lock-discipline
+    }
+
+    fn nested_cross_map(&self) {
+        self.store.with_mut(&1, |v| {
+            v.push(0);
+            self.index.insert_shared(9, 9); //~ lock-discipline
+        });
+    }
+
+    fn sequenced_is_fine(&self) -> bool {
+        let hit = self.store.read(&2).is_some();
+        self.store.with_mut(&1, |v| v.push(0));
+        self.index.insert_shared(9, 9);
+        hit
+    }
+
+    fn generic_names_untracked_receiver_are_fine(&self, log: &Logger) {
+        log.with(|line| self.len_hint(line));
+    }
+
+    fn len_hint(&self, _line: u64) -> usize {
+        0
+    }
+}

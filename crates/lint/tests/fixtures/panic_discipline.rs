@@ -1,0 +1,36 @@
+// Fixture: panic-discipline. Lines tagged `//~ panic-discipline` must
+// be flagged at exactly that line; everything else must stay clean.
+// This file is lexed by the self-test, never compiled.
+
+fn bare_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap() //~ panic-discipline
+}
+
+fn bare_expect(x: Option<u8>) -> u8 {
+    x.expect("present") //~ panic-discipline
+}
+
+fn bare_macro(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        _ => unreachable!("validated upstream"), //~ panic-discipline
+    }
+}
+
+fn justified(x: Option<u8>) -> u8 {
+    // INVARIANT: the dispatcher only routes Some values here.
+    x.expect("present")
+}
+
+fn fallible(x: Option<u8>) -> Option<u8> {
+    // unwrap_or-style combinators never panic and are out of scope.
+    Some(x.unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn harness_panics_are_fine() {
+        assert_eq!(Some(1u8).unwrap(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+// Fixture: unsafe-safety. Lines tagged `//~ unsafe-safety` must be
+// flagged at exactly that line; everything else must stay clean.
+// This file is lexed by the self-test, never compiled.
+
+fn bare_block(p: *const u8) -> u8 {
+    unsafe { *p } //~ unsafe-safety
+}
+
+unsafe fn bare_fn(p: *const u8) -> u8 { //~ unsafe-safety
+    *p
+}
+
+fn justified_block(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *v.get_unchecked(0) }
+}
+
+/// Doc sections state the caller's contract; the body still needs its
+/// own justification, which sits between the doc and the signature.
+///
+/// # Safety
+/// `p` must be valid for reads.
+// SAFETY: dereference is sound per the documented caller contract; the
+// attribute below does not detach this comment from the signature.
+#[inline]
+unsafe fn justified_fn(p: *const u8) -> u8 {
+    *p
+}
+
+fn trailing_marker(v: &[u8], i: usize) -> u8 {
+    debug_assert!(i < v.len());
+    unsafe { *v.get_unchecked(i) } // SAFETY: bounds checked above.
+}

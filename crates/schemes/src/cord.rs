@@ -17,7 +17,7 @@
 //! to produce its delta.
 
 use crate::{AckTable, LogRegion};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use tsue_ecfs::rangemap::RangeMap;
 use tsue_ecfs::scheme::{rmw_data_delta, Chunk, DeltaKind, SchemeMsg, UpdateReq};
 use tsue_ecfs::{BlockId, Cluster, ClusterCore, UpdateScheme, ACK_BYTES};
@@ -47,7 +47,7 @@ pub struct Cord {
     /// Collector state: per global stripe, one XOR-folding interval map
     /// per *data block role* holding the raw (unscaled) deltas; parity
     /// scaling happens once, at drain time (Eq. 5).
-    agg: HashMap<u64, std::collections::BTreeMap<usize, RangeMap>>,
+    agg: BTreeMap<u64, std::collections::BTreeMap<usize, RangeMap>>,
     /// Buffer occupancy in (pre-aggregation) bytes.
     buffered: u64,
     /// The fixed buffer capacity — deliberately small (the bottleneck).
@@ -73,7 +73,7 @@ impl Cord {
     pub fn new() -> Self {
         Cord {
             acks: AckTable::default(),
-            agg: HashMap::new(),
+            agg: BTreeMap::new(),
             buffered: 0,
             capacity: 4 << 20,
             buf_log: LogRegion::new(8 << 20, 6),
@@ -130,12 +130,10 @@ impl Cord {
         self.draining = true;
         let k = core.cfg.stripe.k;
         let m = core.cfg.stripe.m;
-        // Drain in stripe order: the former hash-order walk made the send
-        // sequence (and thus NIC-lane timing) depend on HashMap seeding.
-        let mut stripes: Vec<(u64, std::collections::BTreeMap<usize, RangeMap>)> =
-            std::mem::take(&mut self.agg).into_iter().collect();
-        stripes.sort_unstable_by_key(|(g, _)| *g);
-        for (gstripe, roles) in stripes {
+        // Drain in stripe order: the aggregation map is ordered by global
+        // stripe, so the send sequence (and thus NIC-lane timing) is the
+        // same on every run.
+        for (gstripe, roles) in std::mem::take(&mut self.agg) {
             // Reconstruct a BlockId for the parity block: stripe
             // coordinates are derivable from any block of the stripe;
             // file/stripe-local index come with the entry.
@@ -309,6 +307,8 @@ impl UpdateScheme for Cord {
                     core.extent_done(sim, osd, op_id);
                 }
             }
+            // INVARIANT: the arms above cover every message kind a CoRD peer
+            // sends; anything else is a routing bug.
             _ => unreachable!("CoRD exchanges DeltaForward/Control/Ack"),
         }
     }

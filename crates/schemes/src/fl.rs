@@ -14,7 +14,7 @@
 //! parity deltas, after which parity owners drop their log copies.
 
 use crate::{AckTable, LogRegion};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use tsue_ecfs::rangemap::RangeMap;
 use tsue_ecfs::scheme::{DeltaKind, ReadServe, SchemeMsg, UpdateReq};
 use tsue_ecfs::{BlockId, Cluster, ClusterCore, UpdateScheme, ACK_BYTES};
@@ -36,7 +36,7 @@ struct Waiting {
 pub struct Fl {
     acks: AckTable,
     /// Data-side single log: per-block newest-wins content.
-    dlog: HashMap<BlockId, RangeMap>,
+    dlog: BTreeMap<BlockId, RangeMap>,
     log: LogRegion,
     log_bytes: u64,
     /// Recycle trigger.
@@ -45,7 +45,7 @@ pub struct Fl {
     recycling: bool,
     waiting: VecDeque<Waiting>,
     /// Parity-side mirrored data (for durability until discard).
-    plog: HashMap<BlockId, RangeMap>,
+    plog: BTreeMap<BlockId, RangeMap>,
     plog_bytes: u64,
     inflight: u64,
 }
@@ -62,13 +62,13 @@ impl Fl {
     pub fn new() -> Self {
         Fl {
             acks: AckTable::default(),
-            dlog: HashMap::new(),
+            dlog: BTreeMap::new(),
             log: LogRegion::new(256 << 20, 8),
             log_bytes: 0,
             threshold: 64 << 20,
             recycling: false,
             waiting: VecDeque::new(),
-            plog: HashMap::new(),
+            plog: BTreeMap::new(),
             plog_bytes: 0,
             inflight: 0,
         }
@@ -124,6 +124,8 @@ impl Fl {
         let blocks: Vec<BlockId> = self.dlog.keys().copied().collect();
         for block in blocks {
             let gstripe = core.global_stripe(block.file, block.stripe);
+            // INVARIANT: `block` came from `dlog.keys()` just above, and
+            // entries are only removed by this loop.
             let mut map = self.dlog.remove(&block).expect("key exists");
             for (off, newest) in map.drain() {
                 let len = newest.len;

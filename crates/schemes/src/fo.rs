@@ -103,6 +103,8 @@ impl UpdateScheme for Fo {
                     core.extent_done(sim, osd, op_id);
                 }
             }
+            // INVARIANT: the arms above cover every message kind an FO peer
+            // sends; anything else is a routing bug.
             _ => unreachable!("FO exchanges only DeltaForward/Ack"),
         }
     }

@@ -15,7 +15,7 @@
 //! block, then promotes `latest` to be the new `original`.
 
 use crate::{parity_index_of, AckTable, LogRegion};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tsue_ecfs::rangemap::RangeMap;
 use tsue_ecfs::scheme::{Chunk, SchemeMsg, UpdateReq};
 use tsue_ecfs::{BlockId, Cluster, ClusterCore, UpdateScheme, ACK_BYTES};
@@ -51,7 +51,7 @@ struct PendingOld {
 pub struct Parix {
     acks: AckTable,
     /// Data-side: byte ranges whose original content the parity logs hold.
-    old_sent: HashMap<BlockId, RangeMap>,
+    old_sent: BTreeMap<BlockId, RangeMap>,
     /// Bytes of speculation coverage accumulated since the last epoch
     /// flip; bounded by [`Self::speculation_budget`].
     old_sent_bytes: u64,
@@ -60,11 +60,11 @@ pub struct Parix {
     /// (the recurring 2× round-trip penalty after log reclamation).
     pub speculation_budget: u64,
     /// Data-side: cached originals for in-flight first updates.
-    pend_old: HashMap<u64, PendingOld>,
+    pend_old: BTreeMap<u64, PendingOld>,
     /// Parity-side log region (holds both old and new entries).
     log: LogRegion,
     /// Parity-side per-block state.
-    blocks: HashMap<BlockId, BlockLog>,
+    blocks: BTreeMap<BlockId, BlockLog>,
     log_bytes: u64,
     /// Recycle trigger.
     pub threshold: u64,
@@ -82,12 +82,12 @@ impl Parix {
     pub fn new() -> Self {
         Parix {
             acks: AckTable::default(),
-            old_sent: HashMap::new(),
+            old_sent: BTreeMap::new(),
             old_sent_bytes: 0,
             speculation_budget: 4 << 20,
-            pend_old: HashMap::new(),
+            pend_old: BTreeMap::new(),
             log: LogRegion::new(512 << 20, 4),
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             log_bytes: 0,
             threshold: 256 << 20,
             inflight: 0,
@@ -109,6 +109,8 @@ impl Parix {
                 role: core.cfg.stripe.k + j,
                 ..dblock
             };
+            // INVARIANT: `dblock` came from `blocks.keys()` just above, and
+            // this loop removes nothing.
             let log_state = self.blocks.get_mut(&dblock).expect("key exists");
             let latest = log_state.latest.drain();
             for (off, newest) in latest {
@@ -364,6 +366,8 @@ impl UpdateScheme for Parix {
                     core.extent_done(sim, osd, op_id);
                 }
             }
+            // INVARIANT: the arms above cover every message kind a PARIX peer
+            // sends; anything else is a routing bug.
             _ => unreachable!("PARIX exchanges DataForward/Control/Ack"),
         }
     }

@@ -173,6 +173,8 @@ impl UpdateScheme for Pl {
                     core.extent_done(sim, osd, op_id);
                 }
             }
+            // INVARIANT: the arms above cover every message kind a PL peer
+            // sends; anything else is a routing bug.
             _ => unreachable!("PL exchanges only DeltaForward/Ack"),
         }
     }

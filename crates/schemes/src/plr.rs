@@ -11,7 +11,7 @@
 //! triggered it.
 
 use crate::{AckTable, LogMirrors};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tsue_device::IoKind;
 use tsue_ecfs::osd::STREAM_SCHEME_BASE;
 use tsue_ecfs::scheme::{rmw_data_delta, Chunk, DeltaKind, SchemeMsg, UpdateReq};
@@ -36,7 +36,7 @@ struct Reserved {
 /// The PLR scheme state (per OSD).
 pub struct Plr {
     acks: AckTable,
-    reserved: HashMap<BlockId, Reserved>,
+    reserved: BTreeMap<BlockId, Reserved>,
     inflight: u64,
     /// Ring-successor mirror regions for `cfg.log_replicas > 1`.
     mirrors: LogMirrors,
@@ -53,7 +53,7 @@ impl Plr {
     pub fn new() -> Self {
         Plr {
             acks: AckTable::default(),
-            reserved: HashMap::new(),
+            reserved: BTreeMap::new(),
             inflight: 0,
             mirrors: LogMirrors::new(44),
         }
@@ -70,6 +70,8 @@ impl Plr {
         pblock: BlockId,
         start: Time,
     ) -> Time {
+        // INVARIANT: recycle_region is only called for blocks whose
+        // reserved region was created on their first append.
         let r = self.reserved.get_mut(&pblock).expect("region exists");
         let span = r.cursor;
         // Adjacent sequential read of the whole region.
@@ -162,7 +164,7 @@ impl UpdateScheme for Plr {
                     ..block
                 };
                 let reserve_size = core.cfg.stripe.block_size / RESERVE_DIV;
-                if let std::collections::hash_map::Entry::Vacant(e) = self.reserved.entry(pblock) {
+                if let std::collections::btree_map::Entry::Vacant(e) = self.reserved.entry(pblock) {
                     // Lease + format the reserved region; formatting marks
                     // it written so appends count as the write penalty the
                     // paper attributes to PLR.
@@ -191,6 +193,8 @@ impl UpdateScheme for Plr {
 
                 // The append itself: a scattered small write into this
                 // block's region — random, and penalized as an overwrite.
+                // INVARIANT: the vacant-entry branch above created the region
+                // for `pblock` if it was missing.
                 let r = self.reserved.get_mut(&pblock).expect("region exists");
                 let t_append = core.osds[osd].device.submit(
                     t_start,
@@ -214,6 +218,8 @@ impl UpdateScheme for Plr {
                     core.extent_done(sim, osd, op_id);
                 }
             }
+            // INVARIANT: the arms above cover every message kind a PLR peer
+            // sends; anything else is a routing bug.
             _ => unreachable!("PLR exchanges only DeltaForward/Ack"),
         }
     }

@@ -145,9 +145,9 @@ impl WorkerPool {
                 out[i] = Some(r);
             }
         });
-        // The scope join above re-raises worker panics, so every slot is
-        // filled when we get here.
         out.into_iter()
+            // INVARIANT: the scope join above re-raises worker panics,
+            // so every slot is filled when we get here.
             .map(|o| o.expect("worker delivered result"))
             .collect()
     }
